@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (figure or table), prints
+the series, persists the rendering under ``benchmarks/results/`` and
+asserts the qualitative shape documented in DESIGN.md.
+
+Set ``REPRO_QUALITY=full`` to run at paper-scale horizons (slow);
+the default FAST profile is sized for CI-style runs.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import Quality
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def quality() -> Quality:
+    value = os.environ.get("REPRO_QUALITY", "fast").lower()
+    return Quality.FULL if value == "full" else Quality.FAST
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Persist a rendered artifact and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record

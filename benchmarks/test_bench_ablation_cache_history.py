@@ -1,0 +1,54 @@
+"""Ablation: cache policy 1 (most recent result) vs a history of N.
+
+The paper's policy 1 keeps only the latest query result per host.  This
+ablation retains the last N results (each with its own certain circle)
+and measures the SQRR impact plus the extra tuples the P2P channel has
+to carry -- quantifying the trade-off the paper mentions ("it may
+increase the communication overheads among mobile hosts").
+"""
+
+from repro.experiments.runner import format_table, run_one
+from repro.sim.config import los_angeles_2x2
+
+
+def run_history_sweep(quality, seed=0):
+    duration = 900.0 if quality.value == "fast" else 3600.0
+    rows = []
+    for history in (1, 2, 4):
+        metrics = run_one(
+            los_angeles_2x2(),
+            seed=seed,
+            t_execution_s=duration,
+            config_overrides={"cache_history": history},
+        )
+        shares = metrics.percentages()
+        rows.append(
+            (
+                history,
+                shares["server"],
+                shares["single_peer"],
+                shares["multi_peer"],
+                metrics.mean_tuples_received(),
+            )
+        )
+    return rows
+
+
+def test_ablation_cache_history(benchmark, quality, record_result):
+    rows = benchmark.pedantic(
+        run_history_sweep, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result(
+        "ablation_cache_history",
+        format_table(
+            "Ablation: cache history depth (LA 2x2)",
+            ["history", "server %", "single %", "multi %", "tuples/query"],
+            rows,
+        ),
+    )
+    baseline_server = rows[0][1]
+    deepest_server = rows[-1][1]
+    # More retained results can only help resolution (within noise)...
+    assert deepest_server <= baseline_server + 3.0
+    # ...at the price of more tuples over the ad-hoc channel.
+    assert rows[-1][4] > rows[0][4]

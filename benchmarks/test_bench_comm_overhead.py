@@ -1,0 +1,56 @@
+"""The trade-off study: server offload vs P2P communication overhead.
+
+The paper notes that peer-to-peer cooperative caching "may increase the
+communication overheads among mobile hosts".  This bench quantifies both
+sides of the trade as the transmission range grows: the server share
+falls while the number of probes and transferred NN tuples per query
+rises.
+"""
+
+import dataclasses
+
+from repro.experiments.runner import format_table, run_one
+from repro.sim.config import los_angeles_2x2
+
+
+def run_tradeoff_sweep(quality, seed=0):
+    duration = 900.0 if quality.value == "fast" else 3600.0
+    rows = []
+    for tx_m in (50.0, 100.0, 150.0, 200.0):
+        params = dataclasses.replace(los_angeles_2x2(), tx_range_m=tx_m)
+        metrics = run_one(params, seed=seed, t_execution_s=duration)
+        rows.append(
+            (
+                tx_m,
+                metrics.percentages()["server"],
+                metrics.mean_peer_probes(),
+                metrics.mean_tuples_received(),
+            )
+        )
+    return rows
+
+
+def test_comm_overhead_tradeoff(benchmark, quality, record_result):
+    rows = benchmark.pedantic(
+        run_tradeoff_sweep, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result(
+        "comm_overhead",
+        format_table(
+            "Server offload vs P2P overhead (LA 2x2)",
+            ["tx m", "server %", "probes/query", "tuples/query"],
+            rows,
+        ),
+    )
+    servers = [row[1] for row in rows]
+    probes = [row[2] for row in rows]
+    tuples = [row[3] for row in rows]
+    # Offload improves with range...
+    assert servers[-1] < servers[0]
+    # ...and both overhead measures grow with it.
+    assert probes[-1] > probes[0]
+    assert tuples[-1] > tuples[0]
+    # Overhead scales superlinearly with range (coverage area is
+    # quadratic, clipped by the simulation boundary): from 50 m to 200 m
+    # expect clearly more than a 2.5x growth in probes.
+    assert probes[-1] > probes[0] * 2.5

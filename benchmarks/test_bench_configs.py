@@ -1,0 +1,87 @@
+"""Tables 3 and 4: the simulation parameter sets.
+
+Regenerates both tables from :mod:`repro.sim.config` and checks the
+values against the paper.
+"""
+
+from repro.experiments.runner import format_table
+from repro.sim.config import (
+    PARAMETER_SETS_2X2,
+    PARAMETER_SETS_30X30,
+    SimulationConfig,
+)
+from repro.sim.simulation import Simulation
+
+COLUMNS = [
+    "Parameter",
+    "LA County",
+    "Riverside",
+    "Suburbia",
+    "Units",
+]
+
+
+def _rows(sets):
+    la = sets["LA"]()
+    rv = sets["RV"]()
+    syn = sets["SYN"]()
+    return [
+        ("POI Number", la.poi_number, rv.poi_number, syn.poi_number, ""),
+        ("MH Number", la.mh_number, rv.mh_number, syn.mh_number, ""),
+        ("C Size", la.c_size, rv.c_size, syn.c_size, ""),
+        ("M Percentage", la.m_percentage, rv.m_percentage, syn.m_percentage, "%"),
+        ("M Velocity", la.m_velocity, rv.m_velocity, syn.m_velocity, "mph"),
+        ("Lambda Query", la.lambda_query, rv.lambda_query, syn.lambda_query, "1/min"),
+        ("Tx Range", la.tx_range_m, rv.tx_range_m, syn.tx_range_m, "m"),
+        ("Lambda kNN", la.lambda_knn, rv.lambda_knn, syn.lambda_knn, ""),
+        ("T execution", la.t_execution_hours, rv.t_execution_hours, syn.t_execution_hours, "hr"),
+        ("Area", la.area_miles, rv.area_miles, syn.area_miles, "mi side"),
+    ]
+
+
+def test_table3_parameter_sets(benchmark, record_result):
+    def build():
+        return format_table(
+            "Table 3: parameter sets, 2x2 miles", COLUMNS, _rows(PARAMETER_SETS_2X2)
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    record_result("table3", text)
+    la = PARAMETER_SETS_2X2["LA"]()
+    assert (la.poi_number, la.mh_number, la.c_size) == (16, 463, 10)
+    assert la.lambda_query == 23.0
+
+
+def test_table4_parameter_sets(benchmark, record_result):
+    def build():
+        return format_table(
+            "Table 4: parameter sets, 30x30 miles", COLUMNS, _rows(PARAMETER_SETS_30X30)
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    record_result("table4", text)
+    la = PARAMETER_SETS_30X30["LA"]()
+    assert (la.poi_number, la.mh_number, la.c_size) == (4050, 121500, 20)
+    assert la.lambda_query == 8100.0
+
+
+def test_simulation_boots_from_each_parameter_set(benchmark):
+    """Every Table-3 set must build a runnable world (Table-4 via window)."""
+
+    def boot_all():
+        built = []
+        for factory in PARAMETER_SETS_2X2.values():
+            sim = Simulation(
+                SimulationConfig(parameters=factory(), t_execution_s=30.0, seed=0)
+            )
+            built.append(len(sim.hosts))
+        for factory in PARAMETER_SETS_30X30.values():
+            params = factory().scaled_area(0.05)
+            sim = Simulation(
+                SimulationConfig(parameters=params, t_execution_s=30.0, seed=0)
+            )
+            built.append(len(sim.hosts))
+        return built
+
+    counts = benchmark.pedantic(boot_all, rounds=1, iterations=1)
+    assert all(count > 0 for count in counts)

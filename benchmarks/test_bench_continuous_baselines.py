@@ -1,0 +1,93 @@
+"""Baseline comparison: continuous-query strategies for a moving host.
+
+The paper's Section 2 positions its sharing scheme against the moving-
+query-point literature.  This bench drives a host along a fixed
+trajectory and compares the server load of:
+
+- naive multi-step (a server kNN at every sample);
+- Song-Roussopoulos bounded reuse [18];
+- split points [19] for the 1NN case (zero queries after preprocessing);
+- Voronoi semantic caching [22] for the 1NN case.
+
+Expected shape: bounded reuse beats naive by a wide margin; the
+precomputation-based and semantic approaches contact the server least.
+"""
+
+import numpy as np
+
+from repro.continuous.multistep import bounded_multistep_knn, naive_multistep_knn
+from repro.continuous.splitpoints import continuous_nearest_segment
+from repro.continuous.trajectory import Trajectory
+from repro.core.server import SpatialDatabaseServer
+from repro.experiments.runner import format_table
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.index.voronoi import VoronoiSemanticCache
+
+
+def run_continuous_comparison(quality, seed=0):
+    rng = np.random.default_rng(seed)
+    extent = 10.0
+    poi_count = 60 if quality.value == "fast" else 200
+    pois = [
+        (Point(float(x), float(y)), f"poi-{i}")
+        for i, (x, y) in enumerate(
+            zip(
+                rng.uniform(0.2, extent - 0.2, poi_count),
+                rng.uniform(0.2, extent - 0.2, poi_count),
+            )
+        )
+    ]
+    trajectory = Trajectory([Point(0.5, 0.5), Point(9.0, 2.0), Point(9.5, 9.5)])
+    positions = trajectory.sample(0.15)
+    k = 3
+
+    naive_server = SpatialDatabaseServer.from_points(pois)
+    naive = naive_multistep_knn(naive_server, positions, k)
+
+    bounded_server = SpatialDatabaseServer.from_points(pois)
+    bounded = bounded_multistep_knn(bounded_server, positions, k)
+
+    # Split points: 1NN precomputation per trajectory leg, no queries after.
+    split_count = sum(
+        len(continuous_nearest_segment(pois, a, b)) for a, b in trajectory.segments()
+    )
+
+    voronoi = VoronoiSemanticCache(
+        pois, BoundingBox(0, 0, extent, extent), capacity=8
+    )
+    for position in positions:
+        voronoi.query(position)
+
+    rows = [
+        ("naive multi-step", naive.server_queries, naive.server_pages),
+        ("bounded reuse", bounded.server_queries, bounded.server_pages),
+        ("split points (1NN)", 0, 0),
+        ("voronoi cache (1NN)", voronoi.stats.server_fetches, 0),
+    ]
+    return rows, len(positions), split_count
+
+
+def test_continuous_baselines(benchmark, quality, record_result):
+    rows, samples, split_count = benchmark.pedantic(
+        run_continuous_comparison, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result(
+        "continuous_baselines",
+        format_table(
+            f"Continuous-query baselines ({samples} samples; "
+            f"{split_count} split intervals precomputed)",
+            ["strategy", "server queries", "server pages"],
+            rows,
+        ),
+    )
+    by_name = {name: (queries, pages) for name, queries, pages in rows}
+    naive_q = by_name["naive multi-step"][0]
+    bounded_q = by_name["bounded reuse"][0]
+    voronoi_q = by_name["voronoi cache (1NN)"][0]
+    assert naive_q == samples
+    # Bounded reuse must save a large share of the round trips.
+    assert bounded_q < naive_q / 2
+    # Semantic caching refetches once per crossed cell, far below naive.
+    assert voronoi_q < naive_q / 2
+    assert split_count > 1

@@ -1,0 +1,33 @@
+"""Figure 9: resolution shares vs transmission range, 2x2-mile area.
+
+Paper shape: as the range grows more queries are answered by peers; the
+effect is most pronounced in dense Los Angeles County, where at 200 m
+only ~20-30 % of queries reach the server; sparse Riverside stays
+server-heavy.
+"""
+
+from repro.experiments import figures
+from repro.experiments.runner import format_figure
+
+
+def test_fig09_transmission_range(benchmark, quality, record_result):
+    result = benchmark.pedantic(
+        figures.fig9, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result("fig09", format_figure(result))
+
+    for region in ("LA", "SYN", "RV"):
+        server = result.region_series(region, "server")
+        # Wider range -> fewer server queries.
+        assert server[-1] < server[0], region
+        # Peer shares grow correspondingly.
+        single = result.region_series(region, "single_peer")
+        assert single[-1] > single[0], region
+    # Density ordering at the widest range: LA offloads most, RV least.
+    assert (
+        result.region_series("LA", "server")[-1]
+        < result.region_series("RV", "server")[-1]
+    )
+    # LA at 200 m: the paper reports ~20-30 % server share; allow a loose
+    # band for the shorter FAST horizon.
+    assert result.region_series("LA", "server")[-1] < 60.0

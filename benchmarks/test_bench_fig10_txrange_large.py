@@ -1,0 +1,23 @@
+"""Figure 10: resolution shares vs transmission range, 30x30-mile area.
+
+Same qualitative shape as Figure 9 over the large-area parameter sets,
+run through the density-preserving window scale-down (EXPERIMENTS.md).
+"""
+
+from repro.experiments import figures
+from repro.experiments.runner import format_figure
+
+
+def test_fig10_transmission_range_large(benchmark, quality, record_result):
+    result = benchmark.pedantic(
+        figures.fig10, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result("fig10", format_figure(result))
+
+    for region in ("LA", "SYN", "RV"):
+        server = result.region_series(region, "server")
+        assert server[-1] < server[0], region
+    assert (
+        result.region_series("LA", "server")[-1]
+        < result.region_series("RV", "server")[-1]
+    )

@@ -1,0 +1,28 @@
+"""Figure 11: resolution shares vs cache capacity, 2x2-mile area.
+
+Paper shape: server workload falls as hosts cache more NNs; in sparse
+Riverside County the effect saturates once the cache exceeds the useful
+neighborhood (the paper observes stabilization after ~5 items).
+"""
+
+from repro.experiments import figures
+from repro.experiments.runner import format_figure
+
+
+def test_fig11_cache_capacity(benchmark, quality, record_result):
+    result = benchmark.pedantic(
+        figures.fig11, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result("fig11", format_figure(result))
+
+    for region in ("LA", "SYN", "RV"):
+        server = result.region_series(region, "server")
+        # Larger caches cannot hurt: compare the extremes with slack for
+        # simulation noise.
+        assert server[-1] <= server[0] + 5.0, region
+    # The dense region benefits at least as much as the sparse one.
+    la_drop = (
+        result.region_series("LA", "server")[0]
+        - result.region_series("LA", "server")[-1]
+    )
+    assert la_drop > 0.0

@@ -1,0 +1,21 @@
+"""Figure 12: resolution shares vs cache capacity, 30x30-mile area.
+
+Paper shape: even though the POI population dwarfs the cache, larger
+caches still produce a remarkable server-workload decrease (Fig. 12a).
+"""
+
+from repro.experiments import figures
+from repro.experiments.runner import format_figure
+
+
+def test_fig12_cache_capacity_large(benchmark, quality, record_result):
+    result = benchmark.pedantic(
+        figures.fig12, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result("fig12", format_figure(result))
+
+    for region in ("LA", "SYN", "RV"):
+        server = result.region_series(region, "server")
+        assert server[-1] <= server[0] + 5.0, region
+    la = result.region_series("LA", "server")
+    assert la[-1] < la[0]

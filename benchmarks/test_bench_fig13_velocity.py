@@ -1,0 +1,26 @@
+"""Figure 13: resolution shares vs host velocity, 2x2-mile area.
+
+Paper shape: velocity has a mild, gradual effect everywhere, a little
+stronger where vehicle/POI density is low.
+"""
+
+from repro.experiments import figures
+from repro.experiments.runner import format_figure
+
+
+def test_fig13_velocity(benchmark, quality, record_result):
+    result = benchmark.pedantic(
+        figures.fig13, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result("fig13", format_figure(result))
+
+    for region in ("LA", "SYN", "RV"):
+        server = result.region_series(region, "server")
+        # "The effect is quite gradual in all cases": the swing across the
+        # whole 10-50 mph sweep stays bounded.
+        assert max(server) - min(server) < 35.0, region
+        assert all(0.0 <= value <= 100.0 for value in server)
+    # Density ordering is preserved at every velocity.
+    la = result.region_series("LA", "server")
+    rv = result.region_series("RV", "server")
+    assert sum(la) / len(la) < sum(rv) / len(rv)

@@ -1,0 +1,18 @@
+"""Figure 14: resolution shares vs host velocity, 30x30-mile area."""
+
+from repro.experiments import figures
+from repro.experiments.runner import format_figure
+
+
+def test_fig14_velocity_large(benchmark, quality, record_result):
+    result = benchmark.pedantic(
+        figures.fig14, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result("fig14", format_figure(result))
+
+    for region in ("LA", "SYN", "RV"):
+        server = result.region_series(region, "server")
+        assert max(server) - min(server) < 35.0, region
+    la = result.region_series("LA", "server")
+    rv = result.region_series("RV", "server")
+    assert sum(la) / len(la) < sum(rv) / len(rv)

@@ -1,0 +1,28 @@
+"""Figure 15: resolution shares vs k, 2x2-mile area.
+
+Paper shape: server workload grows with k (result sharing is much more
+effective for small k); the LA set grows strongly (the paper reports a
+68 % increase from k=1 to k=9) while Riverside grows only ~11 % because
+its baseline is already high.
+"""
+
+from repro.experiments import figures
+from repro.experiments.runner import format_figure
+
+
+def test_fig15_k(benchmark, quality, record_result):
+    result = benchmark.pedantic(
+        figures.fig15, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result("fig15", format_figure(result))
+
+    for region in ("LA", "SYN", "RV"):
+        server = result.region_series(region, "server")
+        # Larger k -> more server queries.
+        assert server[-1] > server[0], region
+    # Sharing stays more effective in the dense region at every k
+    # (Riverside's sparse caches saturate towards 100 % quickly).
+    la = result.region_series("LA", "server")
+    rv = result.region_series("RV", "server")
+    for la_value, rv_value in zip(la, rv):
+        assert la_value <= rv_value + 5.0

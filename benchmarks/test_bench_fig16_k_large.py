@@ -1,0 +1,23 @@
+"""Figure 16: resolution shares vs k, 30x30-mile area.
+
+Paper shape: server workload grows with k (LA +29 % from k=3 to 15;
+Riverside +19 % from its higher baseline).
+"""
+
+from repro.experiments import figures
+from repro.experiments.runner import format_figure
+
+
+def test_fig16_k_large(benchmark, quality, record_result):
+    result = benchmark.pedantic(
+        figures.fig16, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result("fig16", format_figure(result))
+
+    for region in ("LA", "SYN", "RV"):
+        server = result.region_series(region, "server")
+        assert server[-1] > server[0], region
+    assert (
+        result.region_series("LA", "server")[0]
+        < result.region_series("RV", "server")[0]
+    )

@@ -1,0 +1,28 @@
+"""Figure 17: R*-tree page accesses of EINN vs INN as a function of k.
+
+Paper shape: EINN performs consistently better than INN (10-21 % fewer
+pages across k=3..15) while both grow with k at a similar rate.
+"""
+
+from repro.experiments import figures
+from repro.experiments.runner import format_figure
+
+
+def test_fig17_einn_vs_inn(benchmark, quality, record_result):
+    result = benchmark.pedantic(
+        figures.fig17, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result("fig17", format_figure(result))
+
+    for region in ("LA", "SYN", "RV"):
+        einn = result.region_series(region, "EINN")
+        inn = result.region_series(region, "INN")
+        # EINN never loses, pointwise.
+        for e, i in zip(einn, inn):
+            assert e <= i + 1e-9, region
+        # Both grow with k.
+        assert inn[-1] > inn[0], region
+        assert einn[-1] > einn[0], region
+        # Aggregate savings in a meaningful band (paper: 10-21 %).
+        savings = 1.0 - sum(einn) / sum(inn)
+        assert 0.02 <= savings <= 0.45, (region, savings)

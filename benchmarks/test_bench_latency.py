@@ -1,0 +1,53 @@
+"""Access latency: the paper's first claimed benefit of P2P caching.
+
+"Peer-to-peer cooperative caching can bring about several distinctive
+benefits to a mobile system: improving access latency, ..." -- this
+bench measures mean query latency under an explicit cost model as the
+transmission range grows.  Expected shape: peer-resolved queries are an
+order of magnitude cheaper than server round trips, so the mean latency
+falls as more queries resolve locally (despite the extra probing).
+"""
+
+import dataclasses
+
+from repro.core.senn import ResolutionTier
+from repro.experiments.runner import format_table, run_one
+from repro.sim.config import los_angeles_2x2
+
+
+def run_latency_sweep(quality, seed=0):
+    duration = 900.0 if quality.value == "fast" else 3600.0
+    rows = []
+    for tx_m in (25.0, 100.0, 200.0):
+        params = dataclasses.replace(los_angeles_2x2(), tx_range_m=tx_m)
+        metrics = run_one(params, seed=seed, t_execution_s=duration)
+        rows.append(
+            (
+                tx_m,
+                metrics.percentages()["server"],
+                metrics.mean_latency_ms(),
+                metrics.mean_latency_for(ResolutionTier.SINGLE_PEER),
+                metrics.mean_latency_for(ResolutionTier.SERVER),
+            )
+        )
+    return rows
+
+
+def test_latency_improvement(benchmark, quality, record_result):
+    rows = benchmark.pedantic(
+        run_latency_sweep, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result(
+        "latency",
+        format_table(
+            "Mean query latency vs transmission range (LA 2x2)",
+            ["tx m", "server %", "mean ms", "peer-tier ms", "server-tier ms"],
+            rows,
+        ),
+    )
+    # Server round trips dominate: a peer answer is much cheaper.
+    for _, _, _, peer_ms, server_ms in rows:
+        if peer_ms > 0.0 and server_ms > 0.0:
+            assert peer_ms < server_ms / 3.0
+    # Wider radios push queries to the cheap tier: mean latency falls.
+    assert rows[-1][2] < rows[0][2]

@@ -1,0 +1,107 @@
+"""Head-to-head: unverified adoption vs SENN's verified sharing.
+
+The contribution the paper claims over plain cooperative caching is the
+local *verification* of peer results.  This bench quantifies both sides:
+naive adoption of the nearest peer's cached answer saves more server
+queries than SENN, but a measurable fraction of its answers is simply
+wrong; SENN's are exact by construction.
+"""
+
+import numpy as np
+
+from repro.core.cache import CachedQueryResult
+from repro.core.naive_sharing import (
+    AccuracyReport,
+    evaluate_accuracy,
+    naive_share_query,
+)
+from repro.core.senn import ResolutionTier, SennConfig, senn_query
+from repro.core.server import SpatialDatabaseServer
+from repro.experiments.runner import format_table
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult
+
+
+def run_comparison(quality, seed=0):
+    rng = np.random.default_rng(seed)
+    queries = 150 if quality.value == "fast" else 600
+    extent = 10.0
+    pois = [
+        (Point(float(x), float(y)), f"poi-{i}")
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, extent, 60), rng.uniform(0, extent, 60))
+        )
+    ]
+    server_naive = SpatialDatabaseServer.from_points(pois)
+    server_senn = SpatialDatabaseServer.from_points(pois)
+    k = 3
+
+    def knn_cache(location, size):
+        ordered = sorted(
+            (location.distance_to(p), i, p) for i, (p, _) in enumerate(pois)
+        )
+        return CachedQueryResult(
+            location,
+            tuple(NeighborResult(p, pois[i][1], d) for d, i, p in ordered[:size]),
+        )
+
+    naive_report = AccuracyReport()
+    senn_report = AccuracyReport()
+    naive_server_queries = 0
+    senn_server_queries = 0
+    for _ in range(queries):
+        q = Point(float(rng.uniform(1, 9)), float(rng.uniform(1, 9)))
+        peer_loc = Point(
+            q.x + float(rng.uniform(-0.6, 0.6)), q.y + float(rng.uniform(-0.6, 0.6))
+        )
+        cache = knn_cache(peer_loc, 6)
+        truth = sorted(((q.distance_to(p), payload) for p, payload in pois))[:k]
+
+        naive = naive_share_query(
+            q, k, [cache], adoption_radius=1.0, server=server_naive
+        )
+        if naive.tier is ResolutionTier.SERVER:
+            naive_server_queries += 1
+        evaluate_accuracy(naive.neighbors, truth, naive_report)
+
+        senn = senn_query(q, k, None, [cache], SennConfig(k=k), server=server_senn)
+        if senn.tier is ResolutionTier.SERVER:
+            senn_server_queries += 1
+        evaluate_accuracy(senn.neighbors[:k], truth, senn_report)
+
+    rows = [
+        (
+            "naive adoption",
+            100.0 * naive_server_queries / queries,
+            100.0 * naive_report.exact_ratio,
+            naive_report.mean_distance_error,
+        ),
+        (
+            "SENN (verified)",
+            100.0 * senn_server_queries / queries,
+            100.0 * senn_report.exact_ratio,
+            senn_report.mean_distance_error,
+        ),
+    ]
+    return rows
+
+
+def test_naive_vs_verified_sharing(benchmark, quality, record_result):
+    rows = benchmark.pedantic(
+        run_comparison, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result(
+        "naive_vs_verified",
+        format_table(
+            "Unverified adoption vs verified sharing (k=3, one peer/query)",
+            ["strategy", "server %", "exact answers %", "kth-dist error"],
+            rows,
+        ),
+    )
+    naive, senn = rows
+    # SENN is always exact; naive adoption is measurably wrong sometimes.
+    assert senn[2] == 100.0
+    assert naive[2] < 100.0
+    assert naive[3] > 0.0
+    # The price of correctness: SENN escalates more queries.
+    assert senn[1] >= naive[1]

@@ -1,0 +1,60 @@
+"""Future-work experiment: sharing-based range queries (Section 5).
+
+No paper figure exists; this bench runs the LA 2x2 configuration with a
+range-query workload at several radii and reports the SQRR breakdown.
+Expected shape: small radii are covered by cached certain circles and
+stay off the server; larger radii exceed what peers can certify and the
+server share climbs back up.
+"""
+
+import dataclasses
+
+from repro.experiments.runner import format_table, run_one
+from repro.sim.config import los_angeles_2x2
+
+
+def run_range_sweep(quality, seed=0):
+    duration = 900.0 if quality.value == "fast" else 3600.0
+    radii = [0.1, 0.25, 0.5, 0.9]
+    rows = []
+    for radius in radii:
+        metrics = run_one(
+            los_angeles_2x2(),
+            seed=seed,
+            t_execution_s=duration,
+            config_overrides={
+                "range_query_fraction": 1.0,
+                "range_radius_miles": radius,
+            },
+        )
+        shares = metrics.percentages()
+        rows.append(
+            (
+                radius,
+                shares["server"],
+                shares["single_peer"],
+                shares["multi_peer"],
+            )
+        )
+    return rows
+
+
+def test_range_query_sharing(benchmark, quality, record_result):
+    rows = benchmark.pedantic(
+        run_range_sweep, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    record_result(
+        "range_queries",
+        format_table(
+            "Sharing-based range queries (LA 2x2, 100% range workload)",
+            ["radius mi", "server %", "single %", "multi %"],
+            rows,
+        ),
+    )
+    servers = [row[1] for row in rows]
+    # Small radii must be heavily peer-answered; the largest radius must
+    # lean more on the server than the smallest.
+    assert servers[0] < 70.0
+    assert servers[-1] > servers[0]
+    # Peer sharing happens at all for the mid radii.
+    assert any(row[2] + row[3] > 5.0 for row in rows)

@@ -1,0 +1,27 @@
+"""Section 3.4: SNNN correctness and cost on a road network.
+
+No paper figure exists for SNNN; this bench validates Algorithm 2
+against the INE oracle (zero mismatches) and reports per-query cost and
+where the Euclidean candidates came from.
+"""
+
+from repro.experiments import figures
+from repro.experiments.runner import format_table
+
+
+def test_snnn_cost_study(benchmark, quality, record_result):
+    results = benchmark.pedantic(
+        figures.snnn_cost_study, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    rows = [(key, value) for key, value in results.items()]
+    record_result(
+        "snnn_study",
+        format_table("SNNN vs INE oracle (road network, k=3)", ["metric", "value"], rows),
+    )
+    assert results["mismatches"] == 0.0
+    assert results["snnn_ms_per_query"] > 0.0
+    assert (
+        results["mean_candidates_from_peers"]
+        + results["mean_candidates_from_server"]
+        >= 3.0
+    )

@@ -1,0 +1,53 @@
+"""Methodology check: "recorded after the system reached steady state".
+
+Traces a full LA 2x2 run from its cold start and reports the server
+share per time bucket.  Expected shape: near-100 % in the first bucket
+(cold caches) and a settled, much lower plateau afterwards -- which
+justifies the warm-up fraction the other benchmarks discard.
+"""
+
+from repro.experiments.runner import format_table
+from repro.sim.config import SimulationConfig, los_angeles_2x2
+from repro.sim.simulation import Simulation
+
+
+def run_steady_state_trace(quality, seed=0):
+    duration = 1200.0 if quality.value == "fast" else 3600.0
+    config = SimulationConfig(
+        parameters=los_angeles_2x2(),
+        t_execution_s=duration,
+        seed=seed,
+        record_trace=True,
+    )
+    sim = Simulation(config)
+    sim.run()
+    return sim.trace.steady_state_report(bucket_seconds=duration / 8.0)
+
+
+def test_steady_state_convergence(benchmark, quality, record_result):
+    report = benchmark.pedantic(
+        run_steady_state_trace, kwargs={"quality": quality}, rounds=1, iterations=1
+    )
+    rows = [
+        (start, 100.0 * share, count)
+        for start, share, count in zip(
+            report.bucket_starts, report.server_shares, report.query_counts
+        )
+    ]
+    record_result(
+        "steady_state",
+        format_table(
+            "Server share over time from a cold start (LA 2x2)",
+            ["bucket start s", "server %", "queries"],
+            rows,
+        ),
+    )
+    # Cold start is server-heavy; the plateau is far below it.  (The
+    # very first queries all hit the server, but the opening bucket
+    # already averages in the fast cache-filling phase.)
+    assert report.server_shares[0] > 0.55
+    assert report.server_shares[-1] < report.server_shares[0] - 0.15
+    # The system settles within the horizon.
+    settled = report.settled_after(tolerance=0.15)
+    assert settled is not None
+    assert settled < report.bucket_starts[-1]

@@ -1,0 +1,64 @@
+"""Quickstart: sharing-based kNN queries between two mobile hosts.
+
+Builds a tiny world of gas stations, lets a first vehicle query the
+remote server (filling its cache), and shows how a second vehicle nearby
+answers the same kind of query entirely from the first one's cache --
+with the verification guarantees of Lemma 3.2.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import MobileHost, SennConfig, SpatialDatabaseServer
+from repro.geometry.point import Point
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # Sixteen gas stations in a 2x2-mile downtown area (LA density).
+    stations = [
+        (Point(float(x), float(y)), f"station-{i}")
+        for i, (x, y) in enumerate(rng.uniform(0.0, 2.0, size=(16, 2)))
+    ]
+    server = SpatialDatabaseServer.from_points(stations)
+
+    config = SennConfig(
+        k=3,  # nearest 3 stations
+        transmission_range=0.124,  # 200 m, in miles
+        cache_capacity=10,  # slots of cached NN objects
+    )
+
+    # Vehicle A queries first: the cache is cold, so the server answers.
+    vehicle_a = MobileHost(host_id=1, position=Point(1.00, 1.00), config=config)
+    result_a = vehicle_a.query_knn(peers=[], server=server)
+    print(f"vehicle A resolved via: {result_a.tier.value}")
+    for neighbor in result_a.neighbors[:3]:
+        print(f"   {neighbor.payload}  at {neighbor.distance:.3f} mi")
+
+    # Vehicle B pulls up 100 m away and asks the same question.  The
+    # cached result of A verifies locally (Lemma 3.2): no server contact.
+    vehicle_b = MobileHost(host_id=2, position=Point(1.06, 1.00), config=config)
+    result_b = vehicle_b.query_knn(peers=[vehicle_a], server=server)
+    print(f"vehicle B resolved via: {result_b.tier.value}")
+    for neighbor in result_b.neighbors:
+        print(f"   {neighbor.payload}  at {neighbor.distance:.3f} mi")
+
+    print(f"server queries served in total: {server.queries_served}")
+    assert server.queries_served == 1, "vehicle B should not have hit the server"
+
+    # The certainty guarantee: B's answers are the true 3 nearest.
+    truth = sorted(
+        (vehicle_b.position.distance_to(p), payload) for p, payload in stations
+    )[:3]
+    got = [(round(n.distance, 9), n.payload) for n in result_b.neighbors]
+    want = [(round(d, 9), payload) for d, payload in truth]
+    assert got == want, "peer-verified answers must equal the true kNN"
+    print("verified: peer-shared answers equal the true 3 nearest stations")
+
+
+if __name__ == "__main__":
+    main()

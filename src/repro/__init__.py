@@ -1,0 +1,36 @@
+"""repro -- sharing-based spatial queries in mobile environments.
+
+A from-scratch reproduction of *Location-based Spatial Queries with Data
+Sharing in Mobile Environments* (Ku, Zimmermann & Wan, ICDE 2006): the
+SENN / SNNN peer-to-peer kNN algorithms, the R*-tree server they prune,
+the road-network substrate, and the full mobility simulation used in the
+paper's evaluation.
+
+See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the full
+system inventory.
+"""
+
+from repro.core import (
+    MobileHost,
+    ResolutionTier,
+    SennConfig,
+    SpatialDatabaseServer,
+    senn_query,
+    snnn_query,
+)
+from repro.geometry import BoundingBox, Circle, Point, Polygon
+from repro.version import __version__
+
+__all__ = [
+    "BoundingBox",
+    "Circle",
+    "MobileHost",
+    "Point",
+    "Polygon",
+    "ResolutionTier",
+    "SennConfig",
+    "SpatialDatabaseServer",
+    "__version__",
+    "senn_query",
+    "snnn_query",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry point for regenerating paper artifacts.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments list
+    repro-experiments fig9 --quality fast
+    repro-experiments fig17 --quality full --seed 3
+    repro-experiments all --quality fast
+
+Figures print the same series the paper plots (see EXPERIMENTS.md for
+the paper-vs-measured comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import figures
+from repro.experiments.runner import FigureResult, Quality, format_figure, format_table
+
+__all__ = ["main"]
+
+_FIGURES: Dict[str, Callable] = {
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "fig11": figures.fig11,
+    "fig12": figures.fig12,
+    "fig13": figures.fig13,
+    "fig14": figures.fig14,
+    "fig15": figures.fig15,
+    "fig16": figures.fig16,
+    "fig17": figures.fig17,
+    "free-movement": figures.free_movement_comparison,
+    "ablation-coverage": figures.ablation_coverage_backend,
+    "ablation-rtree": figures.ablation_rtree_split,
+    "snnn-study": figures.snnn_cost_study,
+}
+
+
+def _render(name: str, result) -> str:
+    if isinstance(result, FigureResult):
+        return format_figure(result)
+    if isinstance(result, dict):
+        rows = []
+        for key, value in result.items():
+            if isinstance(value, dict):
+                rows.append((key,) + tuple(value.values()))
+            else:
+                rows.append((key, value))
+        return format_table(name, ["metric", "value(s)"], rows)
+    return str(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quality",
+        choices=["fast", "full"],
+        default="fast",
+        help="fast: benchmark-sized runs; full: paper-scale horizons",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for name, func in _FIGURES.items():
+            doc = (func.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:>18}  {doc}")
+        return 0
+
+    quality = Quality.FULL if args.quality == "full" else Quality.FAST
+    targets = list(_FIGURES) if args.experiment == "all" else [args.experiment]
+    unknown = [t for t in targets if t not in _FIGURES]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(try 'repro-experiments list')"
+        )
+
+    for name in targets:
+        started = time.perf_counter()
+        result = _FIGURES[name](quality=quality, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print(_render(name, result))
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

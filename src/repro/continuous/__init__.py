@@ -1,0 +1,34 @@
+"""Continuous nearest-neighbor queries for moving query points (k-NNMP).
+
+Section 2 of the paper surveys the moving-query-point techniques its
+sharing scheme competes with; this package implements them as runnable
+baselines:
+
+- :mod:`repro.continuous.trajectory` -- polyline trajectories with exact
+  arc-length parameterization;
+- :mod:`repro.continuous.multistep` -- the naive multi-step search
+  (re-query the server at every sampled position) and the bounded
+  reuse of Song & Roussopoulos [18]: over-fetch ``m > k`` neighbors and
+  answer locally while the moved distance stays within the safe radius
+  ``(d_m - d_k) / 2``;
+- :mod:`repro.continuous.splitpoints` -- Tao, Papadias & Shen's [19]
+  split-point computation: the exact piecewise-constant 1NN answer along
+  a line segment, found by walking bisector crossings.
+"""
+
+from repro.continuous.multistep import (
+    MultistepResult,
+    bounded_multistep_knn,
+    naive_multistep_knn,
+)
+from repro.continuous.splitpoints import SplitInterval, continuous_nearest_segment
+from repro.continuous.trajectory import Trajectory
+
+__all__ = [
+    "MultistepResult",
+    "SplitInterval",
+    "Trajectory",
+    "bounded_multistep_knn",
+    "continuous_nearest_segment",
+    "naive_multistep_knn",
+]

@@ -1,0 +1,114 @@
+"""Multi-step kNN search for a moving query point.
+
+Two strategies from the paper's related work (Section 2):
+
+- :func:`naive_multistep_knn` -- "continuously issue kNN queries along
+  the route of a moving object": one server query per sampled position.
+  The paper calls this out as inefficient; it is the baseline.
+- :func:`bounded_multistep_knn` -- Song & Roussopoulos [18]: fetch
+  ``m > k`` neighbors at an anchor position and keep answering locally
+  while the query point stays within the *safe radius*
+  ``(d_m - d_k) / 2`` of the anchor, where ``d_i`` is the distance of
+  the i-th fetched neighbor from the anchor.  Inside that radius every
+  un-fetched POI is provably farther than at least ``k`` fetched ones,
+  so re-ranking the fetched set yields the exact kNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult
+from repro.core.server import SpatialDatabaseServer
+
+__all__ = ["MultistepResult", "naive_multistep_knn", "bounded_multistep_knn"]
+
+
+@dataclass
+class MultistepResult:
+    """Per-position answers plus the server cost of producing them."""
+
+    per_point: List[List[NeighborResult]]
+    server_queries: int
+    server_pages: int
+
+    @property
+    def positions(self) -> int:
+        return len(self.per_point)
+
+
+def naive_multistep_knn(
+    server: SpatialDatabaseServer,
+    positions: Sequence[Point],
+    k: int,
+) -> MultistepResult:
+    """One full server kNN query per position."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    answers: List[List[NeighborResult]] = []
+    pages = 0
+    for position in positions:
+        answers.append(server.knn_query(position, k))
+        breakdown = server.last_query_breakdown()
+        pages += breakdown.total if breakdown else 0
+    return MultistepResult(answers, server_queries=len(positions), server_pages=pages)
+
+
+def bounded_multistep_knn(
+    server: SpatialDatabaseServer,
+    positions: Sequence[Point],
+    k: int,
+    fetch_count: Optional[int] = None,
+) -> MultistepResult:
+    """Song-Roussopoulos reuse: re-fetch only outside the safe radius.
+
+    ``fetch_count`` is the over-fetch ``m`` (defaults to ``2k``, at
+    least ``k + 1``).  Correctness: between refetches, every reported
+    set is re-ranked from the anchor's ``m`` candidates, valid because
+    the moved distance never exceeds ``(d_m - d_k) / 2``.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    m = max(k + 1, 2 * k) if fetch_count is None else fetch_count
+    if m <= k:
+        raise ValueError("fetch_count must exceed k")
+
+    answers: List[List[NeighborResult]] = []
+    anchor: Optional[Point] = None
+    fetched: List[NeighborResult] = []
+    safe_radius = 0.0
+    server_queries = 0
+    pages = 0
+
+    for position in positions:
+        need_fetch = anchor is None or position.distance_to(anchor) > safe_radius
+        if need_fetch:
+            fetched = server.knn_query(position, m)
+            breakdown = server.last_query_breakdown()
+            pages += breakdown.total if breakdown else 0
+            server_queries += 1
+            anchor = position
+            if len(fetched) == m:
+                safe_radius = (fetched[-1].distance - fetched[k - 1].distance) / 2.0
+            else:
+                # Fewer than m POIs exist: the fetched set is the whole
+                # database and stays valid everywhere.
+                safe_radius = float("inf")
+        answers.append(_rerank(fetched, position, k))
+    return MultistepResult(answers, server_queries=server_queries, server_pages=pages)
+
+
+def _rerank(
+    candidates: Sequence[NeighborResult], position: Point, k: int
+) -> List[NeighborResult]:
+    """Exact kNN at ``position`` among the fetched candidates."""
+    rescored = sorted(
+        (
+            NeighborResult(c.point, c.payload, position.distance_to(c.point))
+            for c in candidates
+        ),
+        key=lambda r: r.distance,
+    )
+    return rescored[:k]

@@ -1,0 +1,79 @@
+"""Polyline trajectories with exact arc-length parameterization.
+
+Continuous-query algorithms need to sample and parameterize the path of
+a moving object.  :class:`Trajectory` wraps an ordered list of waypoints
+and answers "where am I after driving ``s`` units?" exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry.point import Point
+
+__all__ = ["Trajectory"]
+
+
+class Trajectory:
+    """An immutable polyline through two or more waypoints."""
+
+    def __init__(self, waypoints: Sequence[Point]) -> None:
+        if len(waypoints) < 2:
+            raise ValueError("a trajectory needs at least two waypoints")
+        self._waypoints: Tuple[Point, ...] = tuple(waypoints)
+        self._cumulative: List[float] = [0.0]
+        for a, b in zip(self._waypoints, self._waypoints[1:]):
+            step = a.distance_to(b)
+            if step == 0.0:
+                raise ValueError("consecutive duplicate waypoints are not allowed")
+            self._cumulative.append(self._cumulative[-1] + step)
+
+    @property
+    def waypoints(self) -> Tuple[Point, ...]:
+        return self._waypoints
+
+    @property
+    def length(self) -> float:
+        """Total arc length."""
+        return self._cumulative[-1]
+
+    def point_at(self, distance: float) -> Point:
+        """Position after driving ``distance`` from the start (clamped)."""
+        if distance <= 0.0:
+            return self._waypoints[0]
+        if distance >= self.length:
+            return self._waypoints[-1]
+        # Binary search for the containing leg.
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] <= distance:
+                lo = mid
+            else:
+                hi = mid
+        leg_start = self._waypoints[lo]
+        leg_end = self._waypoints[lo + 1]
+        into_leg = distance - self._cumulative[lo]
+        return leg_start.towards(leg_end, into_leg)
+
+    def sample(self, interval: float) -> List[Point]:
+        """Points every ``interval`` of arc length, endpoints included."""
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        distances = []
+        s = 0.0
+        while s < self.length:
+            distances.append(s)
+            s += interval
+        distances.append(self.length)
+        return [self.point_at(d) for d in distances]
+
+    def segments(self) -> List[Tuple[Point, Point]]:
+        """The polyline legs as ``(start, end)`` pairs."""
+        return list(zip(self._waypoints, self._waypoints[1:]))
+
+    def __repr__(self) -> str:
+        return (
+            f"Trajectory({len(self._waypoints)} waypoints, "
+            f"length={self.length:.4g})"
+        )

@@ -1,0 +1,154 @@
+"""Per-host cached NN query results (Section 4.1's cache policies).
+
+Each mobile host manages its local cache with two policies:
+
+1. it stores only the query location and all *certain* nearest neighbors
+   of its most recent query;
+2. when a query must go to the server it asks for as many NNs as the
+   cache capacity allows, so the cached certain circle is as large as
+   possible.
+
+A :class:`CachedQueryResult` is what peers exchange: the query location
+``P``, the ordered certain neighbors, and the derived *certain circle*
+(center ``P``, radius ``Dist(P, n_k)``) -- the region within which the
+peer provably knows every POI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult
+
+__all__ = ["CachedQueryResult", "QueryCache"]
+
+
+@dataclass(frozen=True)
+class CachedQueryResult:
+    """An immutable snapshot of one cached query result.
+
+    ``neighbors`` are certain NNs of ``query_location`` in ascending
+    distance order; invalid orderings are rejected because every
+    verification lemma depends on ``Dist(P, n_k)`` being the maximum.
+
+    ``known_radius`` widens the certain circle beyond the farthest
+    neighbor: a cached *range* result of radius ``r`` proves knowledge of
+    the whole disk, including the empty part beyond the last POI.  For
+    kNN results it stays ``None`` and the classic ``Dist(P, n_k)``
+    radius applies.
+    """
+
+    query_location: Point
+    neighbors: Tuple[NeighborResult, ...]
+    timestamp: float = 0.0
+    known_radius: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        distances = [n.distance for n in self.neighbors]
+        if any(b < a - 1e-9 for a, b in zip(distances, distances[1:])):
+            raise ValueError("cached neighbors must be in ascending distance order")
+        if self.known_radius is not None:
+            if self.known_radius < 0.0:
+                raise ValueError("known_radius must be non-negative")
+            if distances and self.known_radius < distances[-1] - 1e-9:
+                raise ValueError(
+                    "known_radius cannot be smaller than the farthest neighbor"
+                )
+
+    @property
+    def k(self) -> int:
+        return len(self.neighbors)
+
+    def is_empty(self) -> bool:
+        """True when the cache certifies nothing (no POIs and no radius)."""
+        return not self.neighbors and not self.known_radius
+
+    @property
+    def certain_radius(self) -> float:
+        """Radius of the certain circle around ``query_location``."""
+        if self.known_radius is not None:
+            return self.known_radius
+        return self.neighbors[-1].distance if self.neighbors else 0.0
+
+    def certain_circle(self) -> Circle:
+        """The peer's certain circle (Lemma 3.8's ``P_area``)."""
+        return Circle(self.query_location, self.certain_radius)
+
+
+class QueryCache:
+    """A host's local result cache.
+
+    ``capacity`` bounds how many NN objects are stored per entry
+    (``C_size`` in Tables 3-4).  The paper's policy 1 keeps only the most
+    recent query's result (``history=1``, the default); ``history > 1``
+    is this repository's extension that retains the last N results, each
+    with its own query location and certain circle -- peers then receive
+    several circles from one host, widening the merged certain region.
+    """
+
+    def __init__(self, capacity: int, history: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        if history < 1:
+            raise ValueError("history must be at least 1")
+        self.capacity = capacity
+        self.history = history
+        self._entries: List[CachedQueryResult] = []
+        self.store_count = 0
+
+    def store(
+        self,
+        query_location: Point,
+        neighbors: Sequence[NeighborResult],
+        timestamp: float = 0.0,
+        known_radius: Optional[float] = None,
+    ) -> CachedQueryResult:
+        """Replace the cache with the certain results of the newest query.
+
+        Only the nearest ``capacity`` neighbors are retained; because the
+        retained set is a distance-prefix, the certain-circle semantics
+        stay exact.  ``known_radius`` records range-query knowledge -- it
+        must be dropped if truncation removed neighbors, since the disk
+        is then no longer fully known.
+        """
+        ordered = sorted(neighbors, key=lambda n: n.distance)
+        truncated = len(ordered) > self.capacity
+        ordered = ordered[: self.capacity]
+        radius = None if truncated else known_radius
+        entry = CachedQueryResult(query_location, tuple(ordered), timestamp, radius)
+        self._entries.append(entry)
+        if len(self._entries) > self.history:
+            self._entries.pop(0)
+        self.store_count += 1
+        return entry
+
+    def get(self) -> Optional[CachedQueryResult]:
+        """The most recent cached result, or ``None`` when cold."""
+        return self._entries[-1] if self._entries else None
+
+    def snapshots(self) -> List[CachedQueryResult]:
+        """All retained results, newest first (what peers receive)."""
+        return list(reversed(self._entries))
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def is_empty(self) -> bool:
+        return all(entry.is_empty() for entry in self._entries) if self._entries else True
+
+    def tuple_count(self) -> int:
+        """Number of cached NN tuples (the P2P transfer size proxy)."""
+        return sum(entry.k for entry in self._entries)
+
+    def __repr__(self) -> str:
+        latest = self.get()
+        if latest is None:
+            return f"QueryCache(capacity={self.capacity}, empty)"
+        return (
+            f"QueryCache(capacity={self.capacity}, history={self.history}, "
+            f"entries={len(self._entries)}, latest_k={latest.k}, "
+            f"radius={latest.certain_radius:.4g})"
+        )

@@ -1,0 +1,227 @@
+"""The candidate heap ``H`` of Section 3.2.1 (Table 1).
+
+``H`` collects the points of interest discovered while processing peer
+caches.  Entries are *certain* (guaranteed members of the true kNN set,
+Lemma 3.2 / 3.8) or *uncertain*.  The paper's maintenance rules:
+
+- the size of ``H`` is bounded by the number of queried neighbors ``k``;
+- certain entries are kept in ascending distance order, uncertain entries
+  likewise after them;
+- a newly discovered certain object replaces an uncertain one when the
+  heap is full;
+- uncertain objects exist only while fewer than ``k`` certain objects are
+  known.
+
+A sound verifier gives the heap a stronger structural invariant: any POI
+closer to ``Q`` than a certified POI is itself certifiable (its disk is a
+subset of the certified one's), so every certain entry precedes every
+uncertain entry in distance order.  The class asserts nothing about how
+entries were produced, but the property tests in
+``tests/test_core_heap.py`` verify the invariant end-to-end.
+
+After verification the heap is in one of six states (Section 3.3) --
+or :attr:`HeapState.COMPLETE` when all ``k`` certain neighbors were found.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.geometry.point import Point
+
+__all__ = ["CandidateHeap", "HeapEntry", "HeapState"]
+
+
+class HeapState(enum.Enum):
+    """The heap states of Section 3.3 plus the success state."""
+
+    COMPLETE = "complete"  # k certain entries: query fulfilled by peers
+    FULL_MIXED = "state-1"  # full, certain + uncertain
+    FULL_UNCERTAIN = "state-2"  # full, only uncertain
+    PARTIAL_MIXED = "state-3"  # not full, certain + uncertain
+    PARTIAL_CERTAIN = "state-4"  # not full, only certain
+    PARTIAL_UNCERTAIN = "state-5"  # not full, only uncertain
+    EMPTY = "state-6"  # no entries
+
+
+@dataclass(frozen=True, slots=True)
+class HeapEntry:
+    """One candidate POI with its distance to the query point."""
+
+    point: Point
+    payload: Any
+    distance: float
+    certain: bool
+
+    def key(self) -> Tuple[float, float, Any]:
+        return (self.point.x, self.point.y, _hashable(self.payload))
+
+
+class CandidateHeap:
+    """The bounded candidate structure ``H``.
+
+    ``capacity`` is the query's ``k``.  Duplicate POIs (the same object
+    reported by several peers) are merged, upgrading uncertain entries to
+    certain when any report certifies them.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("heap capacity (k) must be at least 1")
+        self.capacity = capacity
+        self._certain: List[HeapEntry] = []
+        self._uncertain: List[HeapEntry] = []
+        self._index: Dict[Tuple[float, float, Any], HeapEntry] = {}
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def add(self, point: Point, payload: Any, distance: float, certain: bool) -> bool:
+        """Offer a candidate; returns True when it is (now) stored.
+
+        Re-offering a stored POI as certain upgrades it; re-offering as
+        uncertain is a no-op.
+        """
+        if distance < 0.0:
+            raise ValueError("distance must be non-negative")
+        entry = HeapEntry(point, payload, distance, certain)
+        key = entry.key()
+        existing = self._index.get(key)
+        if existing is not None:
+            if certain and not existing.certain:
+                self._remove(existing)
+                return self._insert(entry)
+            return True
+        return self._insert(entry)
+
+    def _insert(self, entry: HeapEntry) -> bool:
+        if entry.certain:
+            self._insort(self._certain, entry)
+            self._index[entry.key()] = entry
+            self._shrink_to_capacity()
+            return entry.key() in self._index
+        # Uncertain entries are only admitted while certain slots remain
+        # unfilled and the heap has room (possibly by displacing a farther
+        # uncertain entry).
+        if len(self._certain) >= self.capacity:
+            return False
+        if len(self) < self.capacity:
+            self._insort(self._uncertain, entry)
+            self._index[entry.key()] = entry
+            return True
+        worst = self._uncertain[-1] if self._uncertain else None
+        if worst is not None and entry.distance < worst.distance:
+            self._remove(worst)
+            self._insort(self._uncertain, entry)
+            self._index[entry.key()] = entry
+            return True
+        return False
+
+    def _shrink_to_capacity(self) -> None:
+        while len(self) > self.capacity:
+            if self._uncertain:
+                self._remove(self._uncertain[-1])
+            else:
+                self._remove(self._certain[-1])
+
+    def _remove(self, entry: HeapEntry) -> None:
+        bucket = self._certain if entry.certain else self._uncertain
+        bucket.remove(entry)
+        del self._index[entry.key()]
+
+    @staticmethod
+    def _insort(bucket: List[HeapEntry], entry: HeapEntry) -> None:
+        index = bisect.bisect_right([e.distance for e in bucket], entry.distance)
+        bucket.insert(index, entry)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._certain) + len(self._uncertain)
+
+    def __contains__(self, key: Tuple[float, float, Any]) -> bool:
+        return key in self._index
+
+    @property
+    def certain_count(self) -> int:
+        return len(self._certain)
+
+    @property
+    def uncertain_count(self) -> int:
+        return len(self._uncertain)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) >= self.capacity
+
+    def is_complete(self) -> bool:
+        """True when the kNN query is fulfilled by certain entries alone."""
+        return len(self._certain) >= self.capacity
+
+    def is_certain(self, point: Point, payload: Any) -> bool:
+        """True when this POI is stored as a certain entry."""
+        entry = self._index.get((point.x, point.y, _hashable(payload)))
+        return entry is not None and entry.certain
+
+    def certain_entries(self) -> List[HeapEntry]:
+        """Certain entries in ascending distance order."""
+        return list(self._certain)
+
+    def entries(self) -> List[HeapEntry]:
+        """All entries: certain first, then uncertain (Table 1 layout)."""
+        return list(self._certain) + list(self._uncertain)
+
+    def last_certain_distance(self) -> Optional[float]:
+        """``D_ct``: the distance of the last certain entry, if any."""
+        return self._certain[-1].distance if self._certain else None
+
+    def last_entry_distance(self) -> Optional[float]:
+        """Distance of the last entry in Table 1 order, if any."""
+        if self._uncertain:
+            return self._uncertain[-1].distance
+        if self._certain:
+            return self._certain[-1].distance
+        return None
+
+    def max_distance(self) -> Optional[float]:
+        """Largest distance over all entries (certain or not)."""
+        candidates = []
+        if self._certain:
+            candidates.append(self._certain[-1].distance)
+        if self._uncertain:
+            candidates.append(self._uncertain[-1].distance)
+        return max(candidates) if candidates else None
+
+    def state(self) -> HeapState:
+        """Classify the heap per Section 3.3."""
+        if self.is_complete():
+            return HeapState.COMPLETE
+        has_certain = bool(self._certain)
+        has_uncertain = bool(self._uncertain)
+        if self.is_full:
+            return HeapState.FULL_MIXED if has_certain else HeapState.FULL_UNCERTAIN
+        if has_certain and has_uncertain:
+            return HeapState.PARTIAL_MIXED
+        if has_certain:
+            return HeapState.PARTIAL_CERTAIN
+        if has_uncertain:
+            return HeapState.PARTIAL_UNCERTAIN
+        return HeapState.EMPTY
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidateHeap(k={self.capacity}, certain={self.certain_count}, "
+            f"uncertain={self.uncertain_count}, state={self.state().value})"
+        )
+
+
+def _hashable(payload: Any) -> Any:
+    try:
+        hash(payload)
+    except TypeError:
+        return id(payload)
+    return payload

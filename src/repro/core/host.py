@@ -1,0 +1,239 @@
+"""The mobile host: position, cache, and the query pipeline.
+
+A :class:`MobileHost` owns a GPS position, a local result cache and a
+:class:`~repro.core.senn.SennConfig`.  Issuing a query:
+
+1. discovers peers within the wireless transmission range;
+2. collects their cache snapshots over the ad-hoc channel;
+3. runs SENN (or SNNN in road-network mode);
+4. falls back to the server with pruning bounds when peers cannot
+   certify ``k`` neighbors, over-fetching to fill the cache (policy 2);
+5. stores the certain result in its own cache for future peers.
+
+Hosts also keep per-tier resolution counters, which the simulator
+aggregates into the SQRR statistics of Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.geometry.point import Point
+from repro.network.graph import SpatialNetwork
+from repro.core.cache import CachedQueryResult, QueryCache
+from repro.core.senn import ResolutionTier, SennConfig, SennResult, senn_query
+from repro.core.server import SpatialDatabaseServer
+from repro.core.snnn import SnnnResult, snnn_query
+
+__all__ = ["MobileHost"]
+
+
+class MobileHost:
+    """One mobile client (a vehicle in the paper's setting)."""
+
+    def __init__(
+        self,
+        host_id: int,
+        position: Point,
+        config: SennConfig,
+    ) -> None:
+        self.host_id = host_id
+        self.position = position
+        self.config = config
+        self.cache = QueryCache(config.cache_capacity, history=config.cache_history)
+        self.queries_issued = 0
+        self.resolution_counts: Dict[ResolutionTier, int] = {
+            tier: 0 for tier in ResolutionTier
+        }
+        # P2P communication accounting (the overhead side of the paper's
+        # trade-off): probes sent over the ad-hoc channel, cache
+        # snapshots received, and NN tuples transferred.
+        self.peer_probes_sent = 0
+        self.peer_caches_received = 0
+        self.tuples_received = 0
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def in_range_of(self, other: "MobileHost") -> bool:
+        """True when ``other`` is within this host's transmission range."""
+        return (
+            self.position.distance_to(other.position)
+            <= self.config.transmission_range
+        )
+
+    def reachable_peers(
+        self, hosts: Iterable["MobileHost"]
+    ) -> List["MobileHost"]:
+        """Hosts (excluding self) inside the communication range."""
+        return [
+            host
+            for host in hosts
+            if host is not self and self.in_range_of(host)
+        ]
+
+    def cache_snapshot(self) -> Optional[CachedQueryResult]:
+        """The newest cached result (legacy single-entry view)."""
+        return self.cache.get()
+
+    def cache_snapshots(self) -> List[CachedQueryResult]:
+        """Everything this host transmits to a querying peer."""
+        return [
+            entry for entry in self.cache.snapshots() if not entry.is_empty()
+        ]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query_knn(
+        self,
+        k: Optional[int] = None,
+        peers: Sequence["MobileHost"] = (),
+        server: Optional[SpatialDatabaseServer] = None,
+        timestamp: float = 0.0,
+    ) -> SennResult:
+        """Issue a Euclidean kNN query (SENN pipeline).
+
+        ``peers`` may be any host collection; only those within range are
+        consulted.  The certain result is cached afterwards.
+        """
+        query_k = self.config.k if k is None else k
+        peer_caches = self._collect_peer_caches(peers)
+        result = senn_query(
+            self.position,
+            query_k,
+            self.cache.get(),
+            peer_caches,
+            self.config,
+            server=server,
+            server_k=self.config.cache_capacity,
+        )
+        self._account(result.tier)
+        self._store_result(result, timestamp)
+        return result
+
+    def query_range(
+        self,
+        radius: float,
+        peers: Sequence["MobileHost"] = (),
+        server: Optional[SpatialDatabaseServer] = None,
+        timestamp: float = 0.0,
+    ):
+        """Issue a range query ("all POIs within ``radius``").
+
+        Implements the paper's Section-5 extension via
+        :func:`repro.core.range_queries.sharing_range_query`.  The result
+        is cached with the query radius as the known radius, which makes
+        it *more* shareable than a kNN result of equal size (the empty
+        part of the disk counts as knowledge).
+        """
+        from repro.core.range_queries import sharing_range_query
+
+        from repro.core.range_queries import RangeQueryResult
+        from repro.core.senn import ResolutionTier
+
+        peer_caches = self._collect_peer_caches(peers)
+        result = sharing_range_query(
+            self.position,
+            radius,
+            self.cache.get(),
+            peer_caches,
+            self.config,
+            server=None,
+        )
+        if result.tier is ResolutionTier.SERVER and server is not None:
+            # Policy-2 analogue: over-fetch a slightly larger disk so the
+            # cached certain circle can cover future nearby queries.
+            fetch_radius = radius + self.config.range_overfetch
+            fetched = server.range_query(self.position, fetch_radius)
+            pages = server.last_query_breakdown()
+            self.cache.store(
+                self.position, fetched, timestamp, known_radius=fetch_radius
+            )
+            result = RangeQueryResult(
+                [n for n in fetched if n.distance <= radius],
+                ResolutionTier.SERVER,
+                peers_consulted=result.peers_consulted,
+                server_pages=pages.total if pages else 0,
+            )
+        elif result.answered_by_peers:
+            # Even an empty disk is knowledge: cache it with the query
+            # radius (QueryCache drops the radius if it must truncate).
+            self.cache.store(
+                self.position, result.neighbors, timestamp, known_radius=radius
+            )
+        self._account(result.tier)
+        return result
+
+    def query_knn_network(
+        self,
+        network: SpatialNetwork,
+        k: Optional[int] = None,
+        peers: Sequence["MobileHost"] = (),
+        server: Optional[SpatialDatabaseServer] = None,
+        timestamp: float = 0.0,
+    ) -> SnnnResult:
+        """Issue a network-distance kNN query (SNNN pipeline)."""
+        query_k = self.config.k if k is None else k
+        peer_caches = self._collect_peer_caches(peers)
+        result = snnn_query(
+            self.position,
+            query_k,
+            network,
+            self.cache.get(),
+            peer_caches,
+            self.config,
+            server=server,
+        )
+        self._account(result.senn_result.tier)
+        self._store_result(result.senn_result, timestamp)
+        return result
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _collect_peer_caches(
+        self, peers: Sequence["MobileHost"]
+    ) -> List[CachedQueryResult]:
+        """Probe in-range peers; account the communication overhead.
+
+        With ``cache_history > 1`` the host's own older entries are also
+        returned (appended after the peers') so the verification passes
+        can use every certain circle available.
+        """
+        caches: List[CachedQueryResult] = []
+        for peer in self.reachable_peers(peers):
+            self.peer_probes_sent += 1
+            snapshots = peer.cache_snapshots()
+            if snapshots:
+                self.peer_caches_received += len(snapshots)
+                self.tuples_received += sum(entry.k for entry in snapshots)
+                caches.extend(snapshots)
+        own_history = self.cache.snapshots()[1:]  # latest goes separately
+        caches.extend(entry for entry in own_history if not entry.is_empty())
+        return caches
+
+    def _account(self, tier: ResolutionTier) -> None:
+        self.queries_issued += 1
+        self.resolution_counts[tier] += 1
+
+    def _store_result(self, result: SennResult, timestamp: float) -> None:
+        """Cache policy 1: keep the certain NNs of the most recent query."""
+        if result.tier is ResolutionTier.UNCERTAIN:
+            # Uncertain answers must not poison the cache: peers would
+            # treat the entries as certain.
+            return
+        if result.neighbors:
+            self.cache.store(self.position, result.neighbors, timestamp)
+
+    def server_share(self) -> float:
+        """Fraction of this host's queries that reached the server."""
+        if self.queries_issued == 0:
+            return 0.0
+        return self.resolution_counts[ResolutionTier.SERVER] / self.queries_issued
+
+    def __repr__(self) -> str:
+        return (
+            f"MobileHost(id={self.host_id}, pos=({self.position.x:.3g}, "
+            f"{self.position.y:.3g}), queries={self.queries_issued})"
+        )

@@ -1,0 +1,137 @@
+"""Naive (unverified) result sharing -- the strawman SENN improves on.
+
+Cooperative-caching schemes that exchange plain data items (the paper
+cites COCA [3]) have no notion of spatial certainty: a client that
+receives a nearby peer's cached kNN result can only *adopt* it and hope
+the overlap is good enough.  This module implements that strategy so the
+benchmarks can quantify the accuracy SENN's verification buys:
+
+- the client picks the peer whose cached query location is closest;
+- if that location is within ``adoption_radius``, it re-ranks the peer's
+  cached POIs by its own distance and adopts the top k -- without any
+  guarantee that closer POIs are not missing;
+- otherwise it asks the server.
+
+Adopted answers are often correct when the peer stood very close, but
+they silently degrade with distance; :func:`evaluate_accuracy` measures
+exactly how often and how badly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult
+from repro.core.cache import CachedQueryResult
+from repro.core.senn import ResolutionTier
+from repro.core.server import SpatialDatabaseServer
+
+__all__ = ["NaiveShareResult", "naive_share_query", "evaluate_accuracy"]
+
+
+@dataclass
+class NaiveShareResult:
+    """Outcome of one unverified shared query."""
+
+    neighbors: List[NeighborResult]
+    tier: ResolutionTier  # SINGLE_PEER (adopted) or SERVER
+    adopted_from_distance: Optional[float] = None
+    server_pages: int = 0
+
+
+def naive_share_query(
+    query: Point,
+    k: int,
+    peer_caches: Sequence[CachedQueryResult],
+    adoption_radius: float,
+    server: Optional[SpatialDatabaseServer] = None,
+) -> NaiveShareResult:
+    """Adopt the closest peer's cached result, or fall back to the server.
+
+    No verification is performed: the answer may miss POIs the peer never
+    cached.  ``adoption_radius`` is the policy knob -- how far away a
+    peer's query location may be and still be trusted.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if adoption_radius < 0.0:
+        raise ValueError("adoption_radius must be non-negative")
+
+    usable = [
+        cache
+        for cache in peer_caches
+        if not cache.is_empty() and len(cache.neighbors) >= 1
+    ]
+    if usable:
+        closest = min(
+            usable, key=lambda cache: query.distance_to(cache.query_location)
+        )
+        separation = query.distance_to(closest.query_location)
+        if separation <= adoption_radius:
+            reranked = sorted(
+                (
+                    NeighborResult(n.point, n.payload, query.distance_to(n.point))
+                    for n in closest.neighbors
+                ),
+                key=lambda n: n.distance,
+            )[:k]
+            return NaiveShareResult(
+                reranked,
+                ResolutionTier.SINGLE_PEER,
+                adopted_from_distance=separation,
+            )
+
+    if server is None:
+        return NaiveShareResult([], ResolutionTier.SERVER)
+    results = server.knn_query(query, k)
+    breakdown = server.last_query_breakdown()
+    return NaiveShareResult(
+        results,
+        ResolutionTier.SERVER,
+        server_pages=breakdown.total if breakdown else 0,
+    )
+
+
+@dataclass
+class AccuracyReport:
+    """How an answer set compares to the exact kNN."""
+
+    exact_sets: int = 0  # answers equal to the true kNN set
+    total: int = 0
+    missing_neighbors: int = 0  # true NNs absent across all answers
+    distance_error_sum: float = 0.0  # sum of relative k-th-distance error
+
+    @property
+    def exact_ratio(self) -> float:
+        return self.exact_sets / self.total if self.total else 1.0
+
+    @property
+    def mean_distance_error(self) -> float:
+        return self.distance_error_sum / self.total if self.total else 0.0
+
+
+def evaluate_accuracy(
+    answer: Sequence[NeighborResult],
+    truth: Sequence[Tuple[float, object]],
+    report: AccuracyReport,
+) -> None:
+    """Accumulate one answer's accuracy against the true kNN.
+
+    ``truth`` is ``[(distance, payload), ...]`` ascending.  Exactness is
+    judged on payload sets; the distance error compares the answer's
+    k-th distance to the true k-th distance (0 when exact).
+    """
+    report.total += 1
+    true_payloads = {payload for _, payload in truth}
+    got_payloads = {n.payload for n in answer}
+    missing = len(true_payloads - got_payloads)
+    report.missing_neighbors += missing
+    if missing == 0 and len(got_payloads) == len(true_payloads):
+        report.exact_sets += 1
+    if truth and answer:
+        true_kth = truth[-1][0]
+        got_kth = answer[-1].distance
+        if true_kth > 0.0:
+            report.distance_error_sum += max(0.0, got_kth - true_kth) / true_kth

@@ -1,0 +1,195 @@
+"""Sharing-based range queries (the paper's Section 5 future work).
+
+The paper closes with "we plan to extend our work to investigate other
+types of spatial queries, such as range ... searches".  The certain-circle
+machinery extends naturally:
+
+- a peer that executed a query at ``P`` knows *every* POI within its
+  certain circle -- for a kNN cache that radius is ``Dist(P, n_k)``, for
+  a cached range result it is the query radius itself (knowing that a
+  region is empty is knowledge too);
+- a range query "all POIs within ``r`` of ``Q``" is fully answerable
+  from peers iff the disk ``(Q, r)`` is covered by the union of peer
+  certain circles (the same Lemma 3.8 coverage test);
+- when it is covered, the answer is exact: every POI in the disk must
+  appear in some peer's cache, so filtering the collected candidates by
+  distance yields precisely the true result.
+
+Uncovered queries fall back to the server's R-tree range search; there
+is no partial-pruning analogue of EINN here because range results have
+no ranking to bound, but the server still skips shipping records the
+client can already prove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.circle import Circle
+from repro.geometry.coverage import CertainRegion
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult
+from repro.core.cache import CachedQueryResult
+from repro.core.senn import ResolutionTier, SennConfig
+from repro.core.server import SpatialDatabaseServer
+from repro.core.verification import collect_candidates
+
+__all__ = ["RangeQueryResult", "sharing_range_query", "sharing_window_query"]
+
+
+@dataclass
+class RangeQueryResult:
+    """Outcome of one sharing-based range query."""
+
+    neighbors: List[NeighborResult]  # within the radius, ascending distance
+    tier: ResolutionTier
+    peers_consulted: int
+    server_pages: int = 0
+
+    @property
+    def answered_by_peers(self) -> bool:
+        return self.tier in (
+            ResolutionTier.LOCAL_CACHE,
+            ResolutionTier.SINGLE_PEER,
+            ResolutionTier.MULTI_PEER,
+        )
+
+
+def sharing_range_query(
+    query: Point,
+    radius: float,
+    own_cache: Optional[CachedQueryResult],
+    peer_caches: Sequence[CachedQueryResult],
+    config: SennConfig,
+    server: Optional[SpatialDatabaseServer] = None,
+) -> RangeQueryResult:
+    """Answer "all POIs within ``radius`` of ``query``" via peer sharing.
+
+    Resolution tiers mirror SENN's: LOCAL_CACHE when the host's own cache
+    alone covers the disk, SINGLE_PEER when one peer's circle suffices,
+    MULTI_PEER when only the union covers it, SERVER otherwise.
+    """
+    if radius < 0.0:
+        raise ValueError("radius must be non-negative")
+
+    target = Circle(query, radius)
+    usable_own = own_cache is not None and not own_cache.is_empty()
+    usable_peers = [cache for cache in peer_caches if not cache.is_empty()]
+
+    # Tier 0: the host's own previous result.
+    if usable_own and own_cache.certain_circle().contains_circle(target):
+        return RangeQueryResult(
+            _answer_from_caches(query, radius, [own_cache]),
+            ResolutionTier.LOCAL_CACHE,
+            peers_consulted=0,
+        )
+
+    # Tier 1: any single peer circle covering the disk (Lemma 3.2 analogue).
+    ordered = sorted(
+        usable_peers, key=lambda cache: query.distance_to(cache.query_location)
+    )
+    for consulted, cache in enumerate(ordered, start=1):
+        if cache.certain_circle().contains_circle(target):
+            caches = ([own_cache] if usable_own else []) + ordered[:consulted]
+            return RangeQueryResult(
+                _answer_from_caches(query, radius, caches),
+                ResolutionTier.SINGLE_PEER,
+                peers_consulted=consulted,
+            )
+
+    # Tier 2: the merged certain region (Lemma 3.8 analogue).
+    all_caches = ([own_cache] if usable_own else []) + ordered
+    if all_caches:
+        region = CertainRegion(
+            method=config.coverage_method, polygon_sides=config.polygon_sides
+        )
+        for cache in all_caches:
+            region.add_circle(cache.certain_circle())
+        if region.covers_disk(target):
+            return RangeQueryResult(
+                _answer_from_caches(query, radius, all_caches),
+                ResolutionTier.MULTI_PEER,
+                peers_consulted=len(ordered),
+            )
+
+    # Tier 3: the server.
+    if server is None:
+        return RangeQueryResult([], ResolutionTier.SERVER, len(ordered))
+    results = server.range_query(query, radius)
+    pages = server.last_query_breakdown()
+    return RangeQueryResult(
+        results,
+        ResolutionTier.SERVER,
+        peers_consulted=len(ordered),
+        server_pages=pages.total if pages else 0,
+    )
+
+
+def _answer_from_caches(
+    query: Point, radius: float, caches: Sequence[CachedQueryResult]
+) -> List[NeighborResult]:
+    """Exact range answer from covering caches: filter candidates by radius."""
+    answer = [
+        NeighborResult(point, payload, distance)
+        for distance, point, payload in collect_candidates(query, caches)
+        if distance <= radius
+    ]
+    return answer
+
+
+def sharing_window_query(
+    window: BoundingBox,
+    own_cache: Optional[CachedQueryResult],
+    peer_caches: Sequence[CachedQueryResult],
+    config: SennConfig,
+    server: Optional[SpatialDatabaseServer] = None,
+) -> RangeQueryResult:
+    """Answer "all POIs inside ``window``" via peer sharing.
+
+    A rectangular window is fully answerable from peers iff its
+    circumscribed disk is covered by the certain region (a slightly
+    conservative reduction to the disk case: the corners of the window
+    touch the disk boundary, so coverage of the disk certainly covers
+    the window).  Distances in the result are measured from the window
+    center.
+    """
+    center = window.center
+    # The circumscribed disk's radius is the center-to-corner distance.
+    radius = center.distance_to(Point(window.max_x, window.max_y))
+    disk_result = sharing_range_query(
+        center, radius, own_cache, peer_caches, config, server=None
+    )
+    if disk_result.answered_by_peers:
+        inside = [
+            neighbor
+            for neighbor in disk_result.neighbors
+            if window.contains_point(neighbor.point)
+        ]
+        return RangeQueryResult(
+            inside, disk_result.tier, disk_result.peers_consulted
+        )
+    if server is None:
+        return RangeQueryResult(
+            [], ResolutionTier.SERVER, disk_result.peers_consulted
+        )
+    server.counter.start_query()
+    entries = server.tree.range_search(window, server.counter)
+    results = sorted(
+        (
+            NeighborResult(e.point, e.payload, center.distance_to(e.point))
+            for e in entries
+        ),
+        key=lambda r: r.distance,
+    )
+    for result in results:
+        server.counter.record_object((result.point.x, result.point.y, result.payload))
+    breakdown = server.counter.finish_query()
+    server.queries_served += 1
+    return RangeQueryResult(
+        results,
+        ResolutionTier.SERVER,
+        peers_consulted=disk_result.peers_consulted,
+        server_pages=breakdown.total,
+    )

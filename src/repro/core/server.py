@@ -1,0 +1,209 @@
+"""The remote spatial database server.
+
+The server indexes the POI set with an R*-tree (branching factor 30, as
+in Section 4.4) and answers kNN queries with one of three algorithms:
+
+- ``EINN`` -- the paper's extended best-first search with pruning bounds
+  (the default; with empty bounds it behaves exactly like INN);
+- ``INN`` -- plain best-first incremental NN;
+- ``DEPTH_FIRST`` -- the classic branch-and-bound baseline.
+
+Every query is metered through a :class:`PageAccessCounter`, optionally
+backed by an LRU :class:`BufferPool`, producing the PAR statistics of
+Section 4.4.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.index.knn import (
+    NeighborResult,
+    PruningBounds,
+    incremental_nearest,
+    k_nearest,
+    k_nearest_depth_first,
+    k_nearest_einn,
+)
+from repro.index.pagestats import AccessBreakdown, BufferPool, PageAccessCounter
+from repro.index.rtree import RTree, RTreeConfig
+
+__all__ = ["ServerAlgorithm", "SpatialDatabaseServer"]
+
+
+class ServerAlgorithm(enum.Enum):
+    """kNN algorithm executed by the server."""
+
+    EINN = "einn"
+    INN = "inn"
+    DEPTH_FIRST = "depth-first"
+
+
+class SpatialDatabaseServer:
+    """A stationary spatial database reachable over the point-to-point
+    channel.
+
+    >>> server = SpatialDatabaseServer.from_points([(Point(1, 1), "gas-1")])
+    >>> [r.payload for r in server.knn_query(Point(0, 0), 1)]
+    ['gas-1']
+    """
+
+    def __init__(
+        self,
+        tree: RTree,
+        algorithm: ServerAlgorithm = ServerAlgorithm.EINN,
+        buffer_capacity: int = 0,
+    ) -> None:
+        self.tree = tree
+        self.algorithm = algorithm
+        pool = BufferPool(buffer_capacity) if buffer_capacity > 0 else None
+        self.counter = PageAccessCounter(buffer_pool=pool)
+        self.queries_served = 0
+
+    @classmethod
+    def from_points(
+        cls,
+        items: Sequence[Tuple[Point, Any]],
+        algorithm: ServerAlgorithm = ServerAlgorithm.EINN,
+        tree_config: Optional[RTreeConfig] = None,
+        buffer_capacity: int = 0,
+        bulk: bool = True,
+    ) -> "SpatialDatabaseServer":
+        """Build a server over a static POI set.
+
+        ``bulk=True`` uses STR packing; ``bulk=False`` inserts one by one
+        (exercising the R* insertion path, useful for small dynamic sets).
+        """
+        config = tree_config if tree_config is not None else RTreeConfig()
+        if bulk:
+            tree = RTree.bulk_load(list(items), config)
+        else:
+            tree = RTree(config)
+            for point, payload in items:
+                tree.insert(point, payload)
+        return cls(tree, algorithm=algorithm, buffer_capacity=buffer_capacity)
+
+    @property
+    def poi_count(self) -> int:
+        return len(self.tree)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def knn_query(
+        self,
+        query: Point,
+        k: int,
+        bounds: PruningBounds = PruningBounds(),
+        known_certain: Sequence[NeighborResult] = (),
+        algorithm: Optional[ServerAlgorithm] = None,
+    ) -> List[NeighborResult]:
+        """Answer a kNN query, metering page accesses.
+
+        ``bounds`` and ``known_certain`` are the client's partial result
+        (Algorithm 1, line 19-20); they are honored only by EINN -- the
+        other algorithms ignore them, which is exactly the INN-vs-EINN
+        comparison of Section 4.4.
+        """
+        chosen = algorithm if algorithm is not None else self.algorithm
+        self.counter.start_query()
+        if chosen is ServerAlgorithm.EINN:
+            results = k_nearest_einn(
+                self.tree, query, k, bounds, known_certain, self.counter
+            )
+        elif chosen is ServerAlgorithm.INN:
+            results = k_nearest(self.tree, query, k, self.counter)
+        else:
+            results = k_nearest_depth_first(self.tree, query, k, self.counter)
+        self._record_shipped_objects(chosen, results, known_certain)
+        self.counter.finish_query()
+        self.queries_served += 1
+        return results
+
+    def _record_shipped_objects(
+        self,
+        algorithm: ServerAlgorithm,
+        results: Sequence[NeighborResult],
+        known_certain: Sequence[NeighborResult],
+    ) -> None:
+        """Account one data-node access per object record the server ships.
+
+        The R*-tree leaves hold object ids; materializing each result
+        record costs a page.  EINN only ships the records the client does
+        not already hold -- the "fewer objects" half of Section 4.4's
+        EINN advantage.  INN and the depth-first baseline ship everything.
+        """
+        if algorithm is ServerAlgorithm.EINN:
+            skip = {
+                (r.point.x, r.point.y, _payload_key(r.payload))
+                for r in known_certain
+            }
+        else:
+            skip = set()
+        for result in results:
+            key = (result.point.x, result.point.y, _payload_key(result.payload))
+            if key not in skip:
+                self.counter.record_object(key)
+
+    def range_query(self, center: Point, radius: float) -> List[NeighborResult]:
+        """All POIs within ``radius`` of ``center``, ascending by distance.
+
+        Uses the R-tree's circle search; page accesses and shipped result
+        records are metered like kNN queries.
+        """
+        self.counter.start_query()
+        entries = self.tree.circle_search(center, radius, self.counter)
+        results = sorted(
+            (
+                NeighborResult(e.point, e.payload, center.distance_to(e.point))
+                for e in entries
+            ),
+            key=lambda r: r.distance,
+        )
+        for result in results:
+            self.counter.record_object(
+                (result.point.x, result.point.y, _payload_key(result.payload))
+            )
+        self.counter.finish_query()
+        self.queries_served += 1
+        return results
+
+    def incremental_query(
+        self, query: Point, meter: bool = True
+    ) -> Iterator[NeighborResult]:
+        """Lazy ascending-distance neighbor stream (used by SNNN).
+
+        The stream meters accesses onto the shared counter as it is
+        consumed; callers should treat one stream as one logical query.
+        """
+        counter = self.counter if meter else None
+        return incremental_nearest(self.tree, query, counter)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def last_query_breakdown(self) -> Optional[AccessBreakdown]:
+        return self.counter.history[-1] if self.counter.history else None
+
+    def mean_page_accesses(self) -> float:
+        return self.counter.mean_per_query()
+
+    def reset_statistics(self) -> None:
+        self.counter.reset()
+        self.queries_served = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialDatabaseServer({self.poi_count} POIs, "
+            f"{self.algorithm.value}, {self.queries_served} queries served)"
+        )
+
+
+def _payload_key(payload: Any) -> Any:
+    try:
+        hash(payload)
+    except TypeError:
+        return id(payload)
+    return payload

@@ -1,0 +1,29 @@
+"""Experiment harness: parameter sweeps reproducing every table and figure.
+
+- :mod:`repro.experiments.runner` -- sweep machinery and ASCII rendering;
+- :mod:`repro.experiments.figures` -- one function per paper artifact
+  (``fig9`` ... ``fig17``, the free-movement comparison of Section 4.3,
+  Tables 3-4) plus the repo's own ablation studies.
+
+Each function returns a :class:`~repro.experiments.runner.FigureResult`
+whose series carry the same labels the paper plots; benchmarks render
+them and assert the qualitative shapes listed in DESIGN.md.
+"""
+
+from repro.experiments.runner import (
+    FigureResult,
+    Quality,
+    format_figure,
+    run_one,
+    sweep_parameter,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "FigureResult",
+    "Quality",
+    "figures",
+    "format_figure",
+    "run_one",
+    "sweep_parameter",
+]

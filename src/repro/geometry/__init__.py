@@ -1,0 +1,43 @@
+"""Pure 2-D computational geometry substrate.
+
+Everything in this package is implemented from scratch on top of the
+standard library and ``math``; there is no dependency on shapely or any
+other geometry library.  The package provides the geometric machinery the
+paper's verification lemmas need:
+
+- :mod:`repro.geometry.point` -- immutable 2-D points and distances;
+- :mod:`repro.geometry.bbox` -- axis-aligned bounding boxes with the
+  MINDIST / MAXDIST metrics used by R-tree search;
+- :mod:`repro.geometry.circle` -- circles, circle-circle intersection and
+  the angular extent of one circle's boundary covered by another disk;
+- :mod:`repro.geometry.intervals` -- algebra over angular intervals on a
+  circle boundary (union, full-circle coverage);
+- :mod:`repro.geometry.polygon` -- simple polygons, point containment,
+  segment intersection and circle polygonization;
+- :mod:`repro.geometry.coverage` -- the certain-region coverage tests used
+  by multi-peer verification (exact disk-union test and the paper's
+  polygon-overlay approximation).
+"""
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.circle import Circle
+from repro.geometry.coverage import (
+    CoverageMethod,
+    disk_covered_by_disks,
+    disk_covered_by_polygons,
+)
+from repro.geometry.intervals import AngularIntervalSet
+from repro.geometry.point import Point, distance
+from repro.geometry.polygon import Polygon
+
+__all__ = [
+    "AngularIntervalSet",
+    "BoundingBox",
+    "Circle",
+    "CoverageMethod",
+    "Point",
+    "Polygon",
+    "disk_covered_by_disks",
+    "disk_covered_by_polygons",
+    "distance",
+]

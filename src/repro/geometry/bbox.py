@@ -1,0 +1,204 @@
+"""Axis-aligned bounding boxes (minimum bounding rectangles).
+
+These are the MBRs stored in R-tree entries.  Besides the usual box
+algebra (union, intersection, containment) the class provides the three
+point-to-box metrics spatial NN search relies on:
+
+- ``mindist`` -- the MINDIST metric of Roussopoulos et al.: the smallest
+  possible distance from the query point to any object inside the box;
+- ``maxdist`` -- the largest possible distance from the query point to a
+  point of the box.  The paper's EINN algorithm (Section 3.3) prunes any
+  MBR whose MAXDIST falls below the branch-expanding *lower* bound,
+  because every object in such a box is already known to be certain;
+- ``minmaxdist`` -- the classic MINMAXDIST upper bound on the distance to
+  the nearest object guaranteed to be inside the box (provided for the
+  depth-first baseline).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.geometry.point import Point
+
+__all__ = ["BoundingBox"]
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """A closed axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                "invalid bounding box: "
+                f"({self.min_x}, {self.min_y}, {self.max_x}, {self.max_y})"
+            )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, point: Point) -> "BoundingBox":
+        """Degenerate box covering a single point."""
+        return cls(point.x, point.y, point.x, point.y)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "BoundingBox":
+        """Smallest box covering all ``points`` (must be non-empty)."""
+        iterator = iter(points)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("from_points() requires at least one point") from None
+        min_x = max_x = first.x
+        min_y = max_y = first.y
+        for point in iterator:
+            min_x = min(min_x, point.x)
+            max_x = max(max_x, point.x)
+            min_y = min(min_y, point.y)
+            max_y = max(max_y, point.y)
+        return cls(min_x, min_y, max_x, max_y)
+
+    @classmethod
+    def union_all(cls, boxes: Iterable["BoundingBox"]) -> "BoundingBox":
+        """Smallest box covering all ``boxes`` (must be non-empty)."""
+        iterator = iter(boxes)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("union_all() requires at least one box") from None
+        min_x, min_y = first.min_x, first.min_y
+        max_x, max_y = first.max_x, first.max_y
+        for box in iterator:
+            min_x = min(min_x, box.min_x)
+            min_y = min(min_y, box.min_y)
+            max_x = max(max_x, box.max_x)
+            max_y = max(max_y, box.max_y)
+        return cls(min_x, min_y, max_x, max_y)
+
+    # ------------------------------------------------------------------
+    # box algebra
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def margin(self) -> float:
+        """Half-perimeter; the R*-tree split heuristic minimizes this."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box covering both boxes."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def intersection(self, other: "BoundingBox") -> Optional["BoundingBox"]:
+        """Overlapping region, or ``None`` when the boxes are disjoint."""
+        min_x = max(self.min_x, other.min_x)
+        min_y = max(self.min_y, other.min_y)
+        max_x = min(self.max_x, other.max_x)
+        max_y = min(self.max_y, other.max_y)
+        if min_x > max_x or min_y > max_y:
+            return None
+        return BoundingBox(min_x, min_y, max_x, max_y)
+
+    def overlap_area(self, other: "BoundingBox") -> float:
+        """Area of the overlap with ``other`` (0.0 when disjoint)."""
+        overlap = self.intersection(other)
+        return 0.0 if overlap is None else overlap.area
+
+    def enlargement(self, other: "BoundingBox") -> float:
+        """Area growth needed to absorb ``other`` (R-tree ChooseSubtree)."""
+        return self.union(other).area - self.area
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True when the closed boxes share at least one point."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        """True when ``other`` lies entirely inside this box."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def contains_point(self, point: Point) -> bool:
+        """True when ``point`` lies inside or on the boundary."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    # ------------------------------------------------------------------
+    # point-to-box metrics used by NN search
+    # ------------------------------------------------------------------
+    def mindist(self, point: Point) -> float:
+        """MINDIST: distance from ``point`` to the closest point of the box."""
+        dx = max(self.min_x - point.x, 0.0, point.x - self.max_x)
+        dy = max(self.min_y - point.y, 0.0, point.y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def maxdist(self, point: Point) -> float:
+        """MAXDIST: distance from ``point`` to the farthest point of the box.
+
+        When ``maxdist(q) <= r`` the whole box lies inside the disk of
+        radius ``r`` around ``q`` -- this is the containment test behind
+        EINN's downward pruning (Section 3.3).
+        """
+        dx = max(point.x - self.min_x, self.max_x - point.x)
+        dy = max(point.y - self.min_y, self.max_y - point.y)
+        return math.hypot(dx, dy)
+
+    def minmaxdist(self, point: Point) -> float:
+        """MINMAXDIST: upper bound on the NN distance within a non-empty box.
+
+        Defined by Roussopoulos et al. as the minimum over the box faces of
+        the maximal distance to the nearer half of that face.  Any object
+        pruned at a distance above MINMAXDIST cannot be the nearest
+        neighbor.
+        """
+        # Midpoints of the box along each axis decide the "nearer" face.
+        rm_x = self.min_x if point.x <= (self.min_x + self.max_x) / 2.0 else self.max_x
+        rm_y = self.min_y if point.y <= (self.min_y + self.max_y) / 2.0 else self.max_y
+        # Farthest corner along each axis.
+        r_far_x = self.min_x if point.x >= (self.min_x + self.max_x) / 2.0 else self.max_x
+        r_far_y = self.min_y if point.y >= (self.min_y + self.max_y) / 2.0 else self.max_y
+        candidate_x = math.hypot(point.x - rm_x, point.y - r_far_y)
+        candidate_y = math.hypot(point.x - r_far_x, point.y - rm_y)
+        return min(candidate_x, candidate_y)
+
+    def fully_inside_circle(self, center: Point, radius: float) -> bool:
+        """True when every point of the box is within ``radius`` of ``center``."""
+        return self.maxdist(center) <= radius

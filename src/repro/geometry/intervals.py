@@ -1,0 +1,173 @@
+"""Angular interval algebra on a circle boundary.
+
+The exact multi-peer coverage test (:mod:`repro.geometry.coverage`) needs
+to decide whether the *entire* boundary of the query disk is covered by a
+union of peer disks.  Each peer disk covers a contiguous angular arc of the
+query circle; the boundary is fully covered iff the union of those arcs is
+the full circle.  :class:`AngularIntervalSet` implements that union.
+
+Angles are radians.  Intervals are closed and may wrap around ``pi``; they
+are normalized into ``[-pi, pi)`` internally.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["AngularIntervalSet", "normalize_angle"]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(theta: float) -> float:
+    """Map ``theta`` into ``[-pi, pi)``."""
+    theta = math.fmod(theta + math.pi, _TWO_PI)
+    if theta < 0.0:
+        theta += _TWO_PI
+    return theta - math.pi
+
+
+class AngularIntervalSet:
+    """A set of closed angular intervals on the unit circle.
+
+    The set supports adding arcs (possibly wrap-around), merging them, and
+    asking whether the whole circle is covered or which gaps remain.
+
+    A tiny ``tolerance`` (radians) absorbs floating point noise when two
+    arcs abut: arcs whose endpoints are within ``tolerance`` are considered
+    touching.
+    """
+
+    def __init__(self, tolerance: float = 1e-12) -> None:
+        if tolerance < 0.0:
+            raise ValueError("tolerance must be non-negative")
+        self._tolerance = tolerance
+        self._full = False
+        # Non-wrapping intervals in [-pi, pi], unsorted until needed.
+        self._intervals: List[Tuple[float, float]] = []
+
+    @property
+    def tolerance(self) -> float:
+        return self._tolerance
+
+    def add(self, start: float, end: float) -> None:
+        """Add the closed arc swept counter-clockwise from ``start`` to ``end``.
+
+        If the normalized ``end`` lies counter-clockwise before ``start``
+        the arc wraps through ``pi`` and is stored as two pieces.  Adding an
+        arc whose sweep is >= 2*pi marks the whole circle covered.
+        """
+        if self._full:
+            return
+        sweep = end - start
+        if sweep >= _TWO_PI - self._tolerance:
+            self._full = True
+            self._intervals.clear()
+            return
+        if sweep <= 0.0:
+            # Zero or negative sweep: treat as the single point ``start``
+            # (points contribute nothing to coverage of an open gap).
+            return
+        lo = normalize_angle(start)
+        hi = lo + sweep
+        if hi <= math.pi:
+            self._intervals.append((lo, hi))
+        else:
+            # Wraps past pi: split into [lo, pi] and [-pi, hi - 2*pi].
+            self._intervals.append((lo, math.pi))
+            self._intervals.append((-math.pi, hi - _TWO_PI))
+
+    def add_centered(self, center: float, half_width: float) -> None:
+        """Add the arc ``[center - half_width, center + half_width]``."""
+        self.add(center - half_width, center + half_width)
+
+    def merged(self) -> List[Tuple[float, float]]:
+        """Return the merged, sorted intervals (in ``[-pi, pi]``)."""
+        if self._full:
+            return [(-math.pi, math.pi)]
+        if not self._intervals:
+            return []
+        ordered = sorted(self._intervals)
+        merged: List[Tuple[float, float]] = [ordered[0]]
+        for lo, hi in ordered[1:]:
+            last_lo, last_hi = merged[-1]
+            if lo <= last_hi + self._tolerance:
+                merged[-1] = (last_lo, max(last_hi, hi))
+            else:
+                merged.append((lo, hi))
+        return merged
+
+    def covers_full_circle(self) -> bool:
+        """True when the union of arcs covers the entire circle."""
+        if self._full:
+            return True
+        merged = self.merged()
+        if not merged:
+            return False
+        # The merged pieces must form a single run from -pi to pi; the two
+        # boundary angles are the same physical point on the circle.
+        if len(merged) != 1:
+            return False
+        lo, hi = merged[0]
+        return lo <= -math.pi + self._tolerance and hi >= math.pi - self._tolerance
+
+    def gaps(self) -> List[Tuple[float, float]]:
+        """Return the uncovered arcs, as ``(start, end)`` pairs in order.
+
+        A wrap-around gap is reported as a single pair whose ``end`` is less
+        than ``start`` plus ``2*pi`` -- i.e. ``(hi_last, lo_first + 2*pi)``
+        mapped back into a continuous sweep.  Callers mostly need gap
+        midpoints; :meth:`gap_midpoints` does that mapping for them.
+        """
+        if self._full:
+            return []
+        merged = self.merged()
+        if not merged:
+            return [(-math.pi, math.pi)]
+        gaps: List[Tuple[float, float]] = []
+        for (_, hi), (next_lo, _) in zip(merged, merged[1:]):
+            if next_lo - hi > self._tolerance:
+                gaps.append((hi, next_lo))
+        first_lo = merged[0][0]
+        last_hi = merged[-1][1]
+        wrap_gap = (first_lo + math.pi) + (math.pi - last_hi)
+        if wrap_gap > self._tolerance:
+            gaps.append((last_hi, first_lo + _TWO_PI))
+        return gaps
+
+    def gap_midpoints(self) -> List[float]:
+        """Midpoint angle of every uncovered arc, normalized to [-pi, pi)."""
+        return [normalize_angle((lo + hi) / 2.0) for lo, hi in self.gaps()]
+
+    def covered_fraction(self) -> float:
+        """Fraction of the circle covered, in ``[0, 1]``."""
+        if self._full:
+            return 1.0
+        total = sum(hi - lo for lo, hi in self.merged())
+        return min(total / _TWO_PI, 1.0)
+
+    def covers_angle(self, theta: float) -> bool:
+        """True when the angle ``theta`` lies inside some covered arc."""
+        if self._full:
+            return True
+        theta = normalize_angle(theta)
+        for lo, hi in self.merged():
+            if lo - self._tolerance <= theta <= hi + self._tolerance:
+                return True
+        # ``theta`` close to -pi may be covered by an arc ending at pi.
+        wrapped = theta + _TWO_PI
+        for lo, hi in self.merged():
+            if lo - self._tolerance <= wrapped <= hi + self._tolerance:
+                return True
+        return False
+
+    @classmethod
+    def from_arcs(
+        cls, arcs: Iterable[Sequence[float]], tolerance: float = 1e-12
+    ) -> "AngularIntervalSet":
+        """Build a set from an iterable of ``(start, end)`` arcs."""
+        interval_set = cls(tolerance=tolerance)
+        for start, end in arcs:
+            interval_set.add(start, end)
+        return interval_set

@@ -1,0 +1,88 @@
+"""Immutable 2-D points and distance helpers.
+
+The whole library works in a flat Cartesian plane.  Simulation configs are
+responsible for converting real-world units (miles, meters) into plane
+units; geometry itself is unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+__all__ = ["Point", "distance", "squared_distance", "centroid"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the plane.
+
+    ``Point`` is hashable and immutable so it can be used as a dictionary
+    key (e.g. to memoize network distances between snapped locations).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt when comparing)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def towards(self, other: "Point", dist: float) -> "Point":
+        """Return the point ``dist`` away from ``self`` towards ``other``.
+
+        If ``other`` coincides with ``self`` the point itself is returned;
+        there is no direction to move in.
+        """
+        total = self.distance_to(other)
+        if total == 0.0:
+            return self
+        frac = dist / total
+        return Point(self.x + (other.x - self.x) * frac, self.y + (other.y - self.y) * frac)
+
+    def angle_to(self, other: "Point") -> float:
+        """Angle of the vector from ``self`` to ``other`` in ``[-pi, pi]``."""
+        return math.atan2(other.y - self.y, other.x - self.x)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points (module-level convenience)."""
+    return a.distance_to(b)
+
+
+def squared_distance(a: Point, b: Point) -> float:
+    """Squared Euclidean distance between two points."""
+    return a.squared_distance_to(b)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points."""
+    xs = 0.0
+    ys = 0.0
+    count = 0
+    for point in points:
+        xs += point.x
+        ys += point.y
+        count += 1
+    if count == 0:
+        raise ValueError("centroid() requires at least one point")
+    return Point(xs / count, ys / count)

@@ -1,0 +1,290 @@
+"""Nearest-neighbor search over the R-tree.
+
+Three algorithms, matching the paper's Section 2/3.3/4.4 cast:
+
+- :func:`incremental_nearest` -- the best-first *incremental* NN algorithm
+  of Hjaltason & Samet (the paper's INN).  It maintains a priority queue
+  of nodes and objects ordered by MINDIST and reports neighbors in
+  ascending distance order, visiting only the minimally necessary nodes;
+- :func:`k_nearest_depth_first` -- the depth-first branch-and-bound
+  algorithm of Roussopoulos et al., kept as the classic baseline;
+- :func:`k_nearest_einn` -- the paper's *extended* INN (EINN): INN plus
+  the two pruning rules of Section 3.3 driven by client-supplied
+  :class:`PruningBounds`:
+
+  1. *downward pruning*: any MBR whose MAXDIST to the query point is
+     smaller than the branch-expanding lower bound is skipped -- every
+     object in it lies inside the client's certain circle ``C_r`` and is
+     already known;
+  2. *upward pruning*: any MBR whose MINDIST exceeds the branch-expanding
+     upper bound (or the running k-th candidate distance) is discarded.
+
+All algorithms account page accesses through an optional
+:class:`~repro.index.pagestats.PageAccessCounter`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.index.node import LeafEntry, Node
+from repro.index.pagestats import PageAccessCounter
+from repro.index.rtree import RTree
+
+__all__ = [
+    "NeighborResult",
+    "PruningBounds",
+    "incremental_nearest",
+    "k_nearest",
+    "k_nearest_depth_first",
+    "k_nearest_einn",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborResult:
+    """One reported neighbor: its location, payload and distance."""
+
+    point: Point
+    payload: Any
+    distance: float
+
+
+@dataclass(frozen=True, slots=True)
+class PruningBounds:
+    """Branch-expanding bounds derived from the client's candidate heap.
+
+    ``lower`` is ``D_ct`` -- the distance of the last *certain* entry; all
+    POIs strictly inside that radius are already known to the client.
+    ``upper`` is the distance of the heap's last entry when the heap is
+    full; the true k-th NN cannot be farther.  Either bound may be absent
+    (``0.0`` / ``inf``), matching heap states 1-6 of Section 3.3.
+    """
+
+    lower: float = 0.0
+    upper: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.lower < 0.0:
+            raise ValueError("lower bound must be non-negative")
+        if self.upper < 0.0:
+            raise ValueError("upper bound must be non-negative")
+
+    @property
+    def has_lower(self) -> bool:
+        return self.lower > 0.0
+
+    @property
+    def has_upper(self) -> bool:
+        return math.isfinite(self.upper)
+
+
+def incremental_nearest(
+    tree: RTree,
+    query: Point,
+    counter: Optional[PageAccessCounter] = None,
+) -> Iterator[NeighborResult]:
+    """Yield neighbors of ``query`` in ascending distance order (INN).
+
+    The generator is lazy: callers pull exactly as many neighbors as they
+    need, which is what the SNNN algorithm's incremental expansion relies
+    on.
+    """
+    if len(tree) == 0:
+        return
+    tiebreak = itertools.count()
+    # Heap items: (distance, tiebreak, node_or_entry)
+    heap: List[Tuple[float, int, Any]] = []
+    root = tree.read_node(tree.root, counter)
+    _expand_into_heap(root, query, heap, tiebreak)
+    while heap:
+        dist, _, item = heapq.heappop(heap)
+        if isinstance(item, LeafEntry):
+            yield NeighborResult(item.point, item.payload, dist)
+        else:
+            node = tree.read_node(item, counter)
+            _expand_into_heap(node, query, heap, tiebreak)
+
+
+def _expand_into_heap(
+    node: Node,
+    query: Point,
+    heap: List[Tuple[float, int, Any]],
+    tiebreak: "itertools.count[int]",
+) -> None:
+    if node.is_leaf:
+        for entry in node.entries:
+            dist = query.distance_to(entry.point)  # type: ignore[union-attr]
+            heapq.heappush(heap, (dist, next(tiebreak), entry))
+    else:
+        for entry in node.entries:
+            dist = entry.bbox.mindist(query)
+            heapq.heappush(heap, (dist, next(tiebreak), entry.child))  # type: ignore[union-attr]
+
+
+def k_nearest(
+    tree: RTree,
+    query: Point,
+    k: int,
+    counter: Optional[PageAccessCounter] = None,
+) -> List[NeighborResult]:
+    """The k nearest neighbors in ascending distance order, via INN."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return list(itertools.islice(incremental_nearest(tree, query, counter), k))
+
+
+def k_nearest_depth_first(
+    tree: RTree,
+    query: Point,
+    k: int,
+    counter: Optional[PageAccessCounter] = None,
+) -> List[NeighborResult]:
+    """Depth-first branch-and-bound kNN (Roussopoulos et al.).
+
+    Kept as the classical single-step baseline; visits at least as many
+    nodes as best-first search.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k == 0 or len(tree) == 0:
+        return []
+    # Max-heap (by negated distance) of the best k candidates so far.
+    best: List[Tuple[float, int, LeafEntry]] = []
+    tiebreak = itertools.count()
+
+    def kth_distance() -> float:
+        return -best[0][0] if len(best) == k else math.inf
+
+    def visit(node: Node) -> None:
+        tree.read_node(node, counter)
+        if node.is_leaf:
+            for entry in node.entries:
+                dist = query.distance_to(entry.point)  # type: ignore[union-attr]
+                if dist < kth_distance():
+                    heapq.heappush(best, (-dist, next(tiebreak), entry))
+                    if len(best) > k:
+                        heapq.heappop(best)
+        else:
+            branches = sorted(
+                node.entries, key=lambda entry: entry.bbox.mindist(query)
+            )
+            for entry in branches:
+                if entry.bbox.mindist(query) < kth_distance():
+                    visit(entry.child)  # type: ignore[union-attr]
+
+    visit(tree.root)
+    ordered = sorted(best, key=lambda item: -item[0])
+    return [
+        NeighborResult(entry.point, entry.payload, -neg_dist)
+        for neg_dist, _, entry in ordered
+    ]
+
+
+def k_nearest_einn(
+    tree: RTree,
+    query: Point,
+    k: int,
+    bounds: PruningBounds = PruningBounds(),
+    known_certain: Sequence[NeighborResult] = (),
+    counter: Optional[PageAccessCounter] = None,
+) -> List[NeighborResult]:
+    """EINN: best-first kNN with the paper's pruning bounds.
+
+    ``known_certain`` holds the POIs the client already verified (those
+    whose distance is below ``bounds.lower`` plus any other certain
+    entries).  They occupy result slots and let the search skip MBRs that
+    are entirely inside the certain circle ``C_r``.
+
+    Returns the global top-k (client knowledge merged with server finds),
+    in ascending distance order.  With default bounds and no known
+    results, EINN degenerates to plain INN.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k == 0:
+        return []
+
+    results: List[NeighborResult] = sorted(known_certain, key=lambda r: r.distance)
+    known_keys = {_result_key(r) for r in results}
+
+    def kth_distance() -> float:
+        candidates = [bounds.upper]
+        if len(results) >= k:
+            candidates.append(results[k - 1].distance)
+        return min(candidates)
+
+    if len(tree) > 0:
+        tiebreak = itertools.count()
+        heap: List[Tuple[float, int, Any]] = []
+        root = tree.read_node(tree.root, counter)
+        _expand_einn(root, query, heap, tiebreak, bounds, kth_distance())
+        while heap:
+            dist, _, item = heapq.heappop(heap)
+            if dist > kth_distance():
+                break
+            if isinstance(item, LeafEntry):
+                key = _result_key_entry(item)
+                if key in known_keys:
+                    continue
+                _insert_sorted(results, NeighborResult(item.point, item.payload, dist))
+            else:
+                node = tree.read_node(item, counter)
+                _expand_einn(node, query, heap, tiebreak, bounds, kth_distance())
+
+    return results[:k]
+
+
+def _expand_einn(
+    node: Node,
+    query: Point,
+    heap: List[Tuple[float, int, Any]],
+    tiebreak: "itertools.count[int]",
+    bounds: PruningBounds,
+    current_kth: float,
+) -> None:
+    if node.is_leaf:
+        for entry in node.entries:
+            dist = query.distance_to(entry.point)  # type: ignore[union-attr]
+            if dist <= current_kth:
+                heapq.heappush(heap, (dist, next(tiebreak), entry))
+        return
+    for entry in node.entries:
+        mindist = entry.bbox.mindist(query)
+        # Upward pruning: nothing in this MBR can enter the result.
+        if mindist > current_kth:
+            continue
+        # Downward pruning: the MBR is fully inside the certain circle;
+        # every object in it is already known to the client.
+        if bounds.has_lower and entry.bbox.maxdist(query) < bounds.lower:
+            continue
+        heapq.heappush(heap, (mindist, next(tiebreak), entry.child))  # type: ignore[union-attr]
+
+
+def _insert_sorted(results: List[NeighborResult], item: NeighborResult) -> None:
+    """Insert keeping ascending distance order (small lists; O(n) is fine)."""
+    index = len(results)
+    while index > 0 and results[index - 1].distance > item.distance:
+        index -= 1
+    results.insert(index, item)
+
+
+def _result_key(result: NeighborResult) -> Tuple[float, float, Any]:
+    return (result.point.x, result.point.y, _hashable(result.payload))
+
+
+def _result_key_entry(entry: LeafEntry) -> Tuple[float, float, Any]:
+    return (entry.point.x, entry.point.y, _hashable(entry.payload))
+
+
+def _hashable(payload: Any) -> Any:
+    try:
+        hash(payload)
+    except TypeError:
+        return id(payload)
+    return payload

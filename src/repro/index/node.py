@@ -1,0 +1,81 @@
+"""R-tree nodes and entries.
+
+A node is one disk page.  Leaf nodes hold :class:`LeafEntry` records
+(a point of interest and its payload); internal nodes hold
+:class:`ChildEntry` records pointing to lower nodes.  Every node carries a
+unique ``page_id`` so access accounting and buffer modelling can identify
+it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, List, Optional, Union
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+
+__all__ = ["LeafEntry", "ChildEntry", "Node"]
+
+_page_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class LeafEntry:
+    """A stored spatial object: a point plus an opaque payload."""
+
+    point: Point
+    payload: Any = None
+
+    @property
+    def bbox(self) -> BoundingBox:
+        return BoundingBox.from_point(self.point)
+
+
+@dataclass(slots=True)
+class ChildEntry:
+    """An internal-node entry: the child's MBR and the child itself."""
+
+    bbox: BoundingBox
+    child: "Node"
+
+    def refresh_bbox(self) -> None:
+        """Recompute the MBR from the child's current entries."""
+        self.bbox = self.child.compute_bbox()
+
+
+Entry = Union[LeafEntry, ChildEntry]
+
+
+class Node:
+    """One page of the R-tree.
+
+    ``level`` is 0 for leaves and grows towards the root; forced
+    reinsertion (R*) needs to reinsert orphaned entries at their original
+    level, which is why nodes track it explicitly.
+    """
+
+    __slots__ = ("page_id", "level", "entries")
+
+    def __init__(self, level: int, entries: Optional[List[Entry]] = None) -> None:
+        self.page_id: int = next(_page_ids)
+        self.level = level
+        self.entries: List[Entry] = entries if entries is not None else []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def compute_bbox(self) -> BoundingBox:
+        """MBR of all entries (node must be non-empty)."""
+        if not self.entries:
+            raise ValueError("cannot compute the bbox of an empty node")
+        return BoundingBox.union_all(entry.bbox for entry in self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"level-{self.level}"
+        return f"Node(page={self.page_id}, {kind}, {len(self.entries)} entries)"

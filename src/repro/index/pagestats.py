@@ -1,0 +1,181 @@
+"""Page access accounting for the spatial index.
+
+The paper's server-side metric is the *page access rate* (PAR): the number
+of R*-tree nodes (index pages and data pages) touched per query.  Node
+access counts predict I/O cost well because any reasonably large data set
+does not fit in main memory (Section 4.4).
+
+Two layers are provided:
+
+- :class:`PageAccessCounter` -- raw node access counting, resettable per
+  query, with running totals per query batch;
+- :class:`BufferPool` -- an optional LRU buffer model on top of the
+  counter, splitting accesses into main-memory hits and disk misses to
+  expose the two extremes the paper discusses (everything cached versus
+  every access hitting disk).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["PageAccessCounter", "BufferPool", "AccessBreakdown"]
+
+
+@dataclass
+class AccessBreakdown:
+    """Summary of a finished query's page accesses.
+
+    ``data_records`` counts object-record fetches: the paper's "data
+    node" accesses.  An R*-tree leaf stores ``(point, object id)``
+    entries; returning a full POI record to the client costs one more
+    page.  EINN skips the records the client already holds, which is a
+    large part of its advantage over INN (Section 4.4: "the EINN usually
+    requests fewer R*-tree nodes and objects than INN").
+    """
+
+    total: int
+    index_nodes: int
+    leaf_nodes: int
+    data_records: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+
+
+class PageAccessCounter:
+    """Counts R-tree node accesses, distinguishing index and leaf pages.
+
+    A counter can be shared by many queries: call :meth:`start_query`
+    before each query and :meth:`finish_query` after, then read per-query
+    breakdowns from :attr:`history` or aggregate with :meth:`mean_per_query`.
+    """
+
+    def __init__(self, buffer_pool: Optional["BufferPool"] = None) -> None:
+        self._buffer_pool = buffer_pool
+        self._current_index = 0
+        self._current_leaf = 0
+        self._current_data = 0
+        self._current_hits = 0
+        self._current_misses = 0
+        self._in_query = False
+        self.history: List[AccessBreakdown] = []
+        self.total_accesses = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, page_id: int, is_leaf: bool) -> None:
+        """Record one access to the node with identity ``page_id``."""
+        if is_leaf:
+            self._current_leaf += 1
+        else:
+            self._current_index += 1
+        self.total_accesses += 1
+        self._buffer_access(page_id)
+
+    def record_object(self, object_id) -> None:
+        """Record fetching one object record (a data-node access)."""
+        self._current_data += 1
+        self.total_accesses += 1
+        self._buffer_access(("data", object_id))
+
+    def _buffer_access(self, page_id) -> None:
+        if self._buffer_pool is not None:
+            if self._buffer_pool.access(page_id):
+                self._current_hits += 1
+            else:
+                self._current_misses += 1
+
+    # ------------------------------------------------------------------
+    # query lifecycle
+    # ------------------------------------------------------------------
+    def start_query(self) -> None:
+        """Reset the per-query counters (totals are preserved)."""
+        self._current_index = 0
+        self._current_leaf = 0
+        self._current_data = 0
+        self._current_hits = 0
+        self._current_misses = 0
+        self._in_query = True
+
+    def finish_query(self) -> AccessBreakdown:
+        """Close the current query and append its breakdown to history."""
+        breakdown = AccessBreakdown(
+            total=self._current_index + self._current_leaf + self._current_data,
+            index_nodes=self._current_index,
+            leaf_nodes=self._current_leaf,
+            data_records=self._current_data,
+            buffer_hits=self._current_hits,
+            buffer_misses=self._current_misses,
+        )
+        self.history.append(breakdown)
+        self._in_query = False
+        return breakdown
+
+    @property
+    def current_total(self) -> int:
+        """Accesses recorded since the last :meth:`start_query`."""
+        return self._current_index + self._current_leaf + self._current_data
+
+    def mean_per_query(self) -> float:
+        """Mean page accesses per finished query (0.0 with no history)."""
+        if not self.history:
+            return 0.0
+        return sum(item.total for item in self.history) / len(self.history)
+
+    def reset(self) -> None:
+        """Clear everything, including history and totals."""
+        self.history.clear()
+        self.total_accesses = 0
+        self.start_query()
+        self._in_query = False
+
+
+class BufferPool:
+    """A simple LRU page buffer model.
+
+    ``capacity`` is the number of pages held in memory.  :meth:`access`
+    returns True on a hit and False on a miss (after which the page is
+    resident).  With ``capacity=0`` every access misses, modelling the
+    cold-disk end of the spectrum from Section 4.4.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._pages: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page_id: int) -> bool:
+        """Touch a page; returns True on buffer hit."""
+        if self.capacity == 0:
+            self.misses += 1
+            return False
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._pages[page_id] = None
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+        return False
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    def hit_ratio(self) -> float:
+        """Fraction of accesses served from memory (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Evict everything and reset statistics."""
+        self._pages.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,567 @@
+"""R-tree spatial index with Guttman and R* insertion policies.
+
+The paper's server module indexes POIs "with the well known R*-tree
+algorithm" (Section 4.1) using a branching factor of 30 (Section 4.4).
+This module implements the full dynamic structure:
+
+- ChooseSubtree with the R*-tree's least-overlap-enlargement rule at the
+  level above the leaves;
+- OverflowTreatment with forced reinsertion (30 % of entries, reinserted
+  closest-first) the first time a level overflows per insertion;
+- two split algorithms: Guttman's quadratic split and the R* axis/margin
+  split, selectable per tree so the ablation benchmark can compare them;
+- STR bulk loading for building large static POI sets quickly;
+- window (range) and circle searches with page-access accounting.
+
+kNN search lives in :mod:`repro.index.knn`; it only needs the read-side
+interface (``root``, ``read_node``).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.index.node import ChildEntry, Entry, LeafEntry, Node
+from repro.index.pagestats import PageAccessCounter
+
+__all__ = ["RTree", "RTreeConfig", "SplitPolicy"]
+
+
+class SplitPolicy(enum.Enum):
+    """Node split algorithm used on overflow."""
+
+    QUADRATIC = "quadratic"
+    RSTAR = "rstar"
+
+
+@dataclass(frozen=True)
+class RTreeConfig:
+    """Structural parameters of the tree.
+
+    ``max_entries`` matches the paper's branching factor of 30 by default.
+    ``min_fill`` is the usual 40 % fill guarantee.  ``reinsert_fraction``
+    is the share of entries evicted by R* forced reinsertion.
+    """
+
+    max_entries: int = 30
+    min_fill: float = 0.4
+    split_policy: SplitPolicy = SplitPolicy.RSTAR
+    reinsert_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        if not 0.0 < self.min_fill <= 0.5:
+            raise ValueError("min_fill must be in (0, 0.5]")
+        if not 0.0 < self.reinsert_fraction < 1.0:
+            raise ValueError("reinsert_fraction must be in (0, 1)")
+
+    @property
+    def min_entries(self) -> int:
+        return max(2, int(self.max_entries * self.min_fill))
+
+
+class RTree:
+    """A dynamic R-tree over 2-D points.
+
+    >>> tree = RTree()
+    >>> tree.insert(Point(1.0, 2.0), payload="poi-1")
+    >>> len(tree)
+    1
+    """
+
+    def __init__(self, config: Optional[RTreeConfig] = None) -> None:
+        self.config = config if config is not None else RTreeConfig()
+        self._root = Node(level=0)
+        self._size = 0
+        self.split_count = 0
+        self.reinsert_count = 0
+
+    # ------------------------------------------------------------------
+    # read-side interface (kNN search uses only these)
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Node:
+        return self._root
+
+    @staticmethod
+    def read_node(node: Node, counter: Optional[PageAccessCounter]) -> Node:
+        """Account one page access and hand the node back."""
+        if counter is not None:
+            counter.record(node.page_id, node.is_leaf)
+        return node
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a tree that is just a root leaf)."""
+        return self._root.level + 1
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def insert(self, point: Point, payload: Any = None) -> None:
+        """Insert one point with an opaque payload."""
+        self._insert_entry(LeafEntry(point, payload), level=0, reinserted_levels=set())
+        self._size += 1
+
+    def delete(self, point: Point, payload: Any = None) -> bool:
+        """Remove one entry matching ``point`` (and ``payload``, if given).
+
+        Implements Guttman's CondenseTree: the leaf loses the entry,
+        underfull nodes along the path are dissolved and their surviving
+        entries reinserted at their original level, and a root with a
+        single child is shortened.  Returns False when no match exists.
+        """
+        found = self._find_leaf_path(self._root, point, payload, [])
+        if found is None:
+            return False
+        path, entry = found
+        leaf = path[-1]
+        leaf.entries.remove(entry)
+        self._size -= 1
+        self._condense(path)
+        return True
+
+    def _find_leaf_path(
+        self,
+        node: Node,
+        point: Point,
+        payload: Any,
+        path: List[Node],
+    ) -> Optional[Tuple[List[Node], LeafEntry]]:
+        path = path + [node]
+        if node.is_leaf:
+            for entry in node.entries:
+                assert isinstance(entry, LeafEntry)
+                if entry.point == point and (payload is None or entry.payload == payload):
+                    return path, entry
+            return None
+        target = BoundingBox.from_point(point)
+        for entry in node.entries:
+            assert isinstance(entry, ChildEntry)
+            if entry.bbox.contains_box(target):
+                found = self._find_leaf_path(entry.child, point, payload, path)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, path: List[Node]) -> None:
+        """CondenseTree: dissolve underfull nodes bottom-up and reinsert.
+
+        Dissolved subtrees are flattened to their leaf entries before
+        reinsertion -- marginally more work than Guttman's same-level
+        reinsertion but immune to the empty-root corner cases.
+        """
+        orphans: List[LeafEntry] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            still_linked = any(
+                isinstance(e, ChildEntry) and e.child is node for e in parent.entries
+            )
+            if not still_linked:
+                continue
+            if len(node.entries) < self.config.min_entries:
+                orphans.extend(_collect_leaf_entries(node))
+                parent.entries = [
+                    e
+                    for e in parent.entries
+                    if not (isinstance(e, ChildEntry) and e.child is node)
+                ]
+            else:
+                self._refresh_child_entry(parent, node)
+        # Refresh surviving ancestors whose boxes may have shrunk.
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            if any(isinstance(e, ChildEntry) and e.child is node for e in parent.entries):
+                self._refresh_child_entry(parent, node)
+        # Shorten the root before reinserting: it may hold one child (or
+        # none, when the whole population is in the orphan list).
+        while not self._root.is_leaf and len(self._root.entries) == 1:
+            only = self._root.entries[0]
+            assert isinstance(only, ChildEntry)
+            self._root = only.child
+        if not self._root.is_leaf and not self._root.entries:
+            self._root = Node(level=0)
+        for entry in orphans:
+            self._insert_entry(entry, 0, reinserted_levels=set())
+
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Sequence[Tuple[Point, Any]],
+        config: Optional[RTreeConfig] = None,
+    ) -> "RTree":
+        """Build a tree bottom-up with Sort-Tile-Recursive packing.
+
+        STR produces well-shaped static trees in O(n log n); the paper's
+        POI sets are static so the server uses this for large inputs.
+        """
+        tree = cls(config)
+        if not items:
+            return tree
+        leaf_entries: List[Entry] = [LeafEntry(p, payload) for p, payload in items]
+        level = 0
+        entries = leaf_entries
+        capacity = tree.config.max_entries
+        while len(entries) > capacity:
+            nodes = _str_pack(entries, capacity, level)
+            entries = [ChildEntry(node.compute_bbox(), node) for node in nodes]
+            level += 1
+        tree._root = Node(level=level, entries=entries)
+        tree._size = len(items)
+        return tree
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def range_search(
+        self, window: BoundingBox, counter: Optional[PageAccessCounter] = None
+    ) -> List[LeafEntry]:
+        """All leaf entries whose point lies in the closed ``window``."""
+        results: List[LeafEntry] = []
+        if self._size == 0:
+            return results
+        stack = [self._root]
+        while stack:
+            node = self.read_node(stack.pop(), counter)
+            if node.is_leaf:
+                for entry in node.entries:
+                    if window.contains_point(entry.point):  # type: ignore[union-attr]
+                        results.append(entry)  # type: ignore[arg-type]
+            else:
+                for entry in node.entries:
+                    if window.intersects(entry.bbox):
+                        stack.append(entry.child)  # type: ignore[union-attr]
+        return results
+
+    def circle_search(
+        self,
+        center: Point,
+        radius: float,
+        counter: Optional[PageAccessCounter] = None,
+    ) -> List[LeafEntry]:
+        """All leaf entries within ``radius`` of ``center`` (closed disk)."""
+        if radius < 0.0:
+            raise ValueError("radius must be non-negative")
+        results: List[LeafEntry] = []
+        if self._size == 0:
+            return results
+        stack = [self._root]
+        while stack:
+            node = self.read_node(stack.pop(), counter)
+            if node.is_leaf:
+                for entry in node.entries:
+                    if center.distance_to(entry.point) <= radius:  # type: ignore[union-attr]
+                        results.append(entry)  # type: ignore[arg-type]
+            else:
+                for entry in node.entries:
+                    if entry.bbox.mindist(center) <= radius:
+                        stack.append(entry.child)  # type: ignore[union-attr]
+        return results
+
+    def iter_entries(self) -> Iterator[LeafEntry]:
+        """Yield every stored leaf entry (no access accounting)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries  # type: ignore[misc]
+            else:
+                stack.extend(entry.child for entry in node.entries)  # type: ignore[union-attr]
+
+    def node_count(self) -> int:
+        """Total number of nodes (pages) in the tree."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(entry.child for entry in node.entries)  # type: ignore[union-attr]
+        return count
+
+    # ------------------------------------------------------------------
+    # insertion machinery
+    # ------------------------------------------------------------------
+    def _insert_entry(self, entry: Entry, level: int, reinserted_levels: Set[int]) -> None:
+        path = self._choose_path(entry.bbox, level)
+        path[-1].entries.append(entry)
+        self._propagate_up(path, reinserted_levels)
+
+    def _choose_path(self, bbox: BoundingBox, level: int) -> List[Node]:
+        """Descend from the root to a node at ``level``, collecting the path."""
+        path = [self._root]
+        while path[-1].level > level:
+            node = path[-1]
+            chosen = self._choose_subtree(node, bbox)
+            path.append(chosen.child)
+        return path
+
+    def _choose_subtree(self, node: Node, bbox: BoundingBox) -> ChildEntry:
+        entries: List[ChildEntry] = node.entries  # type: ignore[assignment]
+        use_overlap = (
+            self.config.split_policy is SplitPolicy.RSTAR and node.level == 1
+        )
+        if use_overlap:
+            # R* rule for the level above the leaves: minimize overlap
+            # enlargement, tie-break on area enlargement, then area.
+            def overlap_with_others(candidate: ChildEntry, grown: BoundingBox) -> float:
+                total = 0.0
+                for other in entries:
+                    if other is candidate:
+                        continue
+                    total += grown.overlap_area(other.bbox)
+                return total
+
+            def key(candidate: ChildEntry) -> Tuple[float, float, float]:
+                grown = candidate.bbox.union(bbox)
+                overlap_delta = overlap_with_others(candidate, grown) - overlap_with_others(
+                    candidate, candidate.bbox
+                )
+                return (
+                    overlap_delta,
+                    candidate.bbox.enlargement(bbox),
+                    candidate.bbox.area,
+                )
+
+            return min(entries, key=key)
+
+        def area_key(candidate: ChildEntry) -> Tuple[float, float]:
+            return (candidate.bbox.enlargement(bbox), candidate.bbox.area)
+
+        return min(entries, key=area_key)
+
+    def _propagate_up(self, path: List[Node], reinserted_levels: Set[int]) -> None:
+        """Fix MBRs bottom-up and resolve overflows by reinsert or split."""
+        depth = len(path) - 1
+        while depth >= 0:
+            node = path[depth]
+            parent = path[depth - 1] if depth > 0 else None
+            if parent is not None:
+                self._refresh_child_entry(parent, node)
+            if len(node.entries) > self.config.max_entries:
+                if (
+                    self.config.split_policy is SplitPolicy.RSTAR
+                    and parent is not None
+                    and node.level not in reinserted_levels
+                ):
+                    reinserted_levels.add(node.level)
+                    self._force_reinsert(path, depth, reinserted_levels)
+                    return
+                new_node = self._split_node(node)
+                self.split_count += 1
+                if parent is None:
+                    self._grow_root(node, new_node)
+                    return
+                self._refresh_child_entry(parent, node)
+                parent.entries.append(ChildEntry(new_node.compute_bbox(), new_node))
+            depth -= 1
+
+    @staticmethod
+    def _refresh_child_entry(parent: Node, child: Node) -> None:
+        for entry in parent.entries:
+            if isinstance(entry, ChildEntry) and entry.child is child:
+                entry.refresh_bbox()
+                return
+        raise RuntimeError("parent/child relationship broken")
+
+    def _grow_root(self, old_root: Node, sibling: Node) -> None:
+        self._root = Node(
+            level=old_root.level + 1,
+            entries=[
+                ChildEntry(old_root.compute_bbox(), old_root),
+                ChildEntry(sibling.compute_bbox(), sibling),
+            ],
+        )
+
+    def _force_reinsert(
+        self, path: List[Node], depth: int, reinserted_levels: Set[int]
+    ) -> None:
+        """R* OverflowTreatment: evict the entries farthest from the node
+        center and reinsert them (closest first) at the same level."""
+        node = path[depth]
+        center = node.compute_bbox().center
+        ordered = sorted(
+            node.entries,
+            key=lambda entry: entry.bbox.center.distance_to(center),
+        )
+        evict_count = max(1, int(len(ordered) * self.config.reinsert_fraction))
+        keep = ordered[: len(ordered) - evict_count]
+        orphans = ordered[len(ordered) - evict_count :]
+        node.entries = list(keep)
+        self.reinsert_count += 1
+        # Ancestor MBRs must reflect the eviction before reinserting.
+        for i in range(depth, 0, -1):
+            self._refresh_child_entry(path[i - 1], path[i])
+        for orphan in orphans:
+            self._insert_entry(orphan, node.level, reinserted_levels)
+
+    # ------------------------------------------------------------------
+    # splits
+    # ------------------------------------------------------------------
+    def _split_node(self, node: Node) -> Node:
+        if self.config.split_policy is SplitPolicy.QUADRATIC:
+            group_a, group_b = _split_quadratic(node.entries, self.config.min_entries)
+        else:
+            group_a, group_b = _split_rstar(node.entries, self.config.min_entries)
+        node.entries = group_a
+        return Node(level=node.level, entries=group_b)
+
+
+# ----------------------------------------------------------------------
+# split algorithms (module-level: they operate on plain entry lists)
+# ----------------------------------------------------------------------
+def _split_quadratic(
+    entries: Sequence[Entry], min_entries: int
+) -> Tuple[List[Entry], List[Entry]]:
+    """Guttman's quadratic split."""
+    remaining = list(entries)
+    seed_a, seed_b = _pick_seeds(remaining)
+    remaining.remove(seed_a)
+    remaining.remove(seed_b)
+    group_a, group_b = [seed_a], [seed_b]
+    bbox_a, bbox_b = seed_a.bbox, seed_b.bbox
+    while remaining:
+        # Honor the minimum fill guarantee.
+        if len(group_a) + len(remaining) == min_entries:
+            group_a.extend(remaining)
+            break
+        if len(group_b) + len(remaining) == min_entries:
+            group_b.extend(remaining)
+            break
+        entry, prefer_a = _pick_next(remaining, bbox_a, bbox_b, len(group_a), len(group_b))
+        remaining.remove(entry)
+        if prefer_a:
+            group_a.append(entry)
+            bbox_a = bbox_a.union(entry.bbox)
+        else:
+            group_b.append(entry)
+            bbox_b = bbox_b.union(entry.bbox)
+    return group_a, group_b
+
+
+def _pick_seeds(entries: Sequence[Entry]) -> Tuple[Entry, Entry]:
+    """The pair wasting the most area when grouped together."""
+    best_pair = (entries[0], entries[1])
+    best_waste = -math.inf
+    count = len(entries)
+    for i in range(count):
+        for j in range(i + 1, count):
+            combined = entries[i].bbox.union(entries[j].bbox)
+            waste = combined.area - entries[i].bbox.area - entries[j].bbox.area
+            if waste > best_waste:
+                best_waste = waste
+                best_pair = (entries[i], entries[j])
+    return best_pair
+
+
+def _pick_next(
+    remaining: Sequence[Entry],
+    bbox_a: BoundingBox,
+    bbox_b: BoundingBox,
+    size_a: int,
+    size_b: int,
+) -> Tuple[Entry, bool]:
+    """The entry with the strongest group preference, and that preference."""
+    best_entry = remaining[0]
+    best_diff = -1.0
+    for entry in remaining:
+        d_a = bbox_a.enlargement(entry.bbox)
+        d_b = bbox_b.enlargement(entry.bbox)
+        diff = abs(d_a - d_b)
+        if diff > best_diff:
+            best_diff = diff
+            best_entry = entry
+    d_a = bbox_a.enlargement(best_entry.bbox)
+    d_b = bbox_b.enlargement(best_entry.bbox)
+    if d_a != d_b:
+        prefer_a = d_a < d_b
+    elif bbox_a.area != bbox_b.area:
+        prefer_a = bbox_a.area < bbox_b.area
+    else:
+        prefer_a = size_a <= size_b
+    return best_entry, prefer_a
+
+
+def _split_rstar(
+    entries: Sequence[Entry], min_entries: int
+) -> Tuple[List[Entry], List[Entry]]:
+    """R* split: choose the axis with minimal margin sum, then the
+    distribution with minimal overlap (tie-break on combined area)."""
+    best_axis_entries: Optional[List[Entry]] = None
+    best_axis_margin = math.inf
+    for axis in ("x", "y"):
+        for bound in ("lower", "upper"):
+            ordered = sorted(entries, key=_axis_key(axis, bound))
+            margin = _margin_sum(ordered, min_entries)
+            if margin < best_axis_margin:
+                best_axis_margin = margin
+                best_axis_entries = ordered
+    assert best_axis_entries is not None
+    ordered = best_axis_entries
+    best_split = min_entries
+    best_key = (math.inf, math.inf)
+    for split_at in range(min_entries, len(ordered) - min_entries + 1):
+        bbox_a = BoundingBox.union_all(e.bbox for e in ordered[:split_at])
+        bbox_b = BoundingBox.union_all(e.bbox for e in ordered[split_at:])
+        key = (bbox_a.overlap_area(bbox_b), bbox_a.area + bbox_b.area)
+        if key < best_key:
+            best_key = key
+            best_split = split_at
+    return list(ordered[:best_split]), list(ordered[best_split:])
+
+
+def _axis_key(axis: str, bound: str):
+    if axis == "x":
+        return (lambda e: e.bbox.min_x) if bound == "lower" else (lambda e: e.bbox.max_x)
+    return (lambda e: e.bbox.min_y) if bound == "lower" else (lambda e: e.bbox.max_y)
+
+
+def _margin_sum(ordered: Sequence[Entry], min_entries: int) -> float:
+    total = 0.0
+    for split_at in range(min_entries, len(ordered) - min_entries + 1):
+        bbox_a = BoundingBox.union_all(e.bbox for e in ordered[:split_at])
+        bbox_b = BoundingBox.union_all(e.bbox for e in ordered[split_at:])
+        total += bbox_a.margin + bbox_b.margin
+    return total
+
+
+def _collect_leaf_entries(node: Node) -> List[LeafEntry]:
+    """Flatten a subtree to its stored leaf entries."""
+    collected: List[LeafEntry] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            collected.extend(current.entries)  # type: ignore[arg-type]
+        else:
+            stack.extend(
+                entry.child  # type: ignore[union-attr]
+                for entry in current.entries
+            )
+    return collected
+
+
+def _str_pack(entries: List[Entry], capacity: int, level: int) -> List[Node]:
+    """One level of Sort-Tile-Recursive packing."""
+    count = len(entries)
+    node_count = math.ceil(count / capacity)
+    slice_count = math.ceil(math.sqrt(node_count))
+    by_x = sorted(entries, key=lambda e: e.bbox.center.x)
+    slice_size = math.ceil(count / slice_count)
+    nodes: List[Node] = []
+    for i in range(0, count, slice_size):
+        vertical = sorted(by_x[i : i + slice_size], key=lambda e: e.bbox.center.y)
+        for j in range(0, len(vertical), capacity):
+            nodes.append(Node(level=level, entries=vertical[j : j + capacity]))
+    return nodes

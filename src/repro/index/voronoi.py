@@ -1,0 +1,159 @@
+"""Voronoi-cell computation and the semantic-cache baseline.
+
+Zheng, Lee & Lee ("On Semantic Caching and Query Scheduling for Mobile
+Nearest-Neighbor Search", reference [22] of the paper) cache, together
+with the 1NN answer, the *Voronoi cell* of that answer: as long as the
+client stays inside the cell, its cached NN remains provably correct
+without any communication.  The paper cites this as the closest
+semantic-caching alternative to its peer-sharing scheme, so the
+repository includes it as a runnable baseline.
+
+Cells are computed from scratch by half-plane intersection: the Voronoi
+cell of POI ``p`` within a bounding region is the region intersected
+with every bisector half-plane ``closer-to-p-than-q`` for the other POIs
+``q``.  That is O(n) clips of a convex polygon per cell -- quadratic
+overall, perfectly fine for the POI populations of Tables 3-4, and it
+reuses the library's own polygon clipping rather than an external
+geometry package.  A distance pre-filter keeps the constant small: a POI
+``q`` farther than twice the current cell radius cannot cut the cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+__all__ = ["voronoi_cell", "VoronoiSemanticCache", "VoronoiCacheStats"]
+
+
+def voronoi_cell(
+    pois: Sequence[Tuple[Point, Any]],
+    index: int,
+    bounds: BoundingBox,
+) -> Polygon:
+    """The Voronoi cell of ``pois[index]``, clipped to ``bounds``.
+
+    The cell is the set of points closer to this POI than to any other
+    (ties on bisectors included), intersected with the bounding box.
+    """
+    if not 0 <= index < len(pois):
+        raise IndexError("POI index out of range")
+    site, _ = pois[index]
+    if not bounds.contains_point(site):
+        raise ValueError("the site must lie inside the bounding region")
+    cell: Optional[Polygon] = Polygon(
+        [
+            Point(bounds.min_x, bounds.min_y),
+            Point(bounds.max_x, bounds.min_y),
+            Point(bounds.max_x, bounds.max_y),
+            Point(bounds.min_x, bounds.max_y),
+        ]
+    )
+    # Clip nearest sites first so the cell (and with it the pre-filter
+    # radius) shrinks as fast as possible.
+    others = sorted(
+        (other for i, (other, _) in enumerate(pois) if i != index),
+        key=site.squared_distance_to,
+    )
+    for other in others:
+        if cell is None:
+            break
+        radius = max(site.distance_to(v) for v in cell.vertices)
+        if site.distance_to(other) > 2.0 * radius:
+            # The bisector of a site farther than twice the cell radius
+            # cannot intersect the cell; later sites are farther still.
+            break
+        cell = _clip_bisector(cell, site, other)
+    if cell is None:
+        # Degenerate (coincident sites): fall back to a point-ish sliver.
+        raise ValueError("Voronoi cell degenerated to empty; coincident POIs?")
+    return cell
+
+
+def _clip_bisector(cell: Polygon, site: Point, other: Point) -> Optional[Polygon]:
+    """Keep the half of ``cell`` closer to ``site`` than to ``other``.
+
+    The bisector half-plane ``|x - site| <= |x - other|`` expands to
+    ``2(other - site) . x <= |other|^2 - |site|^2``.
+    """
+    a = 2.0 * (other.x - site.x)
+    b = 2.0 * (other.y - site.y)
+    c = (other.x**2 + other.y**2) - (site.x**2 + site.y**2)
+    if a == 0.0 and b == 0.0:
+        # Coincident sites: the bisector is undefined; treat as no cut.
+        return cell
+    return cell.clip_half_plane(a, b, c)
+
+
+@dataclass
+class VoronoiCacheStats:
+    """Counters for the semantic-cache baseline."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    server_fetches: int = 0
+
+    @property
+    def server_share(self) -> float:
+        return self.server_fetches / self.queries if self.queries else 0.0
+
+
+class VoronoiSemanticCache:
+    """The Zheng et al. 1NN semantic cache, as a client-side component.
+
+    The client holds at most ``capacity`` (answer, cell) pairs.  A query
+    at position ``q`` is a cache hit when ``q`` falls inside a cached
+    cell -- the cached POI is then provably the nearest neighbor.  On a
+    miss the client "contacts the server": this implementation computes
+    the answer and its cell directly from the POI table it was given
+    (the server-side cost model is out of scope for the baseline; the
+    interesting metric is the *contact rate*).
+    """
+
+    def __init__(
+        self,
+        pois: Sequence[Tuple[Point, Any]],
+        bounds: BoundingBox,
+        capacity: int = 8,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if not pois:
+            raise ValueError("the POI table must be non-empty")
+        self._pois = list(pois)
+        self._bounds = bounds
+        self.capacity = capacity
+        self._cells: List[Tuple[Polygon, Point, Any]] = []
+        self.stats = VoronoiCacheStats()
+
+    def query(self, position: Point) -> Tuple[Point, Any]:
+        """1NN of ``position``: from a cached cell when possible."""
+        self.stats.queries += 1
+        for slot, (cell, point, payload) in enumerate(self._cells):
+            if cell.contains_point(position):
+                self.stats.cache_hits += 1
+                # Touch-to-front LRU.
+                self._cells.insert(0, self._cells.pop(slot))
+                return point, payload
+        return self._fetch(position)
+
+    def _fetch(self, position: Point) -> Tuple[Point, Any]:
+        self.stats.server_fetches += 1
+        index = min(
+            range(len(self._pois)),
+            key=lambda i: position.squared_distance_to(self._pois[i][0]),
+        )
+        point, payload = self._pois[index]
+        cell = voronoi_cell(self._pois, index, self._bounds)
+        self._cells.insert(0, (cell, point, payload))
+        if len(self._cells) > self.capacity:
+            self._cells.pop()
+        return point, payload
+
+    @property
+    def cached_cells(self) -> int:
+        return len(self._cells)

@@ -1,0 +1,44 @@
+"""Persistence: JSON serialization for worlds and experiment results.
+
+Reproducibility infrastructure: simulation worlds (road networks, POI
+sets) and regenerated figure series can be written to disk and reloaded
+bit-for-bit, so an experiment archive is self-contained without
+re-running the generators.
+
+- :mod:`repro.io.networks` -- road-network save/load;
+- :mod:`repro.io.pois` -- POI-set save/load;
+- :mod:`repro.io.figures` -- FigureResult save/load plus CSV export.
+"""
+
+from repro.io.figures import (
+    figure_from_dict,
+    figure_to_csv_rows,
+    figure_to_dict,
+    load_figure,
+    save_figure,
+    write_figure_csv,
+)
+from repro.io.networks import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.io.pois import load_pois, pois_from_dict, pois_to_dict, save_pois
+
+__all__ = [
+    "figure_from_dict",
+    "figure_to_csv_rows",
+    "figure_to_dict",
+    "load_figure",
+    "load_network",
+    "load_pois",
+    "network_from_dict",
+    "network_to_dict",
+    "pois_from_dict",
+    "pois_to_dict",
+    "save_figure",
+    "save_network",
+    "save_pois",
+    "write_figure_csv",
+]

@@ -1,0 +1,92 @@
+"""Persistence and CSV export for experiment results.
+
+A :class:`~repro.experiments.runner.FigureResult` archives to JSON
+(lossless round trip) and exports to flat CSV rows
+(``figure, region, series, x, value``) for external plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.experiments.runner import FigureResult
+
+__all__ = [
+    "figure_to_dict",
+    "figure_from_dict",
+    "figure_to_csv_rows",
+    "save_figure",
+    "load_figure",
+    "write_figure_csv",
+]
+
+_FORMAT = "repro.figure-result"
+_VERSION = 1
+
+
+def figure_to_dict(result: FigureResult) -> Dict[str, Any]:
+    """Serialize a figure result to a JSON-compatible dictionary."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "xs": list(result.xs),
+        "series": {
+            region: {label: list(values) for label, values in labelled.items()}
+            for region, labelled in result.series.items()
+        },
+        "notes": result.notes,
+    }
+
+
+def figure_from_dict(data: Dict[str, Any]) -> FigureResult:
+    """Rebuild a figure result from :func:`figure_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a serialized figure result: {data.get('format')!r}")
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version: {data.get('version')!r}")
+    result = FigureResult(
+        figure_id=data["figure_id"],
+        title=data["title"],
+        x_label=data["x_label"],
+        xs=[float(x) for x in data["xs"]],
+        notes=data.get("notes", ""),
+    )
+    for region, labelled in data["series"].items():
+        result.series[region] = {
+            label: [float(v) for v in values] for label, values in labelled.items()
+        }
+    return result
+
+
+def figure_to_csv_rows(result: FigureResult) -> List[Tuple[str, str, str, float, float]]:
+    """Flatten a figure into ``(figure, region, series, x, value)`` rows."""
+    rows = []
+    for region, labelled in result.series.items():
+        for label, values in labelled.items():
+            for x, value in zip(result.xs, values):
+                rows.append((result.figure_id, region, label, x, value))
+    return rows
+
+
+def write_figure_csv(result: FigureResult, path: Union[str, Path]) -> None:
+    """Write the flattened series as a CSV file with a header row."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["figure", "region", "series", "x", "value"])
+        writer.writerows(figure_to_csv_rows(result))
+
+
+def save_figure(result: FigureResult, path: Union[str, Path]) -> None:
+    """Write the figure result as JSON to ``path``."""
+    Path(path).write_text(json.dumps(figure_to_dict(result), indent=1))
+
+
+def load_figure(path: Union[str, Path]) -> FigureResult:
+    """Read a figure result previously written by :func:`save_figure`."""
+    return figure_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,77 @@
+"""JSON persistence for road networks.
+
+The serialized form is deliberately plain: a node table (id, x, y) and
+an edge table (u, v, length, road class name).  Node ids are compacted
+on save and re-assigned on load, so a round-tripped network is
+structurally identical even if the original ids had gaps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.geometry.point import Point
+from repro.network.graph import RoadClass, SpatialNetwork
+
+__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+
+_FORMAT = "repro.spatial-network"
+_VERSION = 1
+
+
+def network_to_dict(network: SpatialNetwork) -> Dict[str, Any]:
+    """Serialize a network to a JSON-compatible dictionary."""
+    node_ids = sorted(network.node_ids())
+    compact = {node_id: index for index, node_id in enumerate(node_ids)}
+    nodes = []
+    for node_id in node_ids:
+        position = network.node_position(node_id)
+        nodes.append({"x": position.x, "y": position.y})
+    edges = []
+    for edge in sorted(network.edges(), key=lambda e: e.key()):
+        edges.append(
+            {
+                "u": compact[edge.u],
+                "v": compact[edge.v],
+                "length": edge.length,
+                "road_class": edge.road_class.name,
+            }
+        )
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> SpatialNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a serialized spatial network: {data.get('format')!r}")
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version: {data.get('version')!r}")
+    network = SpatialNetwork()
+    ids = []
+    for node in data["nodes"]:
+        ids.append(network.add_node(Point(float(node["x"]), float(node["y"]))))
+    for edge in data["edges"]:
+        network.add_edge(
+            ids[int(edge["u"])],
+            ids[int(edge["v"])],
+            road_class=RoadClass[edge["road_class"]],
+            length=float(edge["length"]),
+        )
+    return network
+
+
+def save_network(network: SpatialNetwork, path: Union[str, Path]) -> None:
+    """Write the network as JSON to ``path``."""
+    Path(path).write_text(json.dumps(network_to_dict(network), indent=1))
+
+
+def load_network(path: Union[str, Path]) -> SpatialNetwork:
+    """Read a network previously written by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text()))

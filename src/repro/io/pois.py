@@ -1,0 +1,54 @@
+"""JSON persistence for POI sets.
+
+Payloads must be JSON-serializable (the library's own generators use
+string ids).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.geometry.point import Point
+
+__all__ = ["pois_to_dict", "pois_from_dict", "save_pois", "load_pois"]
+
+_FORMAT = "repro.poi-set"
+_VERSION = 1
+
+PoiList = List[Tuple[Point, Any]]
+
+
+def pois_to_dict(pois: PoiList) -> Dict[str, Any]:
+    """Serialize a POI list to a JSON-compatible dictionary."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "pois": [
+            {"x": point.x, "y": point.y, "payload": payload}
+            for point, payload in pois
+        ],
+    }
+
+
+def pois_from_dict(data: Dict[str, Any]) -> PoiList:
+    """Rebuild a POI list from :func:`pois_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a serialized POI set: {data.get('format')!r}")
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version: {data.get('version')!r}")
+    return [
+        (Point(float(item["x"]), float(item["y"])), item["payload"])
+        for item in data["pois"]
+    ]
+
+
+def save_pois(pois: PoiList, path: Union[str, Path]) -> None:
+    """Write the POI set as JSON to ``path``."""
+    Path(path).write_text(json.dumps(pois_to_dict(pois), indent=1))
+
+
+def load_pois(path: Union[str, Path]) -> PoiList:
+    """Read a POI set previously written by :func:`save_pois`."""
+    return pois_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,47 @@
+"""Spatial (road) network substrate.
+
+Section 3.4 of the paper extends SENN to network distances: mobile hosts
+carry a local *modeling graph* of the road network, compute shortest-path
+distances with Dijkstra's algorithm, and run an IER-style incremental
+search.  This package provides all of that from scratch:
+
+- :mod:`repro.network.graph` -- the modeling graph (junctions, segment
+  endpoints and auxiliary points), road classes with speed limits, and
+  point snapping onto edges;
+- :mod:`repro.network.dijkstra` -- single/multi-source shortest paths with
+  early termination, plus exact point-to-point network distance for
+  on-edge locations;
+- :mod:`repro.network.ier` -- Incremental Euclidean Restriction (IER) and
+  Incremental Network Expansion (INE) for network kNN queries;
+- :mod:`repro.network.generator` -- a seeded synthetic TIGER-like road
+  network generator (the paper used TIGER/LINE vectors; see DESIGN.md for
+  the substitution rationale).
+"""
+
+from repro.network.dijkstra import (
+    network_distance,
+    shortest_path,
+    shortest_path_lengths,
+)
+from repro.network.generator import RoadNetworkSpec, generate_road_network
+from repro.network.graph import Edge, NetworkLocation, RoadClass, SpatialNetwork
+from repro.network.ier import (
+    NetworkNeighbor,
+    incremental_euclidean_restriction,
+    incremental_network_expansion,
+)
+
+__all__ = [
+    "Edge",
+    "NetworkLocation",
+    "NetworkNeighbor",
+    "RoadClass",
+    "RoadNetworkSpec",
+    "SpatialNetwork",
+    "generate_road_network",
+    "incremental_euclidean_restriction",
+    "incremental_network_expansion",
+    "network_distance",
+    "shortest_path",
+    "shortest_path_lengths",
+]

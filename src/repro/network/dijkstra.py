@@ -1,0 +1,122 @@
+"""Shortest paths over the spatial network.
+
+Dijkstra's algorithm [Dijkstra 1959] is the basis for all network-distance
+computations in the paper (Section 3.4).  Three entry points:
+
+- :func:`shortest_path_lengths` -- single- or multi-source distances with
+  optional early termination (target set or distance cutoff);
+- :func:`shortest_path` -- one concrete node-to-node path (used by the
+  road-network mobility model to drive along roads);
+- :func:`network_distance` -- exact distance between two *on-edge*
+  locations, handling the same-edge shortcut and the four endpoint
+  combinations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.network.graph import NetworkLocation, SpatialNetwork
+
+__all__ = ["shortest_path_lengths", "shortest_path", "network_distance"]
+
+
+def shortest_path_lengths(
+    network: SpatialNetwork,
+    sources: Iterable[Tuple[int, float]],
+    targets: Optional[Iterable[int]] = None,
+    cutoff: float = math.inf,
+) -> Dict[int, float]:
+    """Dijkstra from weighted sources.
+
+    ``sources`` is an iterable of ``(node, initial_distance)`` -- the
+    multi-source form lets on-edge locations seed the search with their
+    two endpoint offsets.  The search stops once every node in ``targets``
+    is settled or all reachable nodes within ``cutoff`` are settled.
+    Returns settled distances only.
+    """
+    distances: Dict[int, float] = {}
+    pending: List[Tuple[float, int]] = []
+    for node, initial in sources:
+        if initial < 0.0:
+            raise ValueError("source distances must be non-negative")
+        heapq.heappush(pending, (initial, node))
+    remaining_targets = set(targets) if targets is not None else None
+
+    while pending:
+        dist, node = heapq.heappop(pending)
+        if node in distances:
+            continue
+        if dist > cutoff:
+            break
+        distances[node] = dist
+        if remaining_targets is not None:
+            remaining_targets.discard(node)
+            if not remaining_targets:
+                break
+        for neighbor, edge in network.neighbors(node):
+            if neighbor not in distances:
+                heapq.heappush(pending, (dist + edge.length, neighbor))
+    return distances
+
+
+def shortest_path(
+    network: SpatialNetwork, source: int, target: int
+) -> Optional[List[int]]:
+    """Node sequence of a shortest path, or ``None`` when unreachable."""
+    if source == target:
+        return [source]
+    settled: Dict[int, float] = {}
+    tentative: Dict[int, float] = {source: 0.0}
+    predecessor: Dict[int, int] = {}
+    pending: List[Tuple[float, int]] = [(0.0, source)]
+    while pending:
+        dist, node = heapq.heappop(pending)
+        if node in settled:
+            continue
+        settled[node] = dist
+        if node == target:
+            break
+        for neighbor, edge in network.neighbors(node):
+            if neighbor in settled:
+                continue
+            candidate = dist + edge.length
+            if candidate < tentative.get(neighbor, math.inf):
+                tentative[neighbor] = candidate
+                predecessor[neighbor] = node
+                heapq.heappush(pending, (candidate, neighbor))
+    if target not in settled:
+        return None
+    path = [target]
+    while path[-1] != source:
+        path.append(predecessor[path[-1]])
+    path.reverse()
+    return path
+
+
+def network_distance(
+    network: SpatialNetwork,
+    origin: NetworkLocation,
+    destination: NetworkLocation,
+) -> float:
+    """Exact shortest network distance between two on-edge locations.
+
+    Both the direct along-edge route (when the two locations share an
+    edge) and all endpoint-to-endpoint routes are considered; the minimum
+    wins.  Returns ``inf`` when the locations are disconnected.
+    """
+    best = math.inf
+    if origin.edge.key() == destination.edge.key():
+        best = abs(origin.offset - destination.offset)
+
+    source_seeds = [
+        (origin.edge.u, origin.offset),
+        (origin.edge.v, origin.offset_from_v),
+    ]
+    target_nodes = {destination.edge.u, destination.edge.v}
+    settled = shortest_path_lengths(network, source_seeds, targets=target_nodes)
+    via_u = settled.get(destination.edge.u, math.inf) + destination.offset
+    via_v = settled.get(destination.edge.v, math.inf) + destination.offset_from_v
+    return min(best, via_u, via_v)

@@ -1,0 +1,159 @@
+"""Network-distance kNN algorithms: IER and INE.
+
+Papadias et al. proposed two algorithms for nearest neighbor queries in
+spatial network databases; the paper builds its SNNN algorithm on the
+first one:
+
+- *Incremental Euclidean Restriction* (IER): repeatedly fetch the next
+  Euclidean NN, compute its network distance, and stop once the next
+  Euclidean distance exceeds the current k-th network distance.  The
+  Euclidean lower-bound property (``ED <= ND``) makes this correct.
+- *Incremental Network Expansion* (INE): a Dijkstra-style expansion from
+  the query location that discovers POIs in network-distance order,
+  included as the comparator and as a brute-force oracle for tests.
+
+Both are written against abstract inputs -- an iterator of Euclidean
+neighbors and a network-distance function for IER; the graph plus POI
+locations for INE -- so that the core SNNN algorithm can feed IER from
+*peers and server combined*.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
+
+from repro.index.knn import NeighborResult
+from repro.network.graph import NetworkLocation, SpatialNetwork
+
+__all__ = [
+    "NetworkNeighbor",
+    "incremental_euclidean_restriction",
+    "incremental_network_expansion",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkNeighbor:
+    """A kNN result in network distance.
+
+    ``euclidean_distance`` is kept alongside because SNNN's stopping rule
+    compares the two metrics.
+    """
+
+    payload: Any
+    network_distance: float
+    euclidean_distance: float
+
+
+def incremental_euclidean_restriction(
+    euclidean_source: Iterator[NeighborResult],
+    network_distance_of: Callable[[NeighborResult], float],
+    k: int,
+) -> List[NetworkNeighbor]:
+    """IER-kNN over an incremental Euclidean neighbor stream.
+
+    ``euclidean_source`` must yield neighbors in ascending Euclidean
+    distance; ``network_distance_of`` evaluates the (expensive) network
+    metric.  Stops as soon as the next Euclidean distance exceeds the
+    k-th best network distance found so far (the search upper bound
+    ``S_bound`` of Algorithm 2).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k == 0:
+        return []
+    # Max-heap of the k best network distances (negated).
+    best: List[Tuple[float, int, NetworkNeighbor]] = []
+    order = 0
+
+    def bound() -> float:
+        return -best[0][0] if len(best) == k else math.inf
+
+    for candidate in euclidean_source:
+        if candidate.distance > bound():
+            break
+        nd = network_distance_of(candidate)
+        if math.isinf(nd):
+            continue
+        if nd < bound() or len(best) < k:
+            neighbor = NetworkNeighbor(candidate.payload, nd, candidate.distance)
+            heapq.heappush(best, (-nd, order, neighbor))
+            order += 1
+            if len(best) > k:
+                heapq.heappop(best)
+    ordered = sorted(best, key=lambda item: -item[0])
+    return [item[2] for item in ordered]
+
+
+def incremental_network_expansion(
+    network: SpatialNetwork,
+    origin: NetworkLocation,
+    pois: Sequence[Tuple[NetworkLocation, Any]],
+    k: int,
+) -> List[NetworkNeighbor]:
+    """INE-kNN: Dijkstra expansion from ``origin`` until k POIs are final.
+
+    ``pois`` are POIs snapped onto the network.  The expansion settles
+    nodes in distance order; a POI's candidate distance (via its edge
+    endpoints, or directly when it shares the origin's edge) becomes final
+    once the expansion frontier passes it.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k == 0 or not pois:
+        return []
+
+    # Candidate network distance per POI index; improves as endpoints settle.
+    candidates: Dict[int, float] = {}
+    for index, (location, _) in enumerate(pois):
+        if location.edge.key() == origin.edge.key():
+            candidates[index] = abs(location.offset - origin.offset)
+
+    # Group POIs by incident node for O(1) updates when a node settles.
+    pois_by_node: Dict[int, List[Tuple[int, float]]] = {}
+    for index, (location, _) in enumerate(pois):
+        pois_by_node.setdefault(location.edge.u, []).append((index, location.offset))
+        pois_by_node.setdefault(location.edge.v, []).append(
+            (index, location.offset_from_v)
+        )
+
+    settled: Dict[int, float] = {}
+    pending: List[Tuple[float, int]] = [
+        (origin.offset, origin.edge.u),
+        (origin.offset_from_v, origin.edge.v),
+    ]
+    heapq.heapify(pending)
+
+    def kth_candidate() -> float:
+        if len(candidates) < k:
+            return math.inf
+        return sorted(candidates.values())[k - 1]
+
+    while pending:
+        frontier, node = heapq.heappop(pending)
+        if node in settled:
+            continue
+        # Once the k-th candidate cannot be improved by any unsettled node,
+        # the top-k is final.
+        if kth_candidate() <= frontier:
+            break
+        settled[node] = frontier
+        for index, extra in pois_by_node.get(node, ()):
+            candidate = frontier + extra
+            if candidate < candidates.get(index, math.inf):
+                candidates[index] = candidate
+        for neighbor, edge in network.neighbors(node):
+            if neighbor not in settled:
+                heapq.heappush(pending, (frontier + edge.length, neighbor))
+
+    ordered = sorted(candidates.items(), key=lambda item: item[1])[:k]
+    results = []
+    for index, nd in ordered:
+        location, payload = pois[index]
+        results.append(
+            NetworkNeighbor(payload, nd, origin.point.distance_to(location.point))
+        )
+    return results

@@ -1,0 +1,248 @@
+"""Mobility models: random waypoint and road-network driving.
+
+The paper's movement generator has two modes (Section 4.1):
+
+- *free movement*: the random waypoint model [Broch et al. 1998] -- each
+  host picks a uniform random destination inside the area, travels to it
+  in a straight line at a fixed velocity, pauses for a random interval,
+  and repeats;
+- *road network*: hosts drive along the road graph towards random
+  destination junctions; the travel speed on each segment is the host's
+  desired velocity capped by the segment's speed limit.
+
+Both models expose the same interface: :meth:`Trajectory.advance`
+progresses simulated time and :attr:`Trajectory.position` reports the
+current position.  Advancing is exact (it walks leg by leg), so the
+simulator can use arbitrarily large time steps without drift.
+
+Units: distances in miles, speeds in miles per hour, time in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.network.dijkstra import shortest_path
+from repro.network.graph import SpatialNetwork
+
+__all__ = ["Trajectory", "FreeTrajectory", "RoadTrajectory"]
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+class Trajectory(Protocol):
+    """Common interface of all mobility models."""
+
+    @property
+    def position(self) -> Point:
+        """Current position in plane coordinates (miles)."""
+        ...
+
+    def advance(self, dt_seconds: float) -> Point:
+        """Progress ``dt_seconds`` of simulated time; returns the new position."""
+        ...
+
+
+class StationaryTrajectory:
+    """A host that never moves (the non-moving share, ``M_Percentage``)."""
+
+    def __init__(self, position: Point) -> None:
+        self._position = position
+
+    @property
+    def position(self) -> Point:
+        return self._position
+
+    def advance(self, dt_seconds: float) -> Point:
+        if dt_seconds < 0.0:
+            raise ValueError("dt must be non-negative")
+        return self._position
+
+
+class FreeTrajectory:
+    """Random waypoint movement in a rectangular area."""
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        speed_mph: float,
+        rng: np.random.Generator,
+        pause_max_s: float = 60.0,
+        start: Optional[Point] = None,
+    ) -> None:
+        if width <= 0.0 or height <= 0.0:
+            raise ValueError("area dimensions must be positive")
+        if speed_mph <= 0.0:
+            raise ValueError("speed must be positive")
+        if pause_max_s < 0.0:
+            raise ValueError("pause_max_s must be non-negative")
+        self._width = width
+        self._height = height
+        self._speed_mi_per_s = speed_mph / _SECONDS_PER_HOUR
+        self._pause_max_s = pause_max_s
+        self._rng = rng
+        self._position = start if start is not None else self._random_point()
+        self._destination = self._random_point()
+        self._pause_remaining = 0.0
+
+    @property
+    def position(self) -> Point:
+        return self._position
+
+    def _random_point(self) -> Point:
+        return Point(
+            float(self._rng.uniform(0.0, self._width)),
+            float(self._rng.uniform(0.0, self._height)),
+        )
+
+    def advance(self, dt_seconds: float) -> Point:
+        if dt_seconds < 0.0:
+            raise ValueError("dt must be non-negative")
+        remaining = dt_seconds
+        while remaining > 1e-12:
+            if self._pause_remaining > 0.0:
+                consumed = min(self._pause_remaining, remaining)
+                self._pause_remaining -= consumed
+                remaining -= consumed
+                continue
+            to_destination = self._position.distance_to(self._destination)
+            travel_budget = self._speed_mi_per_s * remaining
+            if travel_budget < to_destination:
+                self._position = self._position.towards(
+                    self._destination, travel_budget
+                )
+                remaining = 0.0
+            else:
+                self._position = self._destination
+                if to_destination > 0.0:
+                    remaining -= to_destination / self._speed_mi_per_s
+                self._pause_remaining = float(
+                    self._rng.uniform(0.0, self._pause_max_s)
+                )
+                self._destination = self._random_point()
+        return self._position
+
+
+class RoadTrajectory:
+    """Driving along the road network between random destinations.
+
+    The host starts at a random network node, plans a shortest path to a
+    random destination node, and drives it edge by edge.  Its speed on
+    each edge is ``min(desired_speed, edge speed limit)`` -- the paper's
+    "each mobile host monitors the speed limit on the road that it is
+    currently traveling on and adjusts its velocity accordingly".
+    """
+
+    def __init__(
+        self,
+        network: SpatialNetwork,
+        desired_speed_mph: float,
+        rng: np.random.Generator,
+        pause_max_s: float = 60.0,
+        start_node: Optional[int] = None,
+    ) -> None:
+        if desired_speed_mph <= 0.0:
+            raise ValueError("desired speed must be positive")
+        if pause_max_s < 0.0:
+            raise ValueError("pause_max_s must be non-negative")
+        if network.node_count < 2:
+            raise ValueError("road mobility needs a network with >= 2 nodes")
+        self._network = network
+        self._desired_mph = desired_speed_mph
+        self._pause_max_s = pause_max_s
+        self._rng = rng
+        self._node_ids = sorted(network.node_ids())
+        self._current_node = (
+            start_node
+            if start_node is not None
+            else int(rng.choice(self._node_ids))
+        )
+        self._position = network.node_position(self._current_node)
+        # Remaining node sequence to drive (excluding the current node).
+        self._route: List[int] = []
+        self._edge_progress = 0.0  # miles along the current edge
+        self._pause_remaining = 0.0
+
+    @property
+    def position(self) -> Point:
+        return self._position
+
+    @property
+    def current_node(self) -> int:
+        """The node the host last departed from (or stands on)."""
+        return self._current_node
+
+    def _plan_route(self) -> None:
+        """Pick a random reachable destination and plan the path to it."""
+        for _ in range(10):
+            destination = int(self._rng.choice(self._node_ids))
+            if destination == self._current_node:
+                continue
+            path = shortest_path(self._network, self._current_node, destination)
+            if path is not None and len(path) > 1:
+                self._route = path[1:]
+                self._edge_progress = 0.0
+                return
+        # Isolated pocket (should not happen on generated networks): stay.
+        self._route = []
+
+    def _edge_speed_mi_per_s(self, u: int, v: int) -> float:
+        edge = self._network.edge_between(u, v)
+        assert edge is not None
+        mph = min(self._desired_mph, edge.speed_limit_mph)
+        return mph / _SECONDS_PER_HOUR
+
+    def advance(self, dt_seconds: float) -> Point:
+        if dt_seconds < 0.0:
+            raise ValueError("dt must be non-negative")
+        remaining = dt_seconds
+        while remaining > 1e-12:
+            if self._pause_remaining > 0.0:
+                consumed = min(self._pause_remaining, remaining)
+                self._pause_remaining -= consumed
+                remaining -= consumed
+                continue
+            if not self._route:
+                self._plan_route()
+                if not self._route:
+                    break
+            next_node = self._route[0]
+            edge = self._network.edge_between(self._current_node, next_node)
+            assert edge is not None
+            speed = self._edge_speed_mi_per_s(self._current_node, next_node)
+            edge_left = edge.length - self._edge_progress
+            travel_budget = speed * remaining
+            if travel_budget < edge_left:
+                self._edge_progress += travel_budget
+                remaining = 0.0
+            else:
+                remaining -= edge_left / speed
+                self._current_node = next_node
+                self._route.pop(0)
+                self._edge_progress = 0.0
+                if not self._route:
+                    # Arrived at the destination: pause, then re-plan lazily.
+                    self._pause_remaining = float(
+                        self._rng.uniform(0.0, self._pause_max_s)
+                    )
+            self._update_position()
+        return self._position
+
+    def _update_position(self) -> None:
+        if not self._route:
+            self._position = self._network.node_position(self._current_node)
+            return
+        next_node = self._route[0]
+        start = self._network.node_position(self._current_node)
+        end = self._network.node_position(next_node)
+        edge = self._network.edge_between(self._current_node, next_node)
+        assert edge is not None
+        fraction = self._edge_progress / edge.length
+        self._position = Point(
+            start.x + (end.x - start.x) * fraction,
+            start.y + (end.y - start.y) * fraction,
+        )

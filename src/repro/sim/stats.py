@@ -1,0 +1,131 @@
+"""Simulation metrics: the SQRR breakdown of Section 4.
+
+The paper's mobile-host metric is the *spatial query request rate*
+(SQRR): the share of client queries that must be processed by the remote
+server.  Its figures additionally split the peer-resolved share into
+single-peer and multi-peer buckets.  :class:`SimulationMetrics`
+accumulates tier counts and reports the three percentage series the
+figures plot, plus the server-side page-access statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.senn import ResolutionTier
+
+__all__ = ["SimulationMetrics"]
+
+
+@dataclass
+class SimulationMetrics:
+    """Aggregated outcome of one simulation run."""
+
+    tier_counts: Dict[ResolutionTier, int] = field(
+        default_factory=lambda: {tier: 0 for tier in ResolutionTier}
+    )
+    total_server_pages: int = 0
+    server_query_count: int = 0
+    warmup_queries: int = 0
+    # P2P communication overhead (the cost side of the trade-off).
+    total_peer_probes: int = 0
+    total_tuples_received: int = 0
+    # Latency accounting (populated when the simulation has a model).
+    total_latency_ms: float = 0.0
+    latency_by_tier: Dict[ResolutionTier, float] = field(
+        default_factory=lambda: {tier: 0.0 for tier in ResolutionTier}
+    )
+
+    def record(
+        self,
+        tier: ResolutionTier,
+        server_pages: int = 0,
+        peer_probes: int = 0,
+        tuples_received: int = 0,
+        latency_ms: float = 0.0,
+    ) -> None:
+        self.tier_counts[tier] += 1
+        self.total_peer_probes += peer_probes
+        self.total_tuples_received += tuples_received
+        self.total_latency_ms += latency_ms
+        self.latency_by_tier[tier] += latency_ms
+        if tier is ResolutionTier.SERVER:
+            self.total_server_pages += server_pages
+            self.server_query_count += 1
+
+    # ------------------------------------------------------------------
+    # derived statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_queries(self) -> int:
+        return sum(self.tier_counts.values())
+
+    def share(self, tier: ResolutionTier) -> float:
+        """Fraction of recorded queries resolved at ``tier`` (0-1)."""
+        total = self.total_queries
+        return self.tier_counts[tier] / total if total else 0.0
+
+    @property
+    def server_share(self) -> float:
+        """SQRR: the fraction of queries the server had to process."""
+        return self.share(ResolutionTier.SERVER)
+
+    @property
+    def single_peer_share(self) -> float:
+        """Queries solved by one peer's cache (the host's own included --
+        it is a cached result from a single past query location)."""
+        return self.share(ResolutionTier.LOCAL_CACHE) + self.share(
+            ResolutionTier.SINGLE_PEER
+        )
+
+    @property
+    def multi_peer_share(self) -> float:
+        return self.share(ResolutionTier.MULTI_PEER)
+
+    @property
+    def peer_share(self) -> float:
+        """All queries answered without the server (certain answers only)."""
+        return self.single_peer_share + self.multi_peer_share
+
+    def mean_server_pages(self) -> float:
+        """Mean page accesses per server-processed query (the PAR input)."""
+        if self.server_query_count == 0:
+            return 0.0
+        return self.total_server_pages / self.server_query_count
+
+    def mean_peer_probes(self) -> float:
+        """Mean ad-hoc probes sent per query (communication overhead)."""
+        total = self.total_queries
+        return self.total_peer_probes / total if total else 0.0
+
+    def mean_tuples_received(self) -> float:
+        """Mean NN tuples transferred over the P2P channel per query."""
+        total = self.total_queries
+        return self.total_tuples_received / total if total else 0.0
+
+    def mean_latency_ms(self) -> float:
+        """Mean query latency under the simulation's latency model."""
+        total = self.total_queries
+        return self.total_latency_ms / total if total else 0.0
+
+    def mean_latency_for(self, tier: ResolutionTier) -> float:
+        """Mean latency of queries resolved at ``tier``."""
+        count = self.tier_counts[tier]
+        return self.latency_by_tier[tier] / count if count else 0.0
+
+    def percentages(self) -> Dict[str, float]:
+        """The three series of Figures 9-16, in percent."""
+        return {
+            "server": 100.0 * self.server_share,
+            "single_peer": 100.0 * self.single_peer_share,
+            "multi_peer": 100.0 * self.multi_peer_share,
+        }
+
+    def __repr__(self) -> str:
+        p = self.percentages()
+        return (
+            f"SimulationMetrics(queries={self.total_queries}, "
+            f"server={p['server']:.1f}%, single={p['single_peer']:.1f}%, "
+            f"multi={p['multi_peer']:.1f}%)"
+        )

@@ -1,0 +1,54 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro import cli
+from repro.experiments.runner import FigureResult
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig9" in output
+        assert "fig17" in output
+        assert "snnn-study" in output
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            cli.main(["not-a-figure"])
+
+    def test_runs_experiment(self, capsys, monkeypatch):
+        calls = {}
+
+        def fake(quality, seed=0):
+            calls["quality"] = quality
+            calls["seed"] = seed
+            result = FigureResult("figX", "t", "x", [1.0])
+            result.series["LA"] = {"server": [50.0]}
+            return result
+
+        monkeypatch.setitem(cli._FIGURES, "fig9", fake)
+        assert cli.main(["fig9", "--quality", "fast", "--seed", "7"]) == 0
+        assert calls["seed"] == 7
+        assert calls["quality"].value == "fast"
+        output = capsys.readouterr().out
+        assert "figX" in output
+        assert "finished in" in output
+
+    def test_renders_dict_results(self, capsys, monkeypatch):
+        monkeypatch.setitem(
+            cli._FIGURES, "snnn-study", lambda quality, seed=0: {"metric": 1.0}
+        )
+        assert cli.main(["snnn-study"]) == 0
+        assert "metric" in capsys.readouterr().out
+
+    def test_full_quality_flag(self, monkeypatch):
+        seen = {}
+        monkeypatch.setitem(
+            cli._FIGURES,
+            "fig9",
+            lambda quality, seed=0: seen.setdefault("q", quality) or {"ok": 1},
+        )
+        cli.main(["fig9", "--quality", "full"])
+        assert seen["q"].value == "full"

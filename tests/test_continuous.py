@@ -1,0 +1,209 @@
+"""Tests for the continuous-query package (k-NNMP baselines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continuous.multistep import bounded_multistep_knn, naive_multistep_knn
+from repro.continuous.splitpoints import continuous_nearest_segment
+from repro.continuous.trajectory import Trajectory
+from repro.core.server import SpatialDatabaseServer
+from repro.geometry.point import Point
+
+coord = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+def make_pois(n=40, seed=0, extent=10.0):
+    rng = np.random.default_rng(seed)
+    return [
+        (Point(float(x), float(y)), f"poi-{i}")
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, extent, n), rng.uniform(0, extent, n))
+        )
+    ]
+
+
+class TestTrajectory:
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ValueError):
+            Trajectory([Point(0, 0)])
+
+    def test_duplicate_waypoints_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory([Point(0, 0), Point(0, 0)])
+
+    def test_length(self):
+        t = Trajectory([Point(0, 0), Point(3, 0), Point(3, 4)])
+        assert t.length == pytest.approx(7.0)
+
+    def test_point_at(self):
+        t = Trajectory([Point(0, 0), Point(3, 0), Point(3, 4)])
+        assert t.point_at(0.0) == Point(0, 0)
+        assert t.point_at(1.5) == Point(1.5, 0.0)
+        p = t.point_at(5.0)
+        assert p.x == pytest.approx(3.0)
+        assert p.y == pytest.approx(2.0)
+        assert t.point_at(100.0) == Point(3, 4)
+        assert t.point_at(-1.0) == Point(0, 0)
+
+    def test_sample_includes_endpoints(self):
+        t = Trajectory([Point(0, 0), Point(10, 0)])
+        samples = t.sample(3.0)
+        assert samples[0] == Point(0, 0)
+        assert samples[-1] == Point(10, 0)
+        assert len(samples) == 5  # 0, 3, 6, 9, 10
+
+    def test_sample_bad_interval(self):
+        with pytest.raises(ValueError):
+            Trajectory([Point(0, 0), Point(1, 0)]).sample(0.0)
+
+    def test_segments(self):
+        t = Trajectory([Point(0, 0), Point(1, 0), Point(1, 1)])
+        assert t.segments() == [(Point(0, 0), Point(1, 0)), (Point(1, 0), Point(1, 1))]
+
+    @given(st.lists(
+               st.builds(
+                   lambda x, y: Point(float(x), float(y)),
+                   st.integers(min_value=-50, max_value=50),
+                   st.integers(min_value=-50, max_value=50),
+               ),
+               min_size=2, max_size=6, unique_by=lambda p: (p.x, p.y)),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_point_at_on_polyline(self, waypoints, fraction):
+        t = Trajectory(waypoints)
+        p = t.point_at(fraction * t.length)
+        # The point must lie on one of the legs (distance ~ 0 to segment).
+        def seg_dist(q, a, b):
+            length_sq = a.squared_distance_to(b)
+            u = ((q.x - a.x) * (b.x - a.x) + (q.y - a.y) * (b.y - a.y)) / length_sq
+            u = min(1.0, max(0.0, u))
+            proj = Point(a.x + u * (b.x - a.x), a.y + u * (b.y - a.y))
+            return q.distance_to(proj)
+
+        assert min(seg_dist(p, a, b) for a, b in t.segments()) < 1e-6
+
+
+class TestMultistep:
+    def _setup(self, seed=0):
+        pois = make_pois(seed=seed)
+        server = SpatialDatabaseServer.from_points(pois)
+        trajectory = Trajectory([Point(1, 1), Point(8, 2), Point(8, 8)])
+        positions = trajectory.sample(0.4)
+        return pois, server, positions
+
+    def test_naive_matches_brute_force(self):
+        pois, server, positions = self._setup()
+        result = naive_multistep_knn(server, positions, 3)
+        for position, answer in zip(positions, result.per_point):
+            expected = sorted(position.distance_to(p) for p, _ in pois)[:3]
+            assert [r.distance for r in answer] == pytest.approx(expected)
+        assert result.server_queries == len(positions)
+
+    def test_bounded_matches_naive_answers(self):
+        pois, server_a, positions = self._setup(seed=1)
+        server_b = SpatialDatabaseServer.from_points(pois)
+        naive = naive_multistep_knn(server_a, positions, 3)
+        bounded = bounded_multistep_knn(server_b, positions, 3)
+        for a, b in zip(naive.per_point, bounded.per_point):
+            assert [x.distance for x in a] == pytest.approx(
+                [y.distance for y in b]
+            )
+
+    def test_bounded_saves_server_queries(self):
+        pois, server_a, positions = self._setup(seed=2)
+        server_b = SpatialDatabaseServer.from_points(pois)
+        naive = naive_multistep_knn(server_a, positions, 3)
+        bounded = bounded_multistep_knn(server_b, positions, 3)
+        assert bounded.server_queries < naive.server_queries
+
+    def test_small_database_single_fetch(self):
+        pois = make_pois(n=4)
+        server = SpatialDatabaseServer.from_points(pois)
+        positions = Trajectory([Point(0, 0), Point(9, 9)]).sample(0.5)
+        result = bounded_multistep_knn(server, positions, 3, fetch_count=10)
+        # m exceeds the population: one fetch covers the whole trajectory.
+        assert result.server_queries == 1
+
+    def test_validation(self):
+        server = SpatialDatabaseServer.from_points(make_pois(n=5))
+        with pytest.raises(ValueError):
+            naive_multistep_knn(server, [Point(0, 0)], 0)
+        with pytest.raises(ValueError):
+            bounded_multistep_knn(server, [Point(0, 0)], 0)
+        with pytest.raises(ValueError):
+            bounded_multistep_knn(server, [Point(0, 0)], 3, fetch_count=3)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_property_bounded_correct(self, seed):
+        rng = np.random.default_rng(seed)
+        pois = make_pois(n=int(rng.integers(5, 40)), seed=seed)
+        server = SpatialDatabaseServer.from_points(pois)
+        k = int(rng.integers(1, 4))
+        a = Point(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+        b = Point(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+        if a == b:
+            b = Point(a.x + 1.0, a.y)
+        positions = Trajectory([a, b]).sample(0.7)
+        result = bounded_multistep_knn(server, positions, k)
+        for position, answer in zip(positions, result.per_point):
+            expected = sorted(position.distance_to(p) for p, _ in pois)[:k]
+            assert [r.distance for r in answer] == pytest.approx(expected)
+
+
+class TestSplitPoints:
+    def test_single_poi(self):
+        intervals = continuous_nearest_segment(
+            [(Point(5, 5), "only")], Point(0, 0), Point(10, 0)
+        )
+        assert len(intervals) == 1
+        assert intervals[0].payload == "only"
+        assert intervals[0].start_t == 0.0
+        assert intervals[0].end_t == 1.0
+
+    def test_empty_pois_rejected(self):
+        with pytest.raises(ValueError):
+            continuous_nearest_segment([], Point(0, 0), Point(1, 0))
+
+    def test_two_pois_one_split(self):
+        pois = [(Point(2, 1), "left"), (Point(8, 1), "right")]
+        intervals = continuous_nearest_segment(pois, Point(0, 0), Point(10, 0))
+        assert [i.payload for i in intervals] == ["left", "right"]
+        # The crossing is the bisector x = 5 -> t = 0.5.
+        assert intervals[0].end_t == pytest.approx(0.5)
+
+    def test_degenerate_segment(self):
+        pois = [(Point(0, 1), "near"), (Point(9, 9), "far")]
+        intervals = continuous_nearest_segment(pois, Point(0, 0), Point(0, 0))
+        assert len(intervals) == 1
+        assert intervals[0].payload == "near"
+
+    def test_intervals_cover_unit_range(self):
+        pois = make_pois(n=25, seed=3)
+        intervals = continuous_nearest_segment(pois, Point(0, 0), Point(10, 10))
+        assert intervals[0].start_t == 0.0
+        assert intervals[-1].end_t == pytest.approx(1.0)
+        for a, b in zip(intervals, intervals[1:]):
+            assert b.start_t == pytest.approx(a.end_t)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_sampling_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(2, 30))
+        pois = make_pois(n=count, seed=seed)
+        start = Point(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+        end = Point(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+        if start == end:
+            end = Point(start.x + 1.0, start.y)
+        intervals = continuous_nearest_segment(pois, start, end)
+        # At each interval midpoint the recorded POI is a true NN.
+        for interval in intervals:
+            t = interval.midpoint_t()
+            x = Point(
+                start.x + t * (end.x - start.x), start.y + t * (end.y - start.y)
+            )
+            best = min(x.distance_to(p) for p, _ in pois)
+            assert x.distance_to(interval.point) == pytest.approx(best, abs=1e-6)

@@ -1,0 +1,74 @@
+"""Tests for repro.core.bounds: heap states -> pruning bounds table."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import derive_pruning_bounds
+from repro.core.heap import CandidateHeap, HeapState
+from repro.geometry.point import Point
+
+
+def fill(heap, certain_dists=(), uncertain_dists=()):
+    for i, d in enumerate(certain_dists):
+        heap.add(Point(float(i), 0.0), f"c-{i}", d, True)
+    for i, d in enumerate(uncertain_dists):
+        heap.add(Point(float(i), 1.0), f"u-{i}", d, False)
+    return heap
+
+
+class TestBoundsPerState:
+    def test_state1_full_mixed_both_bounds(self):
+        heap = fill(CandidateHeap(3), certain_dists=[1.0], uncertain_dists=[2.0, 3.0])
+        assert heap.state() is HeapState.FULL_MIXED
+        bounds = derive_pruning_bounds(heap)
+        assert bounds.upper == pytest.approx(3.0)  # last entry
+        assert bounds.lower == pytest.approx(1.0)  # last certain
+
+    def test_state2_full_uncertain_upper_only(self):
+        heap = fill(CandidateHeap(2), uncertain_dists=[2.0, 5.0])
+        assert heap.state() is HeapState.FULL_UNCERTAIN
+        bounds = derive_pruning_bounds(heap)
+        assert bounds.upper == pytest.approx(5.0)
+        assert not bounds.has_lower
+
+    def test_state3_partial_mixed_lower_only(self):
+        heap = fill(CandidateHeap(5), certain_dists=[1.0, 2.0], uncertain_dists=[3.0])
+        assert heap.state() is HeapState.PARTIAL_MIXED
+        bounds = derive_pruning_bounds(heap)
+        assert not bounds.has_upper
+        assert bounds.lower == pytest.approx(2.0)
+
+    def test_state4_partial_certain_lower_only(self):
+        heap = fill(CandidateHeap(5), certain_dists=[1.5, 2.5])
+        assert heap.state() is HeapState.PARTIAL_CERTAIN
+        bounds = derive_pruning_bounds(heap)
+        assert not bounds.has_upper
+        assert bounds.lower == pytest.approx(2.5)
+
+    def test_state5_partial_uncertain_no_bounds(self):
+        heap = fill(CandidateHeap(5), uncertain_dists=[1.0])
+        assert heap.state() is HeapState.PARTIAL_UNCERTAIN
+        bounds = derive_pruning_bounds(heap)
+        assert not bounds.has_upper
+        assert not bounds.has_lower
+
+    def test_state6_empty_no_bounds(self):
+        heap = CandidateHeap(4)
+        assert heap.state() is HeapState.EMPTY
+        bounds = derive_pruning_bounds(heap)
+        assert not bounds.has_upper
+        assert not bounds.has_lower
+
+    def test_complete_heap_both_bounds(self):
+        heap = fill(CandidateHeap(2), certain_dists=[1.0, 2.0])
+        assert heap.state() is HeapState.COMPLETE
+        bounds = derive_pruning_bounds(heap)
+        assert bounds.upper == pytest.approx(2.0)
+        assert bounds.lower == pytest.approx(2.0)
+
+    def test_bounds_consistent(self):
+        """Whenever both bounds exist, lower <= upper."""
+        heap = fill(CandidateHeap(4), certain_dists=[1.0, 2.0], uncertain_dists=[3.0, 4.0])
+        bounds = derive_pruning_bounds(heap)
+        assert bounds.lower <= bounds.upper

@@ -1,0 +1,89 @@
+"""Tests for repro.core.cache."""
+
+import pytest
+
+from repro.core.cache import CachedQueryResult, QueryCache
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult
+
+
+def neighbors(*distances):
+    return [
+        NeighborResult(Point(d, 0.0), f"poi-{i}", d) for i, d in enumerate(distances)
+    ]
+
+
+class TestCachedQueryResult:
+    def test_basic_properties(self):
+        entry = CachedQueryResult(Point(0, 0), tuple(neighbors(1.0, 2.0, 3.0)))
+        assert entry.k == 3
+        assert entry.certain_radius == 3.0
+        assert not entry.is_empty()
+
+    def test_certain_circle(self):
+        entry = CachedQueryResult(Point(1, 1), tuple(neighbors(2.0)))
+        circle = entry.certain_circle()
+        assert circle.center == Point(1, 1)
+        assert circle.radius == 2.0
+
+    def test_empty_result(self):
+        entry = CachedQueryResult(Point(0, 0), ())
+        assert entry.is_empty()
+        assert entry.certain_radius == 0.0
+
+    def test_unsorted_neighbors_rejected(self):
+        bad = [
+            NeighborResult(Point(3, 0), "far", 3.0),
+            NeighborResult(Point(1, 0), "near", 1.0),
+        ]
+        with pytest.raises(ValueError):
+            CachedQueryResult(Point(0, 0), tuple(bad))
+
+
+class TestQueryCache:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            QueryCache(0)
+
+    def test_cold_cache(self):
+        cache = QueryCache(5)
+        assert cache.get() is None
+        assert cache.is_empty()
+
+    def test_store_and_get(self):
+        cache = QueryCache(5)
+        cache.store(Point(0, 0), neighbors(1.0, 2.0))
+        entry = cache.get()
+        assert entry is not None
+        assert entry.k == 2
+        assert not cache.is_empty()
+
+    def test_store_replaces_previous(self):
+        """Policy 1: only the most recent query result is retained."""
+        cache = QueryCache(5)
+        cache.store(Point(0, 0), neighbors(1.0))
+        cache.store(Point(9, 9), neighbors(4.0, 5.0))
+        entry = cache.get()
+        assert entry.query_location == Point(9, 9)
+        assert entry.k == 2
+        assert cache.store_count == 2
+
+    def test_capacity_truncates_to_nearest(self):
+        cache = QueryCache(2)
+        cache.store(Point(0, 0), neighbors(3.0, 1.0, 2.0))
+        entry = cache.get()
+        assert entry.k == 2
+        assert [n.distance for n in entry.neighbors] == [1.0, 2.0]
+        # Certain radius shrinks with the truncation and stays exact.
+        assert entry.certain_radius == 2.0
+
+    def test_clear(self):
+        cache = QueryCache(3)
+        cache.store(Point(0, 0), neighbors(1.0))
+        cache.clear()
+        assert cache.is_empty()
+
+    def test_timestamp_recorded(self):
+        cache = QueryCache(3)
+        entry = cache.store(Point(0, 0), neighbors(1.0), timestamp=42.0)
+        assert entry.timestamp == 42.0

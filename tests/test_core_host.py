@@ -1,0 +1,116 @@
+"""Tests for repro.core.host."""
+
+import numpy as np
+import pytest
+
+from repro.core.host import MobileHost
+from repro.core.senn import ResolutionTier, SennConfig
+from repro.core.server import SpatialDatabaseServer
+from repro.geometry.point import Point
+from repro.network.generator import RoadNetworkSpec, generate_road_network
+
+
+def make_pois(n=40, seed=0, extent=10.0):
+    rng = np.random.default_rng(seed)
+    return [
+        (Point(float(x), float(y)), f"poi-{i}")
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, extent, n), rng.uniform(0, extent, n))
+        )
+    ]
+
+
+CONFIG = SennConfig(k=3, transmission_range=1.0, cache_capacity=10)
+
+
+class TestRangeAndPeers:
+    def test_in_range(self):
+        a = MobileHost(1, Point(0, 0), CONFIG)
+        b = MobileHost(2, Point(0.5, 0), CONFIG)
+        c = MobileHost(3, Point(5, 0), CONFIG)
+        assert a.in_range_of(b)
+        assert not a.in_range_of(c)
+
+    def test_reachable_peers_excludes_self(self):
+        a = MobileHost(1, Point(0, 0), CONFIG)
+        b = MobileHost(2, Point(0.2, 0), CONFIG)
+        peers = a.reachable_peers([a, b])
+        assert peers == [b]
+
+
+class TestQueryFlow:
+    def test_cold_start_goes_to_server(self):
+        pois = make_pois()
+        server = SpatialDatabaseServer.from_points(pois)
+        host = MobileHost(1, Point(5, 5), CONFIG)
+        result = host.query_knn(peers=[], server=server)
+        assert result.tier is ResolutionTier.SERVER
+        assert host.queries_issued == 1
+        assert host.resolution_counts[ResolutionTier.SERVER] == 1
+        # Cache was filled with the (over-fetched) certain result.
+        assert not host.cache.is_empty()
+        assert host.cache.get().k == CONFIG.cache_capacity
+
+    def test_repeat_query_hits_local_cache(self):
+        pois = make_pois()
+        server = SpatialDatabaseServer.from_points(pois)
+        host = MobileHost(1, Point(5, 5), CONFIG)
+        host.query_knn(peers=[], server=server)
+        result = host.query_knn(peers=[], server=server)
+        assert result.tier is ResolutionTier.LOCAL_CACHE
+        assert server.queries_served == 1  # no second server round-trip
+
+    def test_peer_sharing_avoids_server(self):
+        pois = make_pois()
+        server = SpatialDatabaseServer.from_points(pois)
+        veteran = MobileHost(1, Point(5, 5), CONFIG)
+        veteran.query_knn(peers=[], server=server)
+
+        newcomer = MobileHost(2, Point(5.05, 5.0), CONFIG)
+        result = newcomer.query_knn(peers=[veteran], server=server)
+        assert result.tier in (
+            ResolutionTier.SINGLE_PEER,
+            ResolutionTier.MULTI_PEER,
+        )
+        assert server.queries_served == 1
+
+    def test_out_of_range_peer_not_consulted(self):
+        pois = make_pois()
+        server = SpatialDatabaseServer.from_points(pois)
+        veteran = MobileHost(1, Point(5, 5), CONFIG)
+        veteran.query_knn(peers=[], server=server)
+        distant = MobileHost(2, Point(9.9, 9.9), CONFIG)
+        result = distant.query_knn(peers=[veteran], server=server)
+        assert result.tier is ResolutionTier.SERVER
+        assert result.peers_consulted == 0
+
+    def test_query_correctness_via_peers(self):
+        pois = make_pois(seed=7)
+        server = SpatialDatabaseServer.from_points(pois)
+        veteran = MobileHost(1, Point(5, 5), CONFIG)
+        veteran.query_knn(peers=[], server=server)
+        newcomer = MobileHost(2, Point(5.02, 5.0), CONFIG)
+        result = newcomer.query_knn(peers=[veteran], server=server)
+        q = newcomer.position
+        expected = sorted(q.distance_to(p) for p, _ in pois)[:3]
+        assert [n.distance for n in result.neighbors][:3] == pytest.approx(expected)
+
+    def test_server_share(self):
+        pois = make_pois()
+        server = SpatialDatabaseServer.from_points(pois)
+        host = MobileHost(1, Point(5, 5), CONFIG)
+        assert host.server_share() == 0.0
+        host.query_knn(peers=[], server=server)  # server
+        host.query_knn(peers=[], server=server)  # local cache
+        assert host.server_share() == pytest.approx(0.5)
+
+    def test_network_query(self):
+        network = generate_road_network(
+            RoadNetworkSpec(width=10.0, height=10.0, secondary_spacing=1.0, seed=0)
+        )
+        pois = [(network.snap(p).point, payload) for p, payload in make_pois(20)]
+        server = SpatialDatabaseServer.from_points(pois)
+        host = MobileHost(1, Point(5, 5), CONFIG)
+        result = host.query_knn_network(network, peers=[], server=server)
+        assert len(result.neighbors) == 3
+        assert host.queries_issued == 1

@@ -1,0 +1,165 @@
+"""Tests for the naive (unverified) sharing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CachedQueryResult
+from repro.core.naive_sharing import (
+    AccuracyReport,
+    evaluate_accuracy,
+    naive_share_query,
+)
+from repro.core.senn import ResolutionTier, SennConfig, senn_query
+from repro.core.server import SpatialDatabaseServer
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult
+
+
+def random_world(seed, poi_count=40, extent=10.0):
+    rng = np.random.default_rng(seed)
+    pois = [
+        (Point(float(x), float(y)), f"poi-{i}")
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, extent, poi_count), rng.uniform(0, extent, poi_count))
+        )
+    ]
+    return rng, pois
+
+
+def knn_cache(pois, location, k):
+    ordered = sorted((location.distance_to(p), i, p) for i, (p, _) in enumerate(pois))
+    return CachedQueryResult(
+        location, tuple(NeighborResult(p, pois[i][1], d) for d, i, p in ordered[:k])
+    )
+
+
+def true_knn(pois, location, k):
+    return sorted(
+        ((location.distance_to(p), payload) for p, payload in pois)
+    )[:k]
+
+
+class TestNaiveShareQuery:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            naive_share_query(Point(0, 0), 0, [], 1.0)
+        with pytest.raises(ValueError):
+            naive_share_query(Point(0, 0), 1, [], -1.0)
+
+    def test_adopts_close_peer(self):
+        _, pois = random_world(0)
+        q = Point(5, 5)
+        peer = knn_cache(pois, Point(5.01, 5.0), 8)
+        result = naive_share_query(q, 3, [peer], adoption_radius=0.5)
+        assert result.tier is ResolutionTier.SINGLE_PEER
+        assert result.adopted_from_distance == pytest.approx(0.01)
+        assert len(result.neighbors) == 3
+
+    def test_rejects_far_peer(self):
+        _, pois = random_world(1)
+        server = SpatialDatabaseServer.from_points(pois)
+        q = Point(1, 1)
+        peer = knn_cache(pois, Point(9, 9), 8)
+        result = naive_share_query(q, 3, [peer], adoption_radius=0.5, server=server)
+        assert result.tier is ResolutionTier.SERVER
+        assert server.queries_served == 1
+
+    def test_no_peers_no_server(self):
+        result = naive_share_query(Point(0, 0), 3, [], adoption_radius=1.0)
+        assert result.tier is ResolutionTier.SERVER
+        assert result.neighbors == []
+
+    def test_adoption_can_be_wrong(self):
+        """The defining flaw: an adopted answer may miss a true NN."""
+        pois = [
+            (Point(0.0, 0.0), "west"),
+            (Point(10.0, 0.0), "east"),
+            (Point(11.0, 0.0), "far-east"),
+        ]
+        # Peer stood far west and cached only the western POI.
+        peer = CachedQueryResult(
+            Point(1.0, 0.0), (NeighborResult(Point(0, 0), "west", 1.0),)
+        )
+        # The querier is near the eastern POIs but adopts anyway.
+        q = Point(7.0, 0.0)
+        result = naive_share_query(q, 1, [peer], adoption_radius=100.0)
+        assert result.tier is ResolutionTier.SINGLE_PEER
+        assert result.neighbors[0].payload == "west"  # wrong: "east" is closer
+
+    def test_senn_never_wrong_same_scenario(self):
+        """SENN refuses to certify in the same scenario."""
+        pois = [
+            (Point(0.0, 0.0), "west"),
+            (Point(10.0, 0.0), "east"),
+            (Point(11.0, 0.0), "far-east"),
+        ]
+        server = SpatialDatabaseServer.from_points(pois)
+        peer = CachedQueryResult(
+            Point(1.0, 0.0), (NeighborResult(Point(0, 0), "west", 1.0),)
+        )
+        result = senn_query(
+            Point(7.0, 0.0), 1, None, [peer], SennConfig(k=1), server=server
+        )
+        assert result.neighbors[0].payload == "east"
+
+
+class TestAccuracyReport:
+    def test_exact_answer(self):
+        report = AccuracyReport()
+        answer = [NeighborResult(Point(1, 0), "a", 1.0)]
+        evaluate_accuracy(answer, [(1.0, "a")], report)
+        assert report.exact_ratio == 1.0
+        assert report.missing_neighbors == 0
+        assert report.mean_distance_error == 0.0
+
+    def test_wrong_answer(self):
+        report = AccuracyReport()
+        answer = [NeighborResult(Point(2, 0), "b", 2.0)]
+        evaluate_accuracy(answer, [(1.0, "a")], report)
+        assert report.exact_ratio == 0.0
+        assert report.missing_neighbors == 1
+        assert report.mean_distance_error == pytest.approx(1.0)
+
+    def test_accumulates(self):
+        report = AccuracyReport()
+        evaluate_accuracy(
+            [NeighborResult(Point(1, 0), "a", 1.0)], [(1.0, "a")], report
+        )
+        evaluate_accuracy(
+            [NeighborResult(Point(3, 0), "c", 3.0)], [(1.0, "a")], report
+        )
+        assert report.total == 2
+        assert report.exact_ratio == 0.5
+
+    def test_empty_report(self):
+        report = AccuracyReport()
+        assert report.exact_ratio == 1.0
+        assert report.mean_distance_error == 0.0
+
+
+class TestStatisticalComparison:
+    def test_naive_sharing_is_measurably_less_accurate(self):
+        """Across many random queries, adoption errs; SENN never does."""
+        rng, pois = random_world(7, poi_count=60)
+        server = SpatialDatabaseServer.from_points(pois)
+        naive_report = AccuracyReport()
+        senn_report = AccuracyReport()
+        k = 3
+        for _ in range(60):
+            q = Point(float(rng.uniform(1, 9)), float(rng.uniform(1, 9)))
+            peer_loc = Point(
+                q.x + float(rng.uniform(-0.8, 0.8)),
+                q.y + float(rng.uniform(-0.8, 0.8)),
+            )
+            cache = knn_cache(pois, peer_loc, 5)
+            truth = true_knn(pois, q, k)
+
+            naive = naive_share_query(q, k, [cache], adoption_radius=2.0)
+            evaluate_accuracy(naive.neighbors, truth, naive_report)
+
+            senn = senn_query(q, k, None, [cache], SennConfig(k=k), server=server)
+            evaluate_accuracy(senn.neighbors[:k], truth, senn_report)
+
+        assert senn_report.exact_ratio == 1.0
+        assert naive_report.exact_ratio < 1.0
+        assert naive_report.mean_distance_error > 0.0

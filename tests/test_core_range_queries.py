@@ -1,0 +1,201 @@
+"""Tests for repro.core.range_queries (Section 5 future-work extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import CachedQueryResult
+from repro.core.host import MobileHost
+from repro.core.range_queries import sharing_range_query
+from repro.core.senn import ResolutionTier, SennConfig
+from repro.core.server import SpatialDatabaseServer
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult
+
+
+def random_world(seed, poi_count=40, extent=10.0):
+    rng = np.random.default_rng(seed)
+    pois = [
+        (Point(float(x), float(y)), f"poi-{i}")
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, extent, poi_count), rng.uniform(0, extent, poi_count))
+        )
+    ]
+    return rng, pois
+
+
+def true_range(pois, location, radius):
+    return sorted(
+        (location.distance_to(p), payload)
+        for p, payload in pois
+        if location.distance_to(p) <= radius
+    )
+
+
+def knn_cache(pois, location, k):
+    ordered = sorted((location.distance_to(p), i, p) for i, (p, _) in enumerate(pois))
+    neighbors = tuple(NeighborResult(p, pois[i][1], d) for d, i, p in ordered[:k])
+    return CachedQueryResult(location, neighbors)
+
+
+def range_cache(pois, location, radius):
+    within = sorted(
+        (location.distance_to(p), i, p)
+        for i, (p, _) in enumerate(pois)
+        if location.distance_to(p) <= radius
+    )
+    neighbors = tuple(NeighborResult(p, pois[i][1], d) for d, i, p in within)
+    return CachedQueryResult(location, neighbors, known_radius=radius)
+
+
+CONFIG = SennConfig(k=3, transmission_range=5.0, cache_capacity=10)
+
+
+class TestKnownRadius:
+    def test_range_cache_certain_radius(self):
+        _, pois = random_world(0)
+        cache = range_cache(pois, Point(5, 5), 2.0)
+        assert cache.certain_radius == 2.0
+
+    def test_empty_range_cache_still_certifies(self):
+        """Knowing a region is empty is knowledge."""
+        cache = CachedQueryResult(Point(0, 0), (), known_radius=3.0)
+        assert not cache.is_empty()
+        assert cache.certain_radius == 3.0
+
+    def test_known_radius_below_farthest_rejected(self):
+        neighbors = (NeighborResult(Point(2, 0), "a", 2.0),)
+        with pytest.raises(ValueError):
+            CachedQueryResult(Point(0, 0), neighbors, known_radius=1.0)
+
+    def test_negative_known_radius_rejected(self):
+        with pytest.raises(ValueError):
+            CachedQueryResult(Point(0, 0), (), known_radius=-1.0)
+
+
+class TestSharingRangeQuery:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            sharing_range_query(Point(0, 0), -1.0, None, [], CONFIG)
+
+    def test_single_peer_covering(self):
+        _, pois = random_world(1)
+        q = Point(5, 5)
+        peer = range_cache(pois, Point(5.1, 5.0), 3.0)
+        result = sharing_range_query(q, 1.0, None, [peer], CONFIG)
+        assert result.tier is ResolutionTier.SINGLE_PEER
+        got = sorted((n.distance, n.payload) for n in result.neighbors)
+        want = true_range(pois, q, 1.0)
+        assert [p for _, p in got] == [p for _, p in want]
+
+    def test_own_cache_covering(self):
+        _, pois = random_world(2)
+        q = Point(5, 5)
+        own = range_cache(pois, Point(5.05, 5.0), 3.0)
+        result = sharing_range_query(q, 1.0, own, [], CONFIG)
+        assert result.tier is ResolutionTier.LOCAL_CACHE
+
+    def test_multi_peer_covering(self):
+        """Two half-covering peers jointly answer the range query."""
+        _, pois = random_world(3)
+        q = Point(5, 5)
+        left = range_cache(pois, Point(3.8, 5.0), 2.0)
+        right = range_cache(pois, Point(6.2, 5.0), 2.0)
+        # Neither covers disk(q, 1.4) alone (1.4 + 1.2 > 2.0).
+        result = sharing_range_query(q, 1.4, None, [left, right], CONFIG)
+        assert result.tier is ResolutionTier.MULTI_PEER
+        got = [n.payload for n in result.neighbors]
+        want = [p for _, p in true_range(pois, q, 1.4)]
+        assert sorted(got) == sorted(want)
+
+    def test_server_fallback(self):
+        _, pois = random_world(4)
+        server = SpatialDatabaseServer.from_points(pois)
+        q = Point(5, 5)
+        result = sharing_range_query(q, 2.0, None, [], CONFIG, server=server)
+        assert result.tier is ResolutionTier.SERVER
+        assert result.server_pages > 0
+        got = [(round(n.distance, 9), n.payload) for n in result.neighbors]
+        want = [(round(d, 9), p) for d, p in true_range(pois, q, 2.0)]
+        assert got == want
+
+    def test_no_server_returns_empty(self):
+        result = sharing_range_query(Point(0, 0), 1.0, None, [], CONFIG)
+        assert result.tier is ResolutionTier.SERVER
+        assert result.neighbors == []
+
+    def test_knn_cache_usable_for_small_radius(self):
+        """A plain kNN cache covers range queries inside Dist(P, n_k)."""
+        _, pois = random_world(5)
+        q = Point(5, 5)
+        peer = knn_cache(pois, Point(5.02, 5.0), 10)
+        radius = peer.certain_radius - q.distance_to(peer.query_location) - 0.01
+        assert radius > 0
+        result = sharing_range_query(q, radius, None, [peer], CONFIG)
+        assert result.answered_by_peers
+        got = sorted(n.payload for n in result.neighbors)
+        want = sorted(p for _, p in true_range(pois, q, radius))
+        assert got == want
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=60, deadline=None)
+    def test_peer_answers_always_exact(self, seed):
+        """Whenever peers answer, the range result equals brute force."""
+        rng, pois = random_world(seed)
+        q = Point(float(rng.uniform(2, 8)), float(rng.uniform(2, 8)))
+        caches = []
+        for _ in range(int(rng.integers(0, 4))):
+            loc = Point(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+            if rng.uniform() < 0.5:
+                caches.append(range_cache(pois, loc, float(rng.uniform(0.5, 3.0))))
+            else:
+                caches.append(knn_cache(pois, loc, int(rng.integers(1, 10))))
+        radius = float(rng.uniform(0.1, 2.5))
+        result = sharing_range_query(q, radius, None, caches, CONFIG)
+        if result.answered_by_peers:
+            got = sorted(n.payload for n in result.neighbors)
+            want = sorted(p for _, p in true_range(pois, q, radius))
+            assert got == want
+
+
+class TestHostRangeQueries:
+    def test_host_range_flow_and_cache_reuse(self):
+        _, pois = random_world(9)
+        server = SpatialDatabaseServer.from_points(pois)
+        config = SennConfig(k=3, transmission_range=1.0, cache_capacity=50)
+        host = MobileHost(1, Point(5, 5), config)
+        first = host.query_range(2.0, peers=[], server=server)
+        assert first.tier is ResolutionTier.SERVER
+        # Second, smaller-radius query answered from the own cached disk.
+        second = host.query_range(1.0, peers=[], server=server)
+        assert second.tier is ResolutionTier.LOCAL_CACHE
+        assert server.queries_served == 1
+
+    def test_host_range_result_shared_with_peer(self):
+        _, pois = random_world(10)
+        server = SpatialDatabaseServer.from_points(pois)
+        config = SennConfig(k=3, transmission_range=1.0, cache_capacity=50)
+        veteran = MobileHost(1, Point(5, 5), config)
+        veteran.query_range(2.0, peers=[], server=server)
+        newcomer = MobileHost(2, Point(5.1, 5.0), config)
+        result = newcomer.query_range(1.0, peers=[veteran], server=server)
+        assert result.tier is ResolutionTier.SINGLE_PEER
+        assert server.queries_served == 1
+
+    def test_range_cache_boosts_knn_sharing(self):
+        """A cached range result also verifies kNN queries (wider circle)."""
+        _, pois = random_world(11)
+        server = SpatialDatabaseServer.from_points(pois)
+        config = SennConfig(k=2, transmission_range=1.0, cache_capacity=50)
+        veteran = MobileHost(1, Point(5, 5), config)
+        veteran.query_range(3.0, peers=[], server=server)
+        newcomer = MobileHost(2, Point(5.05, 5.0), config)
+        result = newcomer.query_knn(k=2, peers=[veteran], server=server)
+        assert result.tier in (
+            ResolutionTier.SINGLE_PEER,
+            ResolutionTier.MULTI_PEER,
+        )
+        q = newcomer.position
+        want = sorted(q.distance_to(p) for p, _ in pois)[:2]
+        assert [n.distance for n in result.neighbors][:2] == pytest.approx(want)

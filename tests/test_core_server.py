@@ -1,0 +1,113 @@
+"""Tests for repro.core.server."""
+
+import numpy as np
+import pytest
+
+from repro.core.server import ServerAlgorithm, SpatialDatabaseServer
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult, PruningBounds
+from repro.index.rtree import RTreeConfig
+
+
+def make_pois(n, seed=0, extent=100.0):
+    rng = np.random.default_rng(seed)
+    return [
+        (Point(float(x), float(y)), f"poi-{i}")
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, extent, n), rng.uniform(0, extent, n))
+        )
+    ]
+
+
+class TestConstruction:
+    def test_from_points_bulk(self):
+        server = SpatialDatabaseServer.from_points(make_pois(100))
+        assert server.poi_count == 100
+
+    def test_from_points_incremental(self):
+        server = SpatialDatabaseServer.from_points(make_pois(50), bulk=False)
+        assert server.poi_count == 50
+
+    def test_empty_server(self):
+        server = SpatialDatabaseServer.from_points([])
+        assert server.poi_count == 0
+        assert server.knn_query(Point(0, 0), 3) == []
+
+
+class TestQueries:
+    def test_knn_correct(self):
+        pois = make_pois(200)
+        server = SpatialDatabaseServer.from_points(pois)
+        q = Point(50, 50)
+        result = server.knn_query(q, 5)
+        expected = sorted(q.distance_to(p) for p, _ in pois)[:5]
+        assert [r.distance for r in result] == pytest.approx(expected)
+
+    def test_all_algorithms_agree(self):
+        pois = make_pois(300, seed=3)
+        q = Point(20, 70)
+        distances = {}
+        for algorithm in ServerAlgorithm:
+            server = SpatialDatabaseServer.from_points(pois, algorithm=algorithm)
+            distances[algorithm] = [r.distance for r in server.knn_query(q, 6)]
+        baseline = distances[ServerAlgorithm.INN]
+        for algorithm, observed in distances.items():
+            assert observed == pytest.approx(baseline), algorithm
+
+    def test_query_counts_pages(self):
+        server = SpatialDatabaseServer.from_points(make_pois(500))
+        server.knn_query(Point(10, 10), 3)
+        assert server.queries_served == 1
+        breakdown = server.last_query_breakdown()
+        assert breakdown is not None and breakdown.total > 0
+        assert server.mean_page_accesses() > 0
+
+    def test_einn_with_bounds_saves_pages(self):
+        pois = make_pois(3000, seed=5)
+        q = Point(50, 50)
+        ordered = sorted((q.distance_to(p), i, p) for i, (p, _) in enumerate(pois))
+        known = [NeighborResult(p, f"poi-{i}", d) for d, i, p in ordered[:4]]
+        bounds = PruningBounds(lower=ordered[3][0], upper=ordered[7][0])
+
+        einn_server = SpatialDatabaseServer.from_points(pois, ServerAlgorithm.EINN)
+        einn_result = einn_server.knn_query(q, 8, bounds, known)
+        inn_server = SpatialDatabaseServer.from_points(pois, ServerAlgorithm.INN)
+        inn_result = inn_server.knn_query(q, 8)
+
+        assert [r.distance for r in einn_result] == pytest.approx(
+            [r.distance for r in inn_result]
+        )
+        assert (
+            einn_server.last_query_breakdown().total
+            <= inn_server.last_query_breakdown().total
+        )
+
+    def test_algorithm_override_per_query(self):
+        server = SpatialDatabaseServer.from_points(make_pois(100))
+        result = server.knn_query(Point(0, 0), 2, algorithm=ServerAlgorithm.DEPTH_FIRST)
+        assert len(result) == 2
+
+    def test_incremental_query(self):
+        pois = make_pois(80)
+        server = SpatialDatabaseServer.from_points(pois)
+        stream = server.incremental_query(Point(0, 0))
+        first_three = [next(stream) for _ in range(3)]
+        distances = [r.distance for r in first_three]
+        assert distances == sorted(distances)
+
+    def test_buffer_pool_enabled(self):
+        server = SpatialDatabaseServer.from_points(
+            make_pois(1000), buffer_capacity=64
+        )
+        for i in range(5):
+            server.knn_query(Point(50, 50), 4)
+        last = server.last_query_breakdown()
+        # Repeated identical queries should be fully buffered by now.
+        assert last.buffer_hits > 0
+
+    def test_reset_statistics(self):
+        server = SpatialDatabaseServer.from_points(make_pois(100))
+        server.knn_query(Point(0, 0), 2)
+        server.reset_statistics()
+        assert server.queries_served == 0
+        assert server.mean_page_accesses() == 0.0

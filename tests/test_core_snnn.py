@@ -1,0 +1,104 @@
+"""Tests for repro.core.snnn (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CachedQueryResult
+from repro.core.senn import SennConfig
+from repro.core.server import SpatialDatabaseServer
+from repro.core.snnn import snnn_query
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult
+from repro.network.dijkstra import network_distance
+from repro.network.generator import RoadNetworkSpec, generate_road_network
+
+
+def build_world(seed=0, poi_count=20, size=2.0):
+    network = generate_road_network(
+        RoadNetworkSpec(width=size, height=size, secondary_spacing=size / 6, seed=seed)
+    )
+    rng = np.random.default_rng(seed + 500)
+    pois = []
+    for i in range(poi_count):
+        raw = Point(float(rng.uniform(0, size)), float(rng.uniform(0, size)))
+        snapped = network.snap(raw)
+        pois.append((snapped.point, f"poi-{i}"))
+    return network, pois, rng
+
+
+def true_network_knn(network, pois, query, k):
+    origin = network.snap(query)
+    ordered = sorted(
+        (network_distance(network, origin, network.snap(p)), payload)
+        for p, payload in pois
+    )
+    return ordered[:k]
+
+
+def true_euclid_knn(pois, location, k):
+    ordered = sorted((location.distance_to(p), i, p) for i, (p, _) in enumerate(pois))
+    return [NeighborResult(p, pois[i][1], d) for d, i, p in ordered[:k]]
+
+
+class TestSnnn:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_matches_brute_force_with_server(self, seed, k):
+        network, pois, rng = build_world(seed)
+        server = SpatialDatabaseServer.from_points(pois)
+        q = Point(float(rng.uniform(0.2, 1.8)), float(rng.uniform(0.2, 1.8)))
+        config = SennConfig(k=k)
+        result = snnn_query(q, k, network, None, [], config, server=server)
+        expected = true_network_knn(network, pois, q, k)
+        assert [r.network_distance for r in result.neighbors] == pytest.approx(
+            [d for d, _ in expected]
+        )
+
+    def test_peer_assisted_query(self):
+        """A well-stocked nearby peer lets SNNN avoid the server entirely
+        when its certain set already covers the network search bound."""
+        network, pois, _ = build_world(3, poi_count=30)
+        server = SpatialDatabaseServer.from_points(pois)
+        q = Point(1.0, 1.0)
+        peer_loc = Point(1.02, 1.0)
+        cache = CachedQueryResult(
+            peer_loc, tuple(true_euclid_knn(pois, peer_loc, 15))
+        )
+        config = SennConfig(k=2, cache_capacity=15)
+        result = snnn_query(q, 2, network, None, [cache], config, server=server)
+        expected = true_network_knn(network, pois, q, 2)
+        assert [r.network_distance for r in result.neighbors] == pytest.approx(
+            [d for d, _ in expected]
+        )
+        assert result.candidates_from_peers > 0
+
+    def test_k_validation(self):
+        network, pois, _ = build_world(0, poi_count=3)
+        with pytest.raises(ValueError):
+            snnn_query(Point(0, 0), 0, network, None, [], SennConfig(k=1))
+
+    def test_results_sorted_by_network_distance(self):
+        network, pois, rng = build_world(4)
+        server = SpatialDatabaseServer.from_points(pois)
+        result = snnn_query(
+            Point(1.0, 1.0), 5, network, None, [], SennConfig(k=5), server=server
+        )
+        nds = [r.network_distance for r in result.neighbors]
+        assert nds == sorted(nds)
+
+    def test_euclidean_lower_bound_in_results(self):
+        network, pois, _ = build_world(5)
+        server = SpatialDatabaseServer.from_points(pois)
+        result = snnn_query(
+            Point(0.5, 0.5), 4, network, None, [], SennConfig(k=4), server=server
+        )
+        for r in result.neighbors:
+            assert r.euclidean_distance <= r.network_distance + 1e-9
+
+    def test_used_server_flag(self):
+        network, pois, _ = build_world(6)
+        server = SpatialDatabaseServer.from_points(pois)
+        result = snnn_query(
+            Point(1.0, 1.0), 3, network, None, [], SennConfig(k=3), server=server
+        )
+        assert result.used_server

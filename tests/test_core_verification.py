@@ -1,0 +1,197 @@
+"""Tests for repro.core.verification: the paper's Lemmas 3.1-3.8 in action.
+
+The decisive property: a verifier may only certify true nearest neighbors,
+with exact ranks.  We build random worlds, give peers genuine kNN caches,
+and compare certified entries against brute force.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import CachedQueryResult
+from repro.core.heap import CandidateHeap
+from repro.core.verification import (
+    collect_candidates,
+    verify_multi_peer,
+    verify_single_peer,
+)
+from repro.geometry.coverage import CoverageMethod
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult
+
+
+def true_knn(pois, location, k):
+    """Brute-force kNN as NeighborResult list."""
+    ordered = sorted((location.distance_to(p), i, p) for i, (p, _) in enumerate(pois))
+    return [
+        NeighborResult(p, pois[i][1], d) for d, i, p in ordered[:k]
+    ]
+
+
+def make_cache(pois, location, k):
+    return CachedQueryResult(location, tuple(true_knn(pois, location, k)))
+
+
+def random_world(seed, poi_count=30, extent=10.0):
+    rng = np.random.default_rng(seed)
+    pois = [
+        (Point(float(x), float(y)), f"poi-{i}")
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, extent, poi_count), rng.uniform(0, extent, poi_count))
+        )
+    ]
+    return rng, pois
+
+
+class TestSinglePeer:
+    def test_identical_location_certifies_everything(self):
+        """A peer at Q's own position certifies all its k-1 nearest."""
+        _, pois = random_world(0)
+        q = Point(5, 5)
+        cache = make_cache(pois, q, 4)
+        heap = CandidateHeap(3)
+        verify_single_peer(q, cache, heap)
+        # delta = 0: n_i certain iff Dist(Q, n_i) <= Dist(Q, n_4); the
+        # first three all satisfy it.
+        assert heap.certain_count >= 3
+        assert heap.is_complete()
+
+    def test_far_peer_certifies_nothing(self):
+        _, pois = random_world(1)
+        q = Point(0, 0)
+        far_peer = Point(1000, 1000)
+        cache = make_cache(pois, far_peer, 3)
+        heap = CandidateHeap(3)
+        certified = verify_single_peer(q, cache, heap)
+        assert certified == 0
+        assert heap.certain_count == 0
+
+    def test_empty_cache_noop(self):
+        heap = CandidateHeap(3)
+        cache = CachedQueryResult(Point(0, 0), ())
+        assert verify_single_peer(Point(1, 1), cache, heap) == 0
+        assert len(heap) == 0
+
+    def test_figure1_scenario(self):
+        """Paper Figure 1: nearby peers' cached 1NNs verified at Q."""
+        # POIs (gas stations) n1..n4 on a line; peers P1 and P2 queried
+        # their 1NN at positions close to Q.
+        pois = [
+            (Point(0.0, 0.0), "n1"),
+            (Point(2.0, 0.0), "n2"),
+            (Point(4.0, 0.0), "n3"),
+            (Point(6.0, 0.0), "n4"),
+        ]
+        q = Point(2.2, 0.1)
+        p1 = Point(2.1, 0.0)  # cached <n2, P1>
+        cache1 = make_cache(pois, p1, 2)  # 2NN so the certain circle is wide
+        heap = CandidateHeap(1)
+        verify_single_peer(q, cache1, heap)
+        assert heap.is_complete()
+        assert heap.certain_entries()[0].payload == "n2"
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=80, deadline=None)
+    def test_soundness_random_worlds(self, seed):
+        """Certified entries are exactly a prefix of the true NN order."""
+        rng, pois = random_world(seed)
+        q = Point(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+        peer = Point(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+        peer_k = int(rng.integers(1, 8))
+        k = int(rng.integers(1, 6))
+        cache = make_cache(pois, peer, peer_k)
+        heap = CandidateHeap(k)
+        verify_single_peer(q, cache, heap)
+        truth = [n.payload for n in true_knn(pois, q, k)]
+        certified = [e.payload for e in heap.certain_entries()]
+        # Certified entries must be the true top-|certified| in order.
+        assert certified == truth[: len(certified)]
+
+
+class TestMultiPeer:
+    def test_two_peers_merge_regions(self):
+        """A candidate uncertifiable by either peer alone becomes certain
+        after merging (the Figure 7 situation)."""
+        # Dense POI field ensures caches with useful radii.
+        pois = [
+            (Point(x, y), f"poi-{x}-{y}")
+            for x in range(-3, 10, 2)
+            for y in range(-3, 10, 2)
+        ]
+        q = Point(3.0, 3.0)
+        left = Point(1.8, 3.0)
+        right = Point(4.2, 3.0)
+        cache_l = make_cache(pois, left, 6)
+        cache_r = make_cache(pois, right, 6)
+        heap_single = CandidateHeap(4)
+        verify_single_peer(q, cache_l, heap_single)
+        verify_single_peer(q, cache_r, heap_single)
+        heap_multi = CandidateHeap(4)
+        verify_single_peer(q, cache_l, heap_multi)
+        verify_single_peer(q, cache_r, heap_multi)
+        verify_multi_peer(q, [cache_l, cache_r], heap_multi)
+        assert heap_multi.certain_count >= heap_single.certain_count
+
+    def test_no_caches_noop(self):
+        heap = CandidateHeap(3)
+        assert verify_multi_peer(Point(0, 0), [], heap) == 0
+
+    @pytest.mark.parametrize(
+        "method", [CoverageMethod.EXACT, CoverageMethod.POLYGON]
+    )
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_soundness_random_worlds(self, method, seed):
+        """Multi-peer certification is sound for both coverage backends."""
+        rng, pois = random_world(seed, poi_count=40)
+        q = Point(float(rng.uniform(2, 8)), float(rng.uniform(2, 8)))
+        caches = []
+        for _ in range(int(rng.integers(2, 5))):
+            peer = Point(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+            caches.append(make_cache(pois, peer, int(rng.integers(2, 8))))
+        k = int(rng.integers(1, 6))
+        heap = CandidateHeap(k)
+        for cache in caches:
+            verify_single_peer(q, cache, heap)
+        verify_multi_peer(q, caches, heap, method=method, polygon_sides=24)
+        truth = [n.payload for n in true_knn(pois, q, k)]
+        certified = [e.payload for e in heap.certain_entries()]
+        assert certified == truth[: len(certified)]
+
+    def test_polygon_never_beats_exact(self):
+        """The polygonized region under-approximates the exact one."""
+        rng, pois = random_world(7, poi_count=40)
+        q = Point(5, 5)
+        caches = [
+            make_cache(pois, Point(4.5, 5.0), 6),
+            make_cache(pois, Point(5.5, 5.0), 6),
+            make_cache(pois, Point(5.0, 4.3), 6),
+        ]
+        counts = {}
+        for method in (CoverageMethod.EXACT, CoverageMethod.POLYGON):
+            heap = CandidateHeap(5)
+            for cache in caches:
+                verify_single_peer(q, cache, heap)
+            verify_multi_peer(q, caches, heap, method=method, polygon_sides=16)
+            counts[method] = heap.certain_count
+        assert counts[CoverageMethod.POLYGON] <= counts[CoverageMethod.EXACT]
+
+
+class TestCollectCandidates:
+    def test_dedup_across_caches(self):
+        pois = [(Point(1, 0), "a"), (Point(2, 0), "b")]
+        cache1 = make_cache(pois, Point(0, 0), 2)
+        cache2 = make_cache(pois, Point(3, 0), 2)
+        candidates = collect_candidates(Point(0, 0), [cache1, cache2])
+        assert len(candidates) == 2
+
+    def test_sorted_by_distance_to_query(self):
+        pois = [(Point(5, 0), "far"), (Point(1, 0), "near")]
+        cache = make_cache(pois, Point(3, 0), 2)
+        candidates = collect_candidates(Point(0, 0), [cache])
+        assert [payload for _, _, payload in candidates] == ["near", "far"]
+
+    def test_empty(self):
+        assert collect_candidates(Point(0, 0), []) == []

@@ -1,0 +1,99 @@
+"""Tests for sharing-based window queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CachedQueryResult
+from repro.core.range_queries import sharing_window_query
+from repro.core.senn import ResolutionTier, SennConfig
+from repro.core.server import SpatialDatabaseServer
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult
+
+
+def random_world(seed, poi_count=40, extent=10.0):
+    rng = np.random.default_rng(seed)
+    return rng, [
+        (Point(float(x), float(y)), f"poi-{i}")
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, extent, poi_count), rng.uniform(0, extent, poi_count))
+        )
+    ]
+
+
+def range_cache(pois, location, radius):
+    within = sorted(
+        (location.distance_to(p), i, p)
+        for i, (p, _) in enumerate(pois)
+        if location.distance_to(p) <= radius
+    )
+    neighbors = tuple(NeighborResult(p, pois[i][1], d) for d, i, p in within)
+    return CachedQueryResult(location, neighbors, known_radius=radius)
+
+
+def true_window(pois, window):
+    return sorted(payload for p, payload in pois if window.contains_point(p))
+
+
+CONFIG = SennConfig(k=3, transmission_range=5.0, cache_capacity=50)
+
+
+class TestSharingWindowQuery:
+    def test_peer_covered_window(self):
+        _, pois = random_world(0)
+        window = BoundingBox(4.0, 4.0, 6.0, 6.0)
+        peer = range_cache(pois, Point(5.0, 5.0), 3.0)
+        result = sharing_window_query(window, None, [peer], CONFIG)
+        assert result.answered_by_peers
+        got = sorted(n.payload for n in result.neighbors)
+        assert got == true_window(pois, window)
+
+    def test_uncovered_goes_to_server(self):
+        _, pois = random_world(1)
+        server = SpatialDatabaseServer.from_points(pois)
+        window = BoundingBox(1.0, 1.0, 9.0, 9.0)
+        peer = range_cache(pois, Point(5.0, 5.0), 1.0)
+        result = sharing_window_query(window, None, [peer], CONFIG, server=server)
+        assert result.tier is ResolutionTier.SERVER
+        assert result.server_pages > 0
+        got = sorted(n.payload for n in result.neighbors)
+        assert got == true_window(pois, window)
+
+    def test_no_server_returns_empty(self):
+        window = BoundingBox(0, 0, 1, 1)
+        result = sharing_window_query(window, None, [], CONFIG)
+        assert result.tier is ResolutionTier.SERVER
+        assert result.neighbors == []
+
+    def test_own_cache_covers(self):
+        _, pois = random_world(2)
+        window = BoundingBox(4.5, 4.5, 5.5, 5.5)
+        own = range_cache(pois, Point(5.0, 5.0), 2.0)
+        result = sharing_window_query(window, own, [], CONFIG)
+        assert result.tier is ResolutionTier.LOCAL_CACHE
+
+    def test_results_sorted_from_center(self):
+        _, pois = random_world(3)
+        server = SpatialDatabaseServer.from_points(pois)
+        window = BoundingBox(2.0, 2.0, 8.0, 8.0)
+        result = sharing_window_query(window, None, [], CONFIG, server=server)
+        distances = [n.distance for n in result.neighbors]
+        assert distances == sorted(distances)
+
+    def test_peer_answers_match_brute_force_randomized(self):
+        rng, pois = random_world(4, poi_count=60)
+        for _ in range(20):
+            cx = float(rng.uniform(2, 8))
+            cy = float(rng.uniform(2, 8))
+            half = float(rng.uniform(0.2, 1.0))
+            window = BoundingBox(cx - half, cy - half, cx + half, cy + half)
+            peer = range_cache(
+                pois,
+                Point(cx + float(rng.uniform(-0.3, 0.3)), cy),
+                float(rng.uniform(0.5, 4.0)),
+            )
+            result = sharing_window_query(window, None, [peer], CONFIG)
+            if result.answered_by_peers:
+                got = sorted(n.payload for n in result.neighbors)
+                assert got == true_window(pois, window)

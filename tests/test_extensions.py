@@ -1,0 +1,170 @@
+"""Tests for the repository's extensions: cache history, communication
+accounting, and the dynamic-POI (R-tree delete) workflow at system level."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import QueryCache
+from repro.core.host import MobileHost
+from repro.core.senn import ResolutionTier, SennConfig
+from repro.core.server import SpatialDatabaseServer
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult
+
+
+def neighbors(*distances):
+    return [
+        NeighborResult(Point(d, 0.0), f"poi-{d}", d) for d in distances
+    ]
+
+
+def make_pois(n=40, seed=0, extent=10.0):
+    rng = np.random.default_rng(seed)
+    return [
+        (Point(float(x), float(y)), f"poi-{i}")
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, extent, n), rng.uniform(0, extent, n))
+        )
+    ]
+
+
+class TestCacheHistory:
+    def test_history_validation(self):
+        with pytest.raises(ValueError):
+            QueryCache(5, history=0)
+
+    def test_single_history_is_policy_1(self):
+        cache = QueryCache(5, history=1)
+        cache.store(Point(0, 0), neighbors(1.0))
+        cache.store(Point(1, 1), neighbors(2.0))
+        assert len(cache.snapshots()) == 1
+        assert cache.get().query_location == Point(1, 1)
+
+    def test_history_retains_last_n(self):
+        cache = QueryCache(5, history=3)
+        for i in range(5):
+            cache.store(Point(float(i), 0.0), neighbors(1.0 + i))
+        snapshots = cache.snapshots()
+        assert len(snapshots) == 3
+        # Newest first.
+        assert [s.query_location.x for s in snapshots] == [4.0, 3.0, 2.0]
+
+    def test_tuple_count(self):
+        cache = QueryCache(5, history=2)
+        cache.store(Point(0, 0), neighbors(1.0, 2.0))
+        cache.store(Point(1, 0), neighbors(1.0, 2.0, 3.0))
+        assert cache.tuple_count() == 5
+
+    def test_clear_empties_history(self):
+        cache = QueryCache(5, history=3)
+        cache.store(Point(0, 0), neighbors(1.0))
+        cache.clear()
+        assert cache.is_empty()
+        assert cache.snapshots() == []
+
+    def test_host_history_config(self):
+        config = SennConfig(k=2, cache_history=3)
+        host = MobileHost(1, Point(0, 0), config)
+        assert host.cache.history == 3
+
+    def test_invalid_history_config(self):
+        with pytest.raises(ValueError):
+            SennConfig(k=2, cache_history=0)
+
+    def test_history_peer_shares_multiple_circles(self):
+        """A peer with history 2 transmits both cached results."""
+        pois = make_pois(seed=3)
+        server = SpatialDatabaseServer.from_points(pois)
+        config = SennConfig(
+            k=3, transmission_range=3.0, cache_capacity=10, cache_history=2
+        )
+        veteran = MobileHost(1, Point(3, 3), config)
+        veteran.query_knn(peers=[], server=server)
+        veteran.position = Point(7, 7)
+        veteran.query_knn(peers=[], server=server)
+        assert len(veteran.cache_snapshots()) == 2
+        # The veteran drives back towards the first area; its *newest*
+        # cache entry is still anchored at (7, 7).
+        veteran.position = Point(3.5, 3.0)
+
+        newcomer = MobileHost(2, Point(3.05, 3.0), config)
+        result = newcomer.query_knn(peers=[veteran], server=server)
+        # The veteran's *older* entry (near 3,3) answers the query even
+        # though its newest one is far away.
+        assert result.tier in (
+            ResolutionTier.SINGLE_PEER,
+            ResolutionTier.MULTI_PEER,
+        )
+
+    def test_own_history_answers_revisited_area(self):
+        """With history > 1, revisiting an earlier area hits own cache."""
+        pois = make_pois(seed=4)
+        server = SpatialDatabaseServer.from_points(pois)
+        config = SennConfig(
+            k=3, transmission_range=1.0, cache_capacity=10, cache_history=2
+        )
+        host = MobileHost(1, Point(2, 2), config)
+        host.query_knn(peers=[], server=server)
+        host.position = Point(8, 8)
+        host.query_knn(peers=[], server=server)
+        host.position = Point(2.02, 2.0)  # back near the first area
+        result = host.query_knn(peers=[], server=server)
+        assert result.answered_by_peers
+        assert server.queries_served == 2
+
+
+class TestCommunicationAccounting:
+    def test_probe_counting(self):
+        pois = make_pois(seed=5)
+        server = SpatialDatabaseServer.from_points(pois)
+        config = SennConfig(k=3, transmission_range=2.0, cache_capacity=10)
+        warm = []
+        for i in range(3):
+            peer = MobileHost(i + 10, Point(5.0 + 0.1 * i, 5.0), config)
+            peer.query_knn(peers=[], server=server)
+            warm.append(peer)
+        host = MobileHost(1, Point(5, 5), config)
+        host.query_knn(peers=warm, server=server)
+        assert host.peer_probes_sent == 3
+        assert host.peer_caches_received == 3
+        assert host.tuples_received == sum(
+            p.cache.tuple_count() for p in warm
+        )
+
+    def test_empty_peers_counted_as_probe_only(self):
+        config = SennConfig(k=3, transmission_range=2.0)
+        cold = MobileHost(2, Point(5.1, 5.0), config)
+        host = MobileHost(1, Point(5, 5), config)
+        host.query_knn(peers=[cold], server=None)
+        assert host.peer_probes_sent == 1
+        assert host.peer_caches_received == 0
+        assert host.tuples_received == 0
+
+    def test_out_of_range_not_probed(self):
+        config = SennConfig(k=3, transmission_range=0.5)
+        far = MobileHost(2, Point(9, 9), config)
+        host = MobileHost(1, Point(0, 0), config)
+        host.query_knn(peers=[far], server=None)
+        assert host.peer_probes_sent == 0
+
+
+class TestDynamicPois:
+    def test_station_closure_reflected_in_queries(self):
+        """Deleting a POI from the server index changes kNN answers."""
+        pois = make_pois(seed=6)
+        server = SpatialDatabaseServer.from_points(pois, bulk=False)
+        q = Point(5, 5)
+        before = server.knn_query(q, 1)
+        closed = before[0]
+        assert server.tree.delete(closed.point, closed.payload)
+        after = server.knn_query(q, 1)
+        assert after[0].payload != closed.payload
+        assert after[0].distance >= before[0].distance
+
+    def test_new_station_opens(self):
+        pois = make_pois(seed=7)
+        server = SpatialDatabaseServer.from_points(pois, bulk=False)
+        q = Point(5, 5)
+        server.tree.insert(Point(5.001, 5.0), "brand-new")
+        result = server.knn_query(q, 1)
+        assert result[0].payload == "brand-new"

@@ -1,0 +1,205 @@
+"""Unit and property tests for repro.geometry.circle."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+
+coord = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+radius = st.floats(min_value=0.01, max_value=50.0, allow_nan=False)
+circles = st.builds(Circle, st.builds(Point, coord, coord), radius)
+
+
+class TestCircleBasics:
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0, 0), -1.0)
+
+    def test_contains_point(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert c.contains_point(Point(1, 1))
+        assert c.contains_point(Point(2, 0))
+        assert not c.contains_point(Point(2.1, 0))
+
+    def test_strict_containment_excludes_boundary(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert not c.strictly_contains_point(Point(2, 0))
+        assert c.strictly_contains_point(Point(1, 0))
+
+    def test_area(self):
+        assert Circle(Point(0, 0), 1.0).area == pytest.approx(math.pi)
+
+    def test_bounding_box(self):
+        box = Circle(Point(1, 2), 3.0).bounding_box()
+        assert box.min_x == -2 and box.max_x == 4
+        assert box.min_y == -1 and box.max_y == 5
+
+    def test_point_at_angle(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert c.point_at_angle(0.0).x == pytest.approx(2.0)
+        p = c.point_at_angle(math.pi / 2)
+        assert p.y == pytest.approx(2.0)
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+
+    def test_through_point(self):
+        c = Circle.through_point(Point(0, 0), Point(3, 4))
+        assert c.radius == pytest.approx(5.0)
+
+
+class TestContainsCircle:
+    def test_nested(self):
+        outer = Circle(Point(0, 0), 5.0)
+        inner = Circle(Point(1, 0), 2.0)
+        assert outer.contains_circle(inner)
+        assert not inner.contains_circle(outer)
+
+    def test_internal_tangency_counts(self):
+        outer = Circle(Point(0, 0), 5.0)
+        inner = Circle(Point(3, 0), 2.0)
+        assert outer.contains_circle(inner)
+
+    def test_overlap_not_contained(self):
+        a = Circle(Point(0, 0), 2.0)
+        b = Circle(Point(3, 0), 2.0)
+        assert not a.contains_circle(b)
+
+    def test_lemma_3_2_form(self):
+        """contains_circle expresses Dist(Q,n_i) + delta <= Dist(P,n_k)."""
+        p = Point(0, 0)  # peer query location
+        q = Point(1, 0)  # querier
+        certain = Circle(p, 4.0)  # Dist(P, n_k) = 4
+        candidate_dist = 2.5  # Dist(Q, n_i)
+        delta = p.distance_to(q)
+        target = Circle(q, candidate_dist)
+        assert (candidate_dist + delta <= 4.0) == certain.contains_circle(target)
+
+
+class TestIntersections:
+    def test_two_point_intersection(self):
+        a = Circle(Point(0, 0), 2.0)
+        b = Circle(Point(2, 0), 2.0)
+        pts = a.boundary_intersections(b)
+        assert len(pts) == 2
+        for p in pts:
+            assert a.center.distance_to(p) == pytest.approx(2.0)
+            assert b.center.distance_to(p) == pytest.approx(2.0)
+
+    def test_tangent_single_point(self):
+        a = Circle(Point(0, 0), 1.0)
+        b = Circle(Point(2, 0), 1.0)
+        pts = a.boundary_intersections(b)
+        assert len(pts) == 1
+        assert pts[0].x == pytest.approx(1.0)
+
+    def test_disjoint_no_intersection(self):
+        a = Circle(Point(0, 0), 1.0)
+        b = Circle(Point(5, 0), 1.0)
+        assert a.boundary_intersections(b) == []
+
+    def test_nested_no_intersection(self):
+        a = Circle(Point(0, 0), 5.0)
+        b = Circle(Point(0.5, 0), 1.0)
+        assert a.boundary_intersections(b) == []
+
+    def test_coincident_returns_empty(self):
+        a = Circle(Point(0, 0), 1.0)
+        assert a.boundary_intersections(a) == []
+
+    @given(circles, circles)
+    def test_intersections_lie_on_both_boundaries(self, a, b):
+        for p in a.boundary_intersections(b):
+            assert a.center.distance_to(p) == pytest.approx(a.radius, rel=1e-6, abs=1e-6)
+            assert b.center.distance_to(p) == pytest.approx(b.radius, rel=1e-6, abs=1e-6)
+
+
+class TestArcCoverage:
+    def test_full_coverage(self):
+        small = Circle(Point(0, 0), 1.0)
+        big = Circle(Point(0.5, 0), 5.0)
+        cov = small.boundary_arc_covered_by(big)
+        assert cov.full and not cov.empty
+
+    def test_no_coverage_disjoint(self):
+        a = Circle(Point(0, 0), 1.0)
+        b = Circle(Point(10, 0), 1.0)
+        cov = a.boundary_arc_covered_by(b)
+        assert cov.empty and not cov.full
+
+    def test_no_coverage_inner(self):
+        a = Circle(Point(0, 0), 5.0)
+        b = Circle(Point(0, 0), 1.0)
+        cov = a.boundary_arc_covered_by(b)
+        assert cov.empty
+
+    def test_partial_coverage_symmetric(self):
+        a = Circle(Point(0, 0), 2.0)
+        b = Circle(Point(2, 0), 2.0)
+        cov = a.boundary_arc_covered_by(b)
+        assert not cov.full and not cov.empty
+        assert cov.center == pytest.approx(0.0)
+        # Intersection points at angle +-pi/3 on circle a.
+        assert cov.half_width == pytest.approx(math.pi / 3)
+
+    @given(circles, circles, st.floats(min_value=-math.pi, max_value=math.pi))
+    def test_arc_membership_matches_pointwise(self, a, b, theta):
+        """A boundary point is in the covered arc iff it is in the disk."""
+        cov = a.boundary_arc_covered_by(b)
+        point = a.point_at_angle(theta)
+        in_disk = b.contains_point(point)
+        if cov.full:
+            assert in_disk or a.center.distance_to(point) == pytest.approx(a.radius)
+        elif cov.empty:
+            # Allow boundary-grazing numerical slack.
+            assert not b.strictly_contains_point(point, tolerance=1e-7)
+        else:
+            delta = abs(_angdiff(theta, cov.center))
+            if delta < cov.half_width - 1e-6:
+                assert b.contains_point(point, tolerance=1e-6)
+            elif delta > cov.half_width + 1e-6:
+                assert not b.contains_point(point, tolerance=-1e-6)
+
+
+class TestOverlapArea:
+    def test_disjoint_zero(self):
+        a = Circle(Point(0, 0), 1.0)
+        b = Circle(Point(3, 0), 1.0)
+        assert a.overlap_area(b) == 0.0
+
+    def test_nested_is_smaller_area(self):
+        a = Circle(Point(0, 0), 3.0)
+        b = Circle(Point(0.5, 0), 1.0)
+        assert a.overlap_area(b) == pytest.approx(b.area)
+
+    def test_identical_is_full_area(self):
+        a = Circle(Point(0, 0), 2.0)
+        assert a.overlap_area(a) == pytest.approx(a.area)
+
+    def test_half_offset_known_value(self):
+        # Two unit circles, centers distance 1 apart: lens area formula.
+        a = Circle(Point(0, 0), 1.0)
+        b = Circle(Point(1, 0), 1.0)
+        expected = 2.0 * math.acos(0.5) - math.sin(2.0 * math.acos(0.5))
+        assert a.overlap_area(b) == pytest.approx(expected)
+
+    @given(circles, circles)
+    def test_overlap_bounded_by_smaller_disk(self, a, b):
+        overlap = a.overlap_area(b)
+        assert -1e-9 <= overlap <= min(a.area, b.area) + 1e-6
+
+    @given(circles, circles)
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlap_area(b) == pytest.approx(b.overlap_area(a), rel=1e-6, abs=1e-9)
+
+
+def _angdiff(a: float, b: float) -> float:
+    """Signed smallest angular difference."""
+    d = a - b
+    while d > math.pi:
+        d -= 2 * math.pi
+    while d < -math.pi:
+        d += 2 * math.pi
+    return d

@@ -1,0 +1,257 @@
+"""Unit and property tests for repro.geometry.coverage.
+
+The central invariant tested here is *soundness*: whenever a coverage
+backend answers True, dense sampling of the target disk must not find an
+uncovered point.  Soundness is what guarantees the paper's "certain"
+nearest neighbors are never wrong.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.circle import Circle
+from repro.geometry.coverage import (
+    CertainRegion,
+    CoverageMethod,
+    disk_covered_by_disks,
+    disk_covered_by_polygons,
+    polygon_covered_by_polygons,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+coord = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+radius = st.floats(min_value=0.1, max_value=8.0, allow_nan=False)
+circle_strategy = st.builds(Circle, st.builds(Point, coord, coord), radius)
+
+
+def sample_disk(target: Circle, rings: int = 12, spokes: int = 24):
+    """Deterministic dense sample of a disk (center, rings of points)."""
+    yield target.center
+    for ring in range(1, rings + 1):
+        r = target.radius * ring / rings
+        for spoke in range(spokes):
+            theta = 2.0 * math.pi * spoke / spokes
+            yield Point(
+                target.center.x + r * math.cos(theta),
+                target.center.y + r * math.sin(theta),
+            )
+
+
+class TestDiskCoveredByDisks:
+    def test_empty_cover_is_uncovered(self):
+        assert not disk_covered_by_disks(Circle(Point(0, 0), 1.0), [])
+
+    def test_single_containing_disk(self):
+        target = Circle(Point(0, 0), 1.0)
+        assert disk_covered_by_disks(target, [Circle(Point(0.5, 0), 3.0)])
+
+    def test_single_overlapping_disk_insufficient(self):
+        target = Circle(Point(0, 0), 2.0)
+        assert not disk_covered_by_disks(target, [Circle(Point(2, 0), 2.0)])
+
+    def test_two_half_disks_cover(self):
+        """Two disks, one left one right, jointly covering the target.
+
+        Neither contains the whole target disk alone (1 + 1 > 1.8), but
+        each covers an arc of half-width acos((1 + 1 - 1.8^2)/2) ~ 128
+        degrees, so together they cover the boundary and the interior.
+        """
+        target = Circle(Point(0, 0), 1.0)
+        cover = [Circle(Point(-1.0, 0), 1.8), Circle(Point(1.0, 0), 1.8)]
+        assert not any(c.contains_circle(target) for c in cover)
+        assert disk_covered_by_disks(target, cover)
+
+    def test_three_disks_with_center_hole(self):
+        """Ring of three disks covering the boundary but not the center.
+
+        Centers at distance 1.2 with radius 1.15: each covers an arc of
+        half-width ~62 degrees (> 60, so the boundary is covered) while the
+        center of the target stays uncovered (1.2 > 1.15).
+        """
+        target = Circle(Point(0, 0), 1.0)
+        cover = [
+            Circle(Point(1.2 * math.cos(a), 1.2 * math.sin(a)), 1.15)
+            for a in (0.0, 2.0 * math.pi / 3.0, 4.0 * math.pi / 3.0)
+        ]
+        assert not any(c.contains_point(Point(0, 0)) for c in cover)
+        assert not disk_covered_by_disks(target, cover)
+
+    def test_three_disks_plus_center_cover(self):
+        target = Circle(Point(0, 0), 1.0)
+        cover = [
+            Circle(Point(1.2 * math.cos(a), 1.2 * math.sin(a)), 1.15)
+            for a in (0.0, 2.0 * math.pi / 3.0, 4.0 * math.pi / 3.0)
+        ]
+        cover.append(Circle(Point(0, 0), 0.7))
+        assert disk_covered_by_disks(target, cover)
+
+    def test_point_target(self):
+        target = Circle(Point(0.5, 0.5), 0.0)
+        assert disk_covered_by_disks(target, [Circle(Point(0, 0), 1.0)])
+        assert not disk_covered_by_disks(target, [Circle(Point(5, 5), 1.0)])
+
+    def test_boundary_gap_detected(self):
+        """Cover that misses a sliver of the boundary."""
+        target = Circle(Point(0, 0), 1.0)
+        # One disk covering almost everything but leaving the far-right
+        # boundary outside.
+        cover = [Circle(Point(-0.2, 0), 1.1)]
+        assert not disk_covered_by_disks(target, cover)
+
+    def test_paper_figure7_multi_peer_scenario(self):
+        """Reconstruction of the paper's Fig. 7: a candidate verifiable only
+        by merging two peers' certain circles."""
+        q = Point(0.0, 0.0)
+        p3 = Point(-1.2, 0.0)
+        p4 = Point(1.2, 0.0)
+        certain_p3 = Circle(p3, 2.0)
+        certain_p4 = Circle(p4, 2.0)
+        candidate = Point(0.0, 1.0)
+        target = Circle.through_point(q, candidate)
+        # Neither single peer verifies it (Lemma 3.2 fails for both)...
+        assert not certain_p3.contains_circle(target)
+        assert not certain_p4.contains_circle(target)
+        # ...but the merged certain region does (Lemma 3.8).
+        assert disk_covered_by_disks(target, [certain_p3, certain_p4])
+
+    @given(circle_strategy, st.lists(circle_strategy, max_size=5))
+    @settings(max_examples=150, deadline=None)
+    def test_soundness_against_sampling(self, target, cover):
+        """If the exact test says covered, no sampled point is uncovered."""
+        if disk_covered_by_disks(target, cover):
+            for point in sample_disk(target):
+                assert any(
+                    disk.contains_point(point, tolerance=1e-6) for disk in cover
+                )
+
+    @given(circle_strategy, st.lists(circle_strategy, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_completeness_single_disk_fastpath(self, target, cover):
+        """If any one disk safely contains the target, the test says covered."""
+        if any(disk.contains_circle(target, tolerance=-1e-6) for disk in cover):
+            assert disk_covered_by_disks(target, cover)
+
+
+class TestDiskCoveredByPolygons:
+    def test_empty_cover(self):
+        assert not disk_covered_by_polygons(Circle(Point(0, 0), 1.0), [])
+
+    def test_single_large_polygon(self):
+        target = Circle(Point(0, 0), 1.0)
+        big = Polygon.inscribed_in_circle(Circle(Point(0, 0), 5.0), sides=32)
+        assert disk_covered_by_polygons(target, [big])
+
+    def test_two_overlapping_polygons(self):
+        target = Circle(Point(0, 0), 1.0)
+        cover = [
+            Polygon.inscribed_in_circle(Circle(Point(-1.0, 0), 2.5), sides=48),
+            Polygon.inscribed_in_circle(Circle(Point(1.0, 0), 2.5), sides=48),
+        ]
+        assert disk_covered_by_polygons(target, cover, sides=48)
+
+    def test_insufficient_cover(self):
+        target = Circle(Point(0, 0), 2.0)
+        cover = [Polygon.inscribed_in_circle(Circle(Point(3, 0), 2.0), sides=32)]
+        assert not disk_covered_by_polygons(target, cover)
+
+    def test_point_target(self):
+        poly = Polygon.inscribed_in_circle(Circle(Point(0, 0), 1.0), sides=16)
+        assert disk_covered_by_polygons(Circle(Point(0.1, 0.1), 0.0), [poly])
+        assert not disk_covered_by_polygons(Circle(Point(5, 5), 0.0), [poly])
+
+    @given(circle_strategy, st.lists(circle_strategy, min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_polygon_conservative_wrt_exact(self, target, cover_circles):
+        """The paper's polygon approximation never certifies more than the
+        exact disk test does."""
+        polygons = [
+            Polygon.inscribed_in_circle(c, sides=24)
+            for c in cover_circles
+            if c.radius > 0
+        ]
+        if disk_covered_by_polygons(target, polygons, sides=24):
+            assert disk_covered_by_disks(target, cover_circles, tolerance=1e-12)
+
+
+class TestPolygonCoveredByPolygons:
+    def test_identical_cover(self):
+        sq = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        assert polygon_covered_by_polygons(sq, [sq])
+
+    def test_two_halves(self):
+        sq = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        left = Polygon([Point(-0.1, -0.1), Point(1.2, -0.1), Point(1.2, 2.1), Point(-0.1, 2.1)])
+        right = Polygon([Point(0.8, -0.1), Point(2.1, -0.1), Point(2.1, 2.1), Point(0.8, 2.1)])
+        assert polygon_covered_by_polygons(sq, [left, right])
+
+    def test_two_halves_with_gap(self):
+        sq = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        left = Polygon([Point(-0.1, -0.1), Point(0.9, -0.1), Point(0.9, 2.1), Point(-0.1, 2.1)])
+        right = Polygon([Point(1.1, -0.1), Point(2.1, -0.1), Point(2.1, 2.1), Point(1.1, 2.1)])
+        assert not polygon_covered_by_polygons(sq, [left, right])
+
+    def test_hole_in_middle_detected(self):
+        """Four rectangles forming a picture frame leave the middle open."""
+        sq = Polygon([Point(0, 0), Point(3, 0), Point(3, 3), Point(0, 3)])
+        frame = [
+            Polygon([Point(-0.1, -0.1), Point(3.1, -0.1), Point(3.1, 1.0), Point(-0.1, 1.0)]),
+            Polygon([Point(-0.1, 2.0), Point(3.1, 2.0), Point(3.1, 3.1), Point(-0.1, 3.1)]),
+            Polygon([Point(-0.1, -0.1), Point(1.0, -0.1), Point(1.0, 3.1), Point(-0.1, 3.1)]),
+            Polygon([Point(2.0, -0.1), Point(3.1, -0.1), Point(3.1, 3.1), Point(2.0, 3.1)]),
+        ]
+        assert not polygon_covered_by_polygons(sq, frame)
+
+    def test_frame_plus_middle_covers(self):
+        sq = Polygon([Point(0, 0), Point(3, 0), Point(3, 3), Point(0, 3)])
+        frame = [
+            Polygon([Point(-0.1, -0.1), Point(3.1, -0.1), Point(3.1, 1.0), Point(-0.1, 1.0)]),
+            Polygon([Point(-0.1, 2.0), Point(3.1, 2.0), Point(3.1, 3.1), Point(-0.1, 3.1)]),
+            Polygon([Point(-0.1, -0.1), Point(1.0, -0.1), Point(1.0, 3.1), Point(-0.1, 3.1)]),
+            Polygon([Point(2.0, -0.1), Point(3.1, -0.1), Point(3.1, 3.1), Point(2.0, 3.1)]),
+            Polygon([Point(0.5, 0.5), Point(2.5, 0.5), Point(2.5, 2.5), Point(0.5, 2.5)]),
+        ]
+        assert polygon_covered_by_polygons(sq, frame)
+
+
+class TestCertainRegion:
+    def test_empty_region(self):
+        region = CertainRegion()
+        assert region.is_empty()
+        assert not region.covers_disk(Circle(Point(0, 0), 1.0))
+        assert not region.contains_point(Point(0, 0))
+
+    def test_zero_radius_circles_ignored(self):
+        region = CertainRegion()
+        region.add_circle(Circle(Point(0, 0), 0.0))
+        assert region.is_empty()
+
+    def test_exact_backend(self):
+        region = CertainRegion(method=CoverageMethod.EXACT)
+        region.add_circle(Circle(Point(-1, 0), 2.5))
+        region.add_circle(Circle(Point(1, 0), 2.5))
+        assert region.covers_disk(Circle(Point(0, 0), 1.0))
+        assert len(region) == 2
+
+    def test_polygon_backend(self):
+        region = CertainRegion(method=CoverageMethod.POLYGON, polygon_sides=48)
+        region.add_circle(Circle(Point(-1, 0), 2.5))
+        region.add_circle(Circle(Point(1, 0), 2.5))
+        assert region.covers_disk(Circle(Point(0, 0), 1.0))
+
+    def test_contains_point_both_backends(self):
+        for method in (CoverageMethod.EXACT, CoverageMethod.POLYGON):
+            region = CertainRegion(method=method)
+            region.add_circle(Circle(Point(0, 0), 1.0))
+            assert region.contains_point(Point(0.2, 0.2))
+            assert not region.contains_point(Point(5, 5))
+
+    def test_polygon_cache_invalidated_on_add(self):
+        region = CertainRegion(method=CoverageMethod.POLYGON)
+        region.add_circle(Circle(Point(0, 0), 1.0))
+        assert not region.covers_disk(Circle(Point(3, 0), 0.5))
+        region.add_circle(Circle(Point(3, 0), 2.0))
+        assert region.covers_disk(Circle(Point(3, 0), 0.5))

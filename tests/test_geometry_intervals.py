@@ -1,0 +1,165 @@
+"""Unit and property tests for repro.geometry.intervals."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.intervals import AngularIntervalSet, normalize_angle
+
+angles = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+class TestNormalizeAngle:
+    def test_in_range_unchanged(self):
+        assert normalize_angle(0.5) == pytest.approx(0.5)
+
+    def test_wraps_positive(self):
+        assert normalize_angle(math.pi + 0.1) == pytest.approx(-math.pi + 0.1)
+
+    def test_wraps_negative(self):
+        assert normalize_angle(-math.pi - 0.1) == pytest.approx(math.pi - 0.1)
+
+    @given(angles)
+    def test_result_in_range(self, theta):
+        result = normalize_angle(theta)
+        assert -math.pi <= result < math.pi + 1e-12
+
+    @given(angles)
+    def test_idempotent(self, theta):
+        once = normalize_angle(theta)
+        assert normalize_angle(once) == pytest.approx(once, abs=1e-9)
+
+
+class TestAngularIntervalSet:
+    def test_empty_set_not_full(self):
+        s = AngularIntervalSet()
+        assert not s.covers_full_circle()
+        assert s.covered_fraction() == 0.0
+        assert s.gaps() == [(-math.pi, math.pi)]
+
+    def test_full_sweep_covers(self):
+        s = AngularIntervalSet()
+        s.add(0.0, 2.0 * math.pi)
+        assert s.covers_full_circle()
+        assert s.covered_fraction() == 1.0
+        assert s.gaps() == []
+
+    def test_two_halves_cover(self):
+        s = AngularIntervalSet()
+        s.add(-math.pi, 0.0)
+        s.add(0.0, math.pi)
+        assert s.covers_full_circle()
+
+    def test_gap_detected(self):
+        s = AngularIntervalSet()
+        s.add(-math.pi, 0.0)
+        s.add(0.5, math.pi)
+        assert not s.covers_full_circle()
+        gaps = s.gaps()
+        assert len(gaps) == 1
+        lo, hi = gaps[0]
+        assert lo == pytest.approx(0.0)
+        assert hi == pytest.approx(0.5)
+
+    def test_wrap_around_interval(self):
+        s = AngularIntervalSet()
+        # Arc from 3/4 pi sweeping through pi to -3/4 pi.
+        s.add(0.75 * math.pi, 1.25 * math.pi)
+        assert s.covers_angle(math.pi)
+        assert s.covers_angle(-math.pi)
+        assert s.covers_angle(0.8 * math.pi)
+        assert not s.covers_angle(0.0)
+
+    def test_wrap_gap_midpoint(self):
+        s = AngularIntervalSet()
+        s.add(-0.5 * math.pi, 0.5 * math.pi)
+        mids = s.gap_midpoints()
+        assert len(mids) == 1
+        assert abs(mids[0]) == pytest.approx(math.pi, abs=1e-9)
+
+    def test_add_centered(self):
+        s = AngularIntervalSet()
+        s.add_centered(0.0, math.pi)
+        assert s.covers_full_circle()
+
+    def test_zero_sweep_ignored(self):
+        s = AngularIntervalSet()
+        s.add(1.0, 1.0)
+        assert s.covered_fraction() == 0.0
+
+    def test_negative_sweep_ignored(self):
+        s = AngularIntervalSet()
+        s.add(1.0, 0.5)
+        assert s.covered_fraction() == 0.0
+
+    def test_overlapping_merge(self):
+        s = AngularIntervalSet()
+        s.add(0.0, 1.0)
+        s.add(0.5, 1.5)
+        merged = s.merged()
+        assert len(merged) == 1
+        assert merged[0][0] == pytest.approx(0.0)
+        assert merged[0][1] == pytest.approx(1.5)
+
+    def test_covered_fraction_half(self):
+        s = AngularIntervalSet()
+        s.add(0.0, math.pi)
+        assert s.covered_fraction() == pytest.approx(0.5)
+
+    def test_negative_tolerance_raises(self):
+        with pytest.raises(ValueError):
+            AngularIntervalSet(tolerance=-1.0)
+
+    def test_from_arcs(self):
+        s = AngularIntervalSet.from_arcs([(0.0, 1.0), (2.0, 3.0)])
+        assert s.covers_angle(0.5)
+        assert s.covers_angle(2.5)
+        assert not s.covers_angle(1.5)
+
+
+class TestIntervalProperties:
+    @given(st.lists(st.tuples(angles, st.floats(min_value=0.0, max_value=3.0)), max_size=8))
+    def test_covered_fraction_bounded(self, arcs):
+        s = AngularIntervalSet()
+        for start, sweep in arcs:
+            s.add(start, start + sweep)
+        assert 0.0 <= s.covered_fraction() <= 1.0
+
+    @given(
+        st.lists(
+            st.tuples(angles, st.floats(min_value=0.01, max_value=3.0)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_added_arc_midpoints_covered(self, arcs):
+        s = AngularIntervalSet()
+        for start, sweep in arcs:
+            s.add(start, start + sweep)
+        for start, sweep in arcs:
+            assert s.covers_angle(start + sweep / 2.0)
+
+    @given(
+        st.lists(
+            st.tuples(angles, st.floats(min_value=0.0, max_value=3.0)), max_size=8
+        ),
+        angles,
+    )
+    def test_gap_midpoints_uncovered(self, arcs, _):
+        s = AngularIntervalSet()
+        for start, sweep in arcs:
+            s.add(start, start + sweep)
+        for lo, hi in s.gaps():
+            # Gaps at the tolerance scale are covered-within-tolerance by
+            # construction; only meaningfully wide gaps must test clean.
+            if hi - lo > 100.0 * s.tolerance:
+                midpoint = normalize_angle((lo + hi) / 2.0)
+                assert not s.covers_angle(midpoint)
+
+    @given(st.floats(min_value=6.2832, max_value=20.0))
+    def test_oversized_sweep_is_full(self, sweep):
+        s = AngularIntervalSet()
+        s.add(0.0, sweep)
+        assert s.covers_full_circle()

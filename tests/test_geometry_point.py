@@ -1,0 +1,102 @@
+"""Unit and property tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, centroid, distance, squared_distance
+
+finite_coord = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, finite_coord, finite_coord)
+
+
+class TestPointBasics:
+    def test_distance_matches_pythagoras(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(1.5, -2.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_squared_distance(self):
+        assert Point(0, 0).squared_distance_to(Point(3, 4)) == pytest.approx(25.0)
+
+    def test_module_level_helpers(self):
+        a, b = Point(0, 0), Point(1, 1)
+        assert distance(a, b) == pytest.approx(math.sqrt(2))
+        assert squared_distance(a, b) == pytest.approx(2.0)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_points_are_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+    def test_iteration_and_tuple(self):
+        p = Point(2.0, 3.0)
+        assert tuple(p) == (2.0, 3.0)
+        assert p.as_tuple() == (2.0, 3.0)
+
+    def test_angle_to(self):
+        assert Point(0, 0).angle_to(Point(1, 0)) == pytest.approx(0.0)
+        assert Point(0, 0).angle_to(Point(0, 1)) == pytest.approx(math.pi / 2)
+        assert Point(0, 0).angle_to(Point(-1, 0)) == pytest.approx(math.pi)
+
+
+class TestTowards:
+    def test_towards_moves_exact_distance(self):
+        p = Point(0, 0).towards(Point(10, 0), 4.0)
+        assert p == Point(4.0, 0.0)
+
+    def test_towards_can_overshoot(self):
+        p = Point(0, 0).towards(Point(1, 0), 5.0)
+        assert p.x == pytest.approx(5.0)
+
+    def test_towards_coincident_target_is_identity(self):
+        p = Point(3, 3)
+        assert p.towards(p, 10.0) == p
+
+
+class TestCentroid:
+    def test_centroid_of_square_corners(self):
+        corners = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(corners) == Point(1.0, 1.0)
+
+    def test_centroid_of_single_point(self):
+        assert centroid([Point(5, 7)]) == Point(5, 7)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points)
+    def test_distance_non_negative(self, a, b):
+        assert a.distance_to(b) >= 0.0
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points, points)
+    def test_squared_distance_consistent(self, a, b):
+        assert math.sqrt(a.squared_distance_to(b)) == pytest.approx(
+            a.distance_to(b), abs=1e-9
+        )
+
+    @given(points, points, st.floats(min_value=0.0, max_value=100.0))
+    def test_towards_distance(self, a, b, dist):
+        if a.distance_to(b) == 0.0:
+            assert a.towards(b, dist) == a
+        else:
+            moved = a.towards(b, dist)
+            assert a.distance_to(moved) == pytest.approx(dist, abs=1e-6)

@@ -1,0 +1,244 @@
+"""Tests for repro.index.knn: INN, depth-first baseline, EINN."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.index.knn import (
+    NeighborResult,
+    PruningBounds,
+    incremental_nearest,
+    k_nearest,
+    k_nearest_depth_first,
+    k_nearest_einn,
+)
+from repro.index.pagestats import PageAccessCounter
+from repro.index.rtree import RTree, RTreeConfig
+
+coord = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+point_strategy = st.builds(Point, coord, coord)
+
+
+def make_tree(n, seed=11, max_entries=8, extent=100.0):
+    rng = np.random.default_rng(seed)
+    points = [
+        Point(float(x), float(y))
+        for x, y in zip(rng.uniform(0, extent, n), rng.uniform(0, extent, n))
+    ]
+    tree = RTree(RTreeConfig(max_entries=max_entries))
+    for i, p in enumerate(points):
+        tree.insert(p, payload=i)
+    return tree, points
+
+
+def brute_force_knn(points, query, k):
+    return sorted(
+        (query.distance_to(p) for p in points)
+    )[:k]
+
+
+class TestIncrementalNearest:
+    def test_empty_tree_yields_nothing(self):
+        assert list(incremental_nearest(RTree(), Point(0, 0))) == []
+
+    def test_ascending_order(self):
+        tree, _ = make_tree(200)
+        distances = [r.distance for r in incremental_nearest(tree, Point(50, 50))]
+        assert distances == sorted(distances)
+        assert len(distances) == 200
+
+    def test_lazy_consumption(self):
+        tree, points = make_tree(500)
+        gen = incremental_nearest(tree, Point(10, 10))
+        first = next(gen)
+        expected = min(Point(10, 10).distance_to(p) for p in points)
+        assert first.distance == pytest.approx(expected)
+
+    def test_counter_counts_root(self):
+        tree, _ = make_tree(50)
+        counter = PageAccessCounter()
+        counter.start_query()
+        next(incremental_nearest(tree, Point(0, 0), counter))
+        assert counter.current_total >= 1
+
+
+class TestKNearest:
+    def test_matches_brute_force(self):
+        tree, points = make_tree(300)
+        query = Point(42.0, 17.0)
+        result = k_nearest(tree, query, 10)
+        expected = brute_force_knn(points, query, 10)
+        assert [r.distance for r in result] == pytest.approx(expected)
+
+    def test_k_zero(self):
+        tree, _ = make_tree(10)
+        assert k_nearest(tree, Point(0, 0), 0) == []
+
+    def test_k_negative_raises(self):
+        with pytest.raises(ValueError):
+            k_nearest(RTree(), Point(0, 0), -1)
+
+    def test_k_larger_than_size(self):
+        tree, points = make_tree(5)
+        result = k_nearest(tree, Point(0, 0), 50)
+        assert len(result) == 5
+
+    @given(st.lists(point_strategy, min_size=1, max_size=80), point_strategy,
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_brute_force(self, points, query, k):
+        tree = RTree(RTreeConfig(max_entries=5))
+        for p in points:
+            tree.insert(p)
+        result = k_nearest(tree, query, k)
+        expected = brute_force_knn(points, query, k)
+        assert [r.distance for r in result] == pytest.approx(expected)
+
+
+class TestDepthFirst:
+    def test_matches_best_first(self):
+        tree, points = make_tree(250, seed=5)
+        query = Point(33.0, 66.0)
+        df = k_nearest_depth_first(tree, query, 7)
+        bf = k_nearest(tree, query, 7)
+        assert [r.distance for r in df] == pytest.approx([r.distance for r in bf])
+
+    def test_k_zero(self):
+        tree, _ = make_tree(10)
+        assert k_nearest_depth_first(tree, Point(0, 0), 0) == []
+
+    def test_empty_tree(self):
+        assert k_nearest_depth_first(RTree(), Point(0, 0), 3) == []
+
+    def test_best_first_never_visits_more_nodes(self):
+        """INN is I/O-optimal: it expands no more nodes than depth-first."""
+        tree, _ = make_tree(600, seed=9)
+        for qx, qy in [(10, 10), (50, 50), (90, 5)]:
+            query = Point(qx, qy)
+            c_bf = PageAccessCounter()
+            c_bf.start_query()
+            k_nearest(tree, query, 5, c_bf)
+            c_df = PageAccessCounter()
+            c_df.start_query()
+            k_nearest_depth_first(tree, query, 5, c_df)
+            assert c_bf.current_total <= c_df.current_total
+
+    @given(st.lists(point_strategy, min_size=1, max_size=60), point_strategy,
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_brute_force(self, points, query, k):
+        tree = RTree(RTreeConfig(max_entries=5))
+        for p in points:
+            tree.insert(p)
+        result = k_nearest_depth_first(tree, query, k)
+        expected = brute_force_knn(points, query, k)
+        assert [r.distance for r in result] == pytest.approx(expected)
+
+
+class TestPruningBounds:
+    def test_defaults(self):
+        bounds = PruningBounds()
+        assert not bounds.has_lower
+        assert not bounds.has_upper
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            PruningBounds(lower=-1.0)
+        with pytest.raises(ValueError):
+            PruningBounds(upper=-1.0)
+
+    def test_flags(self):
+        assert PruningBounds(lower=1.0).has_lower
+        assert PruningBounds(upper=5.0).has_upper
+
+
+class TestEinn:
+    def _setup(self, n=400, seed=21, k=8, certain_count=4):
+        tree, points = make_tree(n, seed=seed)
+        query = Point(47.0, 53.0)
+        ordered = sorted(
+            (query.distance_to(p), i, p) for i, p in enumerate(points)
+        )
+        known = [
+            NeighborResult(p, i, d) for d, i, p in ordered[:certain_count]
+        ]
+        # Lower bound: distance of the last certain entry (D_ct).
+        # Upper bound: distance of the heap's last (k-th) entry.
+        bounds = PruningBounds(lower=ordered[certain_count - 1][0],
+                               upper=ordered[k - 1][0])
+        return tree, points, query, known, bounds
+
+    def test_einn_matches_inn_results(self):
+        tree, points, query, known, bounds = self._setup()
+        einn = k_nearest_einn(tree, query, 8, bounds, known)
+        inn = k_nearest(tree, query, 8)
+        assert [r.distance for r in einn] == pytest.approx(
+            [r.distance for r in inn]
+        )
+
+    def test_einn_fewer_page_accesses(self):
+        tree, points, query, known, bounds = self._setup(n=1500, certain_count=6)
+        c_einn = PageAccessCounter()
+        c_einn.start_query()
+        k_nearest_einn(tree, query, 8, bounds, known, c_einn)
+        c_inn = PageAccessCounter()
+        c_inn.start_query()
+        k_nearest(tree, query, 8, c_inn)
+        assert c_einn.current_total <= c_inn.current_total
+
+    def test_einn_without_bounds_equals_inn(self):
+        tree, points = make_tree(200)
+        query = Point(20, 80)
+        einn = k_nearest_einn(tree, query, 5)
+        inn = k_nearest(tree, query, 5)
+        assert [r.distance for r in einn] == pytest.approx(
+            [r.distance for r in inn]
+        )
+
+    def test_known_results_not_duplicated(self):
+        tree, points, query, known, bounds = self._setup(certain_count=3)
+        result = k_nearest_einn(tree, query, 8, bounds, known)
+        payloads = [r.payload for r in result]
+        assert len(payloads) == len(set(payloads))
+
+    def test_k_zero(self):
+        tree, _ = make_tree(10)
+        assert k_nearest_einn(tree, Point(0, 0), 0) == []
+
+    def test_k_negative_raises(self):
+        with pytest.raises(ValueError):
+            k_nearest_einn(RTree(), Point(0, 0), -2)
+
+    def test_empty_tree_returns_known(self):
+        known = [NeighborResult(Point(1, 1), "a", 1.0)]
+        result = k_nearest_einn(RTree(), Point(0, 0), 3, PruningBounds(), known)
+        assert result == known
+
+    @given(
+        st.lists(point_strategy, min_size=5, max_size=80),
+        point_strategy,
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_einn_correct_with_valid_bounds(
+        self, points, query, k, certain_count
+    ):
+        """For any valid client knowledge, EINN returns the true top-k."""
+        certain_count = min(certain_count, k, len(points))
+        tree = RTree(RTreeConfig(max_entries=5))
+        for i, p in enumerate(points):
+            tree.insert(p, payload=i)
+        ordered = sorted((query.distance_to(p), i, p) for i, p in enumerate(points))
+        known = [NeighborResult(p, i, d) for d, i, p in ordered[:certain_count]]
+        lower = ordered[certain_count - 1][0] if certain_count else 0.0
+        upper = ordered[min(k, len(points)) - 1][0]
+        bounds = PruningBounds(lower=lower, upper=upper)
+        result = k_nearest_einn(tree, query, k, bounds, known)
+        expected = brute_force_knn(points, query, k)
+        assert [r.distance for r in result] == pytest.approx(expected)

@@ -1,0 +1,131 @@
+"""Tests for R-tree deletion (CondenseTree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.index.rtree import RTree, RTreeConfig, SplitPolicy
+
+from tests.test_index_rtree import check_invariants, make_points
+
+coord = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+point_strategy = st.builds(Point, coord, coord)
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = RTree(RTreeConfig(max_entries=4))
+        points = make_points(50)
+        for i, p in enumerate(points):
+            tree.insert(p, payload=i)
+        assert tree.delete(points[7], payload=7)
+        assert len(tree) == 49
+        remaining = sorted(e.payload for e in tree.iter_entries())
+        assert 7 not in remaining
+
+    def test_delete_missing_returns_false(self):
+        tree = RTree()
+        tree.insert(Point(1, 1), payload="a")
+        assert not tree.delete(Point(2, 2), payload="a")
+        assert not tree.delete(Point(1, 1), payload="b")
+        assert len(tree) == 1
+
+    def test_delete_from_empty(self):
+        assert not RTree().delete(Point(0, 0))
+
+    def test_delete_without_payload_matches_any(self):
+        tree = RTree()
+        tree.insert(Point(1, 1), payload="a")
+        assert tree.delete(Point(1, 1))
+        assert len(tree) == 0
+
+    def test_delete_all_leaves_empty_tree(self):
+        tree = RTree(RTreeConfig(max_entries=4))
+        points = make_points(40, seed=1)
+        for i, p in enumerate(points):
+            tree.insert(p, payload=i)
+        for i, p in enumerate(points):
+            assert tree.delete(p, payload=i)
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.range_search(BoundingBox(-1e6, -1e6, 1e6, 1e6)) == []
+
+    def test_tree_shrinks_height(self):
+        tree = RTree(RTreeConfig(max_entries=4))
+        points = make_points(200, seed=2)
+        for i, p in enumerate(points):
+            tree.insert(p, payload=i)
+        tall = tree.height
+        for i, p in enumerate(points[:190]):
+            tree.delete(p, payload=i)
+        assert tree.height < tall
+
+    def test_invariants_after_interleaved_ops(self):
+        tree = RTree(RTreeConfig(max_entries=5))
+        rng = np.random.default_rng(3)
+        live = {}
+        points = make_points(300, seed=3)
+        for i, p in enumerate(points):
+            tree.insert(p, payload=i)
+            live[i] = p
+            if rng.uniform() < 0.4 and live:
+                victim = int(rng.choice(sorted(live)))
+                assert tree.delete(live.pop(victim), payload=victim)
+        assert len(tree) == len(live)
+        assert check_invariants(tree) == len(live)
+        remaining = sorted(e.payload for e in tree.iter_entries())
+        assert remaining == sorted(live)
+
+    def test_queries_correct_after_deletes(self):
+        tree = RTree(RTreeConfig(max_entries=6))
+        points = make_points(150, seed=4)
+        for i, p in enumerate(points):
+            tree.insert(p, payload=i)
+        for i in range(0, 150, 3):
+            tree.delete(points[i], payload=i)
+        survivors = {i: p for i, p in enumerate(points) if i % 3 != 0}
+        window = BoundingBox(10, 10, 80, 80)
+        expected = sorted(
+            i for i, p in survivors.items() if window.contains_point(p)
+        )
+        found = sorted(e.payload for e in tree.range_search(window))
+        assert found == expected
+
+    def test_duplicate_points_delete_one(self):
+        tree = RTree(RTreeConfig(max_entries=4))
+        for i in range(10):
+            tree.insert(Point(1.0, 1.0), payload=i)
+        assert tree.delete(Point(1.0, 1.0), payload=3)
+        assert len(tree) == 9
+        payloads = sorted(e.payload for e in tree.iter_entries())
+        assert payloads == [0, 1, 2, 4, 5, 6, 7, 8, 9]
+
+    @pytest.mark.parametrize("policy", [SplitPolicy.QUADRATIC, SplitPolicy.RSTAR])
+    def test_both_split_policies(self, policy):
+        tree = RTree(RTreeConfig(max_entries=5, split_policy=policy))
+        points = make_points(120, seed=5)
+        for i, p in enumerate(points):
+            tree.insert(p, payload=i)
+        for i in range(60):
+            assert tree.delete(points[i], payload=i)
+        assert check_invariants(tree) == 60
+
+    @given(
+        st.lists(point_strategy, min_size=1, max_size=60),
+        st.integers(min_value=0, max_value=59),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_delete_then_search(self, points, victim_index):
+        tree = RTree(RTreeConfig(max_entries=5))
+        for i, p in enumerate(points):
+            tree.insert(p, payload=i)
+        victim = victim_index % len(points)
+        assert tree.delete(points[victim], payload=victim)
+        window = BoundingBox(-200, -200, 200, 200)
+        expected = sorted(i for i in range(len(points)) if i != victim)
+        found = sorted(e.payload for e in tree.range_search(window))
+        assert found == expected
+        check_invariants(tree)

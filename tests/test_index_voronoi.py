@@ -1,0 +1,151 @@
+"""Tests for repro.index.voronoi (Zheng et al. semantic-cache baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.index.voronoi import VoronoiSemanticCache, voronoi_cell
+
+BOUNDS = BoundingBox(0.0, 0.0, 10.0, 10.0)
+
+
+def make_pois(n=20, seed=0, extent=10.0):
+    rng = np.random.default_rng(seed)
+    return [
+        (Point(float(x), float(y)), f"poi-{i}")
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0.2, extent - 0.2, n), rng.uniform(0.2, extent - 0.2, n))
+        )
+    ]
+
+
+class TestClipHalfPlane:
+    def test_clip_square(self):
+        square = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        # Keep x <= 1.
+        clipped = square.clip_half_plane(1.0, 0.0, 1.0)
+        assert clipped is not None
+        assert clipped.area == pytest.approx(2.0)
+        assert clipped.contains_point(Point(0.5, 1.0))
+        assert not clipped.contains_point(Point(1.5, 1.0))
+
+    def test_clip_away_everything(self):
+        square = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        assert square.clip_half_plane(1.0, 0.0, -1.0) is None
+
+    def test_clip_keeps_everything(self):
+        square = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        clipped = square.clip_half_plane(1.0, 0.0, 100.0)
+        assert clipped is not None
+        assert clipped.area == pytest.approx(4.0)
+
+    def test_degenerate_half_plane_rejected(self):
+        square = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        with pytest.raises(ValueError):
+            square.clip_half_plane(0.0, 0.0, 1.0)
+
+    def test_diagonal_clip(self):
+        square = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        # Keep x + y <= 2 (the lower-left triangle).
+        clipped = square.clip_half_plane(1.0, 1.0, 2.0)
+        assert clipped is not None
+        assert clipped.area == pytest.approx(2.0)
+
+
+class TestVoronoiCell:
+    def test_two_sites_split(self):
+        pois = [(Point(2, 5), "l"), (Point(8, 5), "r")]
+        left = voronoi_cell(pois, 0, BOUNDS)
+        # The left cell is the half-box x <= 5.
+        assert left.area == pytest.approx(50.0)
+        assert left.contains_point(Point(1, 1))
+        assert not left.contains_point(Point(9, 9))
+
+    def test_cells_partition_area(self):
+        pois = make_pois(n=12, seed=1)
+        total = sum(voronoi_cell(pois, i, BOUNDS).area for i in range(len(pois)))
+        assert total == pytest.approx(BOUNDS.area, rel=1e-6)
+
+    def test_cell_contains_its_site(self):
+        pois = make_pois(n=15, seed=2)
+        for i, (site, _) in enumerate(pois):
+            assert voronoi_cell(pois, i, BOUNDS).contains_point(site)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            voronoi_cell(make_pois(3), 5, BOUNDS)
+
+    def test_site_outside_bounds_rejected(self):
+        pois = [(Point(20, 20), "out")]
+        with pytest.raises(ValueError):
+            voronoi_cell(pois, 0, BOUNDS)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_cell_points_have_site_as_nn(self, seed):
+        """Any sampled point of a cell has the cell's site as its 1NN."""
+        rng = np.random.default_rng(seed)
+        pois = make_pois(n=int(rng.integers(2, 20)), seed=seed)
+        index = int(rng.integers(len(pois)))
+        cell = voronoi_cell(pois, index, BOUNDS)
+        site, _ = pois[index]
+        for vertex in cell.vertices:
+            # Points slightly inside from each vertex towards the site.
+            probe = vertex.towards(site, vertex.distance_to(site) * 0.01)
+            best = min(probe.distance_to(p) for p, _ in pois)
+            assert probe.distance_to(site) <= best + 1e-6
+
+
+class TestVoronoiSemanticCache:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VoronoiSemanticCache([], BOUNDS)
+        with pytest.raises(ValueError):
+            VoronoiSemanticCache(make_pois(3), BOUNDS, capacity=0)
+
+    def test_first_query_fetches(self):
+        cache = VoronoiSemanticCache(make_pois(10), BOUNDS)
+        cache.query(Point(5, 5))
+        assert cache.stats.server_fetches == 1
+        assert cache.stats.cache_hits == 0
+
+    def test_repeat_query_hits(self):
+        cache = VoronoiSemanticCache(make_pois(10), BOUNDS)
+        first = cache.query(Point(5, 5))
+        second = cache.query(Point(5.01, 5.0))
+        # Tiny movement stays in the same Voronoi cell.
+        assert second == first
+        assert cache.stats.cache_hits == 1
+
+    def test_answers_always_correct(self):
+        pois = make_pois(25, seed=3)
+        cache = VoronoiSemanticCache(pois, BOUNDS, capacity=4)
+        rng = np.random.default_rng(4)
+        for _ in range(60):
+            q = Point(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+            point, payload = cache.query(q)
+            best = min(q.distance_to(p) for p, _ in pois)
+            assert q.distance_to(point) == pytest.approx(best, abs=1e-9)
+
+    def test_lru_eviction(self):
+        pois = make_pois(30, seed=5)
+        cache = VoronoiSemanticCache(pois, BOUNDS, capacity=2)
+        rng = np.random.default_rng(6)
+        for _ in range(20):
+            cache.query(Point(float(rng.uniform(0, 10)), float(rng.uniform(0, 10))))
+        assert cache.cached_cells <= 2
+
+    def test_walk_along_cells_hits_often(self):
+        """A slow walk re-fetches only when crossing cell borders."""
+        pois = make_pois(12, seed=7)
+        cache = VoronoiSemanticCache(pois, BOUNDS, capacity=8)
+        steps = 200
+        for i in range(steps):
+            t = i / (steps - 1)
+            cache.query(Point(0.5 + 9.0 * t, 5.0))
+        assert cache.stats.server_fetches < steps / 4
+        assert cache.stats.server_share < 0.25

@@ -1,0 +1,174 @@
+"""Tests for repro.network.dijkstra, validated against networkx."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.network.dijkstra import network_distance, shortest_path, shortest_path_lengths
+from repro.network.generator import RoadNetworkSpec, generate_road_network
+from repro.network.graph import SpatialNetwork
+
+
+def random_network(seed=0, size=2.0):
+    spec = RoadNetworkSpec(width=size, height=size, secondary_spacing=size / 6,
+                           seed=seed)
+    return generate_road_network(spec)
+
+
+def to_networkx(network: SpatialNetwork) -> nx.Graph:
+    graph = nx.Graph()
+    for node in network.node_ids():
+        graph.add_node(node)
+    for edge in network.edges():
+        graph.add_edge(edge.u, edge.v, weight=edge.length)
+    return graph
+
+
+class TestShortestPathLengths:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx(self, seed):
+        network = random_network(seed)
+        graph = to_networkx(network)
+        source = next(network.node_ids())
+        ours = shortest_path_lengths(network, [(source, 0.0)])
+        reference = nx.single_source_dijkstra_path_length(graph, source)
+        assert set(ours) == set(reference)
+        for node, dist in reference.items():
+            assert ours[node] == pytest.approx(dist)
+
+    def test_multi_source(self):
+        network = random_network(1)
+        nodes = list(network.node_ids())
+        sources = [(nodes[0], 0.0), (nodes[len(nodes) // 2], 0.5)]
+        ours = shortest_path_lengths(network, sources)
+        single_a = shortest_path_lengths(network, [sources[0]])
+        single_b = shortest_path_lengths(network, [sources[1]])
+        for node in ours:
+            expected = min(single_a.get(node, math.inf), single_b.get(node, math.inf))
+            assert ours[node] == pytest.approx(expected)
+
+    def test_negative_source_distance_raises(self):
+        network = random_network(0)
+        source = next(network.node_ids())
+        with pytest.raises(ValueError):
+            shortest_path_lengths(network, [(source, -1.0)])
+
+    def test_cutoff_limits_settled(self):
+        network = random_network(2)
+        source = next(network.node_ids())
+        full = shortest_path_lengths(network, [(source, 0.0)])
+        cutoff = max(full.values()) / 2.0
+        limited = shortest_path_lengths(network, [(source, 0.0)], cutoff=cutoff)
+        assert all(dist <= cutoff for dist in limited.values())
+        assert len(limited) < len(full)
+
+    def test_targets_early_exit(self):
+        network = random_network(3)
+        nodes = list(network.node_ids())
+        source, target = nodes[0], nodes[-1]
+        result = shortest_path_lengths(network, [(source, 0.0)], targets=[target])
+        assert target in result
+
+
+class TestShortestPath:
+    def test_trivial_path(self):
+        network = random_network(0)
+        node = next(network.node_ids())
+        assert shortest_path(network, node, node) == [node]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_path_length_matches_distance(self, seed):
+        network = random_network(seed)
+        nodes = sorted(network.node_ids())
+        source, target = nodes[0], nodes[-1]
+        path = shortest_path(network, source, target)
+        assert path is not None
+        assert path[0] == source and path[-1] == target
+        length = 0.0
+        for u, v in zip(path, path[1:]):
+            edge = network.edge_between(u, v)
+            assert edge is not None, "path uses a non-existent edge"
+            length += edge.length
+        expected = shortest_path_lengths(network, [(source, 0.0)], targets=[target])
+        assert length == pytest.approx(expected[target])
+
+    def test_unreachable_returns_none(self):
+        net = SpatialNetwork()
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(1, 0))
+        c = net.add_node(Point(5, 5))
+        d = net.add_node(Point(6, 5))
+        net.add_edge(a, b)
+        net.add_edge(c, d)
+        assert shortest_path(net, a, c) is None
+
+
+class TestNetworkDistance:
+    def test_same_edge(self):
+        net = SpatialNetwork()
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(10, 0))
+        edge = net.add_edge(a, b)
+        loc1 = net.location_at(edge, 2.0)
+        loc2 = net.location_at(edge, 7.5)
+        assert network_distance(net, loc1, loc2) == pytest.approx(5.5)
+
+    def test_symmetric(self):
+        network = random_network(1)
+        edges = list(network.edges())
+        loc1 = network.location_at(edges[0], edges[0].length * 0.3)
+        loc2 = network.location_at(edges[-1], edges[-1].length * 0.8)
+        forward = network_distance(network, loc1, loc2)
+        backward = network_distance(network, loc2, loc1)
+        assert forward == pytest.approx(backward)
+
+    def test_euclidean_lower_bound_property(self):
+        """ED(a, b) <= ND(a, b) for all location pairs (Section 3.4)."""
+        network = random_network(4)
+        rng = np.random.default_rng(0)
+        edges = list(network.edges())
+        for _ in range(30):
+            e1 = edges[int(rng.integers(len(edges)))]
+            e2 = edges[int(rng.integers(len(edges)))]
+            loc1 = network.location_at(e1, float(rng.uniform(0, e1.length)))
+            loc2 = network.location_at(e2, float(rng.uniform(0, e2.length)))
+            ed = loc1.point.distance_to(loc2.point)
+            nd = network_distance(network, loc1, loc2)
+            assert ed <= nd + 1e-9
+
+    def test_distance_to_self_is_zero(self):
+        network = random_network(0)
+        edge = next(network.edges())
+        loc = network.location_at(edge, edge.length / 2)
+        assert network_distance(network, loc, loc) == pytest.approx(0.0)
+
+    def test_disconnected_is_infinite(self):
+        net = SpatialNetwork()
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(1, 0))
+        c = net.add_node(Point(5, 5))
+        d = net.add_node(Point(6, 5))
+        e1 = net.add_edge(a, b)
+        e2 = net.add_edge(c, d)
+        loc1 = net.location_at(e1, 0.5)
+        loc2 = net.location_at(e2, 0.5)
+        assert math.isinf(network_distance(net, loc1, loc2))
+
+    def test_triangle_inequality_on_sample(self):
+        network = random_network(5)
+        edges = list(network.edges())
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            locs = []
+            for _ in range(3):
+                edge = edges[int(rng.integers(len(edges)))]
+                locs.append(network.location_at(edge, float(rng.uniform(0, edge.length))))
+            d_ab = network_distance(network, locs[0], locs[1])
+            d_bc = network_distance(network, locs[1], locs[2])
+            d_ac = network_distance(network, locs[0], locs[2])
+            assert d_ac <= d_ab + d_bc + 1e-9

@@ -1,0 +1,100 @@
+"""Tests for repro.network.generator."""
+
+import pytest
+
+from repro.network.generator import RoadNetworkSpec, generate_road_network
+from repro.network.graph import RoadClass
+
+
+class TestSpecValidation:
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            RoadNetworkSpec(width=0.0, height=1.0)
+
+    def test_bad_spacing(self):
+        with pytest.raises(ValueError):
+            RoadNetworkSpec(width=1.0, height=1.0, secondary_spacing=0.0)
+
+    def test_bad_jitter(self):
+        with pytest.raises(ValueError):
+            RoadNetworkSpec(width=1.0, height=1.0, jitter=0.7)
+
+    def test_bad_removal(self):
+        with pytest.raises(ValueError):
+            RoadNetworkSpec(width=1.0, height=1.0, removal_fraction=1.0)
+
+    def test_bad_primary_every(self):
+        with pytest.raises(ValueError):
+            RoadNetworkSpec(width=1.0, height=1.0, primary_every=0)
+
+    def test_bad_overpass_count(self):
+        with pytest.raises(ValueError):
+            RoadNetworkSpec(width=1.0, height=1.0, overpass_count=-1)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        spec = RoadNetworkSpec(width=2.0, height=2.0, seed=42)
+        net1 = generate_road_network(spec)
+        net2 = generate_road_network(spec)
+        assert net1.node_count == net2.node_count
+        assert net1.edge_count == net2.edge_count
+        assert net1.total_length() == pytest.approx(net2.total_length())
+
+    def test_different_seeds_differ(self):
+        net1 = generate_road_network(RoadNetworkSpec(width=2.0, height=2.0, seed=1))
+        net2 = generate_road_network(RoadNetworkSpec(width=2.0, height=2.0, seed=2))
+        assert net1.total_length() != pytest.approx(net2.total_length())
+
+    def test_always_connected(self):
+        for seed in range(6):
+            spec = RoadNetworkSpec(
+                width=2.0, height=2.0, removal_fraction=0.3, seed=seed
+            )
+            net = generate_road_network(spec)
+            assert net.is_connected()
+
+    def test_nodes_within_area(self):
+        spec = RoadNetworkSpec(width=3.0, height=2.0, seed=0)
+        net = generate_road_network(spec)
+        for node in net.node_ids():
+            p = net.node_position(node)
+            assert 0.0 <= p.x <= 3.0
+            assert 0.0 <= p.y <= 2.0
+
+    def test_contains_all_road_classes(self):
+        spec = RoadNetworkSpec(width=3.0, height=3.0, rural_fraction=0.3, seed=7)
+        net = generate_road_network(spec)
+        classes = {edge.road_class for edge in net.edges()}
+        assert RoadClass.PRIMARY_HIGHWAY in classes
+        assert RoadClass.SECONDARY_ROAD in classes
+        assert RoadClass.RURAL_ROAD in classes
+
+    def test_no_jitter_regular_grid(self):
+        spec = RoadNetworkSpec(
+            width=1.0, height=1.0, secondary_spacing=0.5, jitter=0.0,
+            removal_fraction=0.0, rural_fraction=0.0, overpass_count=0, seed=0,
+        )
+        net = generate_road_network(spec)
+        assert net.node_count == 9  # 3x3 grid
+        assert net.edge_count == 12
+
+    def test_overpasses_add_long_edges(self):
+        base = RoadNetworkSpec(
+            width=4.0, height=4.0, secondary_spacing=0.25,
+            removal_fraction=0.0, overpass_count=0, seed=3,
+        )
+        with_op = RoadNetworkSpec(
+            width=4.0, height=4.0, secondary_spacing=0.25,
+            removal_fraction=0.0, overpass_count=3, seed=3,
+        )
+        net_base = generate_road_network(base)
+        net_op = generate_road_network(with_op)
+        assert net_op.edge_count > net_base.edge_count
+        longest = max(edge.length for edge in net_op.edges())
+        assert longest > 2.0  # diagonal freeway across quadrants
+
+    def test_scales_with_area(self):
+        small = generate_road_network(RoadNetworkSpec(width=1.0, height=1.0, seed=0))
+        large = generate_road_network(RoadNetworkSpec(width=4.0, height=4.0, seed=0))
+        assert large.node_count > small.node_count

@@ -1,0 +1,169 @@
+"""Tests for repro.network.graph."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.network.graph import Edge, NetworkLocation, RoadClass, SpatialNetwork
+
+
+def simple_square_network():
+    """Four nodes in a unit square with edges along the sides."""
+    net = SpatialNetwork()
+    a = net.add_node(Point(0, 0))
+    b = net.add_node(Point(1, 0))
+    c = net.add_node(Point(1, 1))
+    d = net.add_node(Point(0, 1))
+    net.add_edge(a, b)
+    net.add_edge(b, c)
+    net.add_edge(c, d)
+    net.add_edge(d, a)
+    return net, (a, b, c, d)
+
+
+class TestRoadClass:
+    def test_speed_limits(self):
+        assert RoadClass.PRIMARY_HIGHWAY.speed_limit_mph == 65.0
+        assert RoadClass.SECONDARY_ROAD.speed_limit_mph == 45.0
+        assert RoadClass.RURAL_ROAD.speed_limit_mph == 30.0
+
+
+class TestEdge:
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            Edge(0, 1, 0.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Edge(2, 2, 1.0)
+
+    def test_other_end(self):
+        edge = Edge(3, 7, 1.0)
+        assert edge.other_end(3) == 7
+        assert edge.other_end(7) == 3
+        with pytest.raises(ValueError):
+            edge.other_end(9)
+
+    def test_key_canonical(self):
+        assert Edge(7, 3, 1.0).key() == (3, 7)
+        assert Edge(3, 7, 1.0).key() == (3, 7)
+
+
+class TestSpatialNetwork:
+    def test_counts(self):
+        net, _ = simple_square_network()
+        assert net.node_count == 4
+        assert net.edge_count == 4
+        assert net.total_length() == pytest.approx(4.0)
+
+    def test_add_edge_requires_nodes(self):
+        net = SpatialNetwork()
+        with pytest.raises(KeyError):
+            net.add_edge(0, 1)
+
+    def test_edge_length_defaults_to_euclidean(self):
+        net = SpatialNetwork()
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(3, 4))
+        edge = net.add_edge(a, b)
+        assert edge.length == pytest.approx(5.0)
+
+    def test_curved_edge_longer_allowed(self):
+        net = SpatialNetwork()
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(1, 0))
+        edge = net.add_edge(a, b, length=2.5)
+        assert edge.length == 2.5
+
+    def test_edge_shorter_than_euclidean_rejected(self):
+        """Shorter-than-chord lengths would break the lower-bound property."""
+        net = SpatialNetwork()
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(2, 0))
+        with pytest.raises(ValueError):
+            net.add_edge(a, b, length=1.0)
+
+    def test_coincident_nodes_rejected(self):
+        net = SpatialNetwork()
+        a = net.add_node(Point(1, 1))
+        b = net.add_node(Point(1, 1))
+        with pytest.raises(ValueError):
+            net.add_edge(a, b)
+
+    def test_neighbors_and_degree(self):
+        net, (a, b, c, d) = simple_square_network()
+        assert net.degree(a) == 2
+        neighbor_ids = {n for n, _ in net.neighbors(a)}
+        assert neighbor_ids == {b, d}
+
+    def test_edges_iterated_once(self):
+        net, _ = simple_square_network()
+        assert len(list(net.edges())) == 4
+
+    def test_connectivity(self):
+        net, (a, b, c, d) = simple_square_network()
+        assert net.is_connected()
+        lonely = net.add_node(Point(5, 5))
+        assert not net.is_connected()
+        assert lonely not in net.largest_component_nodes()
+
+    def test_empty_network_connected(self):
+        assert SpatialNetwork().is_connected()
+
+
+class TestLocations:
+    def test_location_at(self):
+        net, (a, b, _, _) = simple_square_network()
+        edge = net.edge_between(a, b)
+        loc = net.location_at(edge, 0.25)
+        assert loc.point == Point(0.25, 0.0)
+        assert loc.offset_from_v == pytest.approx(0.75)
+
+    def test_location_at_clamps(self):
+        net, (a, b, _, _) = simple_square_network()
+        edge = net.edge_between(a, b)
+        assert net.location_at(edge, -1.0).offset == 0.0
+        assert net.location_at(edge, 99.0).offset == edge.length
+
+    def test_location_at_node(self):
+        net, (a, _, _, _) = simple_square_network()
+        loc = net.location_at_node(a)
+        assert loc.point == Point(0, 0)
+        assert loc.offset in (0.0, loc.edge.length)
+
+    def test_location_at_isolated_node_raises(self):
+        net = SpatialNetwork()
+        lonely = net.add_node(Point(0, 0))
+        with pytest.raises(ValueError):
+            net.location_at_node(lonely)
+
+    def test_invalid_offset_raises(self):
+        edge = Edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            NetworkLocation(edge, 2.0, Point(0, 0))
+
+    def test_snap_onto_edge(self):
+        net, (a, b, _, _) = simple_square_network()
+        loc = net.snap(Point(0.5, -0.3))
+        assert loc.edge.key() == net.edge_between(a, b).key()
+        assert loc.point.x == pytest.approx(0.5)
+        assert loc.point.y == pytest.approx(0.0)
+
+    def test_snap_onto_vertex(self):
+        net, _ = simple_square_network()
+        loc = net.snap(Point(-1, -1))
+        assert loc.point == Point(0, 0)
+
+    def test_snap_empty_raises(self):
+        with pytest.raises(ValueError):
+            SpatialNetwork().snap(Point(0, 0))
+
+    def test_nearest_node(self):
+        net, (a, _, c, _) = simple_square_network()
+        assert net.nearest_node(Point(0.1, 0.1)) == a
+        assert net.nearest_node(Point(0.9, 0.9)) == c
+
+    def test_nearest_node_empty_raises(self):
+        with pytest.raises(ValueError):
+            SpatialNetwork().nearest_node(Point(0, 0))

@@ -1,0 +1,82 @@
+"""Tests for the latency model and its metrics integration."""
+
+import pytest
+
+from repro.core.senn import ResolutionTier
+from repro.sim.config import SimulationConfig, los_angeles_2x2
+from repro.sim.latency import LatencyModel
+from repro.sim.simulation import Simulation
+from repro.sim.stats import SimulationMetrics
+
+
+class TestLatencyModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(p2p_probe_ms=-1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(server_rtt_ms=-1.0)
+
+    def test_peer_answer_costs_probes_and_tuples(self):
+        model = LatencyModel(p2p_probe_ms=5.0, p2p_tuple_ms=0.5)
+        latency = model.query_latency_ms(
+            ResolutionTier.SINGLE_PEER, peer_probes=3, tuples_received=10,
+            server_pages=0,
+        )
+        assert latency == pytest.approx(3 * 5.0 + 10 * 0.5)
+
+    def test_server_answer_adds_round_trip(self):
+        model = LatencyModel(
+            p2p_probe_ms=5.0, p2p_tuple_ms=0.0, server_rtt_ms=150.0,
+            server_page_ms=10.0,
+        )
+        latency = model.query_latency_ms(
+            ResolutionTier.SERVER, peer_probes=2, tuples_received=0, server_pages=4,
+        )
+        assert latency == pytest.approx(2 * 5.0 + 150.0 + 40.0)
+
+    def test_local_cache_costs_nothing(self):
+        model = LatencyModel()
+        assert model.query_latency_ms(ResolutionTier.LOCAL_CACHE, 0, 0, 0) == 0.0
+
+
+class TestMetricsLatency:
+    def test_mean_latency(self):
+        metrics = SimulationMetrics()
+        metrics.record(ResolutionTier.SERVER, server_pages=5, latency_ms=300.0)
+        metrics.record(ResolutionTier.SINGLE_PEER, latency_ms=20.0)
+        assert metrics.mean_latency_ms() == pytest.approx(160.0)
+        assert metrics.mean_latency_for(ResolutionTier.SERVER) == pytest.approx(300.0)
+        assert metrics.mean_latency_for(ResolutionTier.SINGLE_PEER) == pytest.approx(20.0)
+
+    def test_empty_latency(self):
+        metrics = SimulationMetrics()
+        assert metrics.mean_latency_ms() == 0.0
+        assert metrics.mean_latency_for(ResolutionTier.SERVER) == 0.0
+
+
+class TestSimulationLatencyIntegration:
+    def test_simulation_populates_latency(self):
+        config = SimulationConfig(
+            parameters=los_angeles_2x2(), t_execution_s=180.0, seed=2
+        )
+        metrics = Simulation(config).run()
+        if metrics.total_queries:
+            assert metrics.total_latency_ms > 0.0
+            # Server-tier queries are costlier on average than peer-tier.
+            server_ms = metrics.mean_latency_for(ResolutionTier.SERVER)
+            peer_ms = metrics.mean_latency_for(ResolutionTier.SINGLE_PEER)
+            if server_ms and peer_ms:
+                assert server_ms > peer_ms
+
+    def test_custom_model_scales_latency(self):
+        cheap = SimulationConfig(
+            parameters=los_angeles_2x2(), t_execution_s=180.0, seed=2,
+            latency_model=LatencyModel(server_rtt_ms=10.0),
+        )
+        dear = SimulationConfig(
+            parameters=los_angeles_2x2(), t_execution_s=180.0, seed=2,
+            latency_model=LatencyModel(server_rtt_ms=1000.0),
+        )
+        m_cheap = Simulation(cheap).run()
+        m_dear = Simulation(dear).run()
+        assert m_dear.total_latency_ms > m_cheap.total_latency_ms

