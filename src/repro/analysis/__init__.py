@@ -1,0 +1,89 @@
+"""Project-specific static analysis and runtime invariant checking.
+
+The reproduction's correctness rests on numeric and structural
+invariants -- the Lemma 3.2/3.8 verification inequalities, the
+six-state candidate heap of Section 3.3, and R*-tree MBR containment --
+that unit tests can only sample.  This package adds machine-checked
+guardrails on both sides of the build:
+
+- :mod:`repro.analysis.lint` / :mod:`repro.analysis.rules` --
+  ``repro-lint``, an AST-based lint engine with project-specific rules
+  (``RPR001`` .. ``RPR006``) and ``# repro: noqa(CODE)`` suppression;
+- :mod:`repro.analysis.runtime` -- the opt-in runtime sanitizer
+  (``REPRO_SANITIZE=1`` or :func:`sanitized`) that validates R*-tree
+  structure, candidate-heap state transitions and Lemma 3.8 soundness
+  after every mutation of those hot structures;
+- :mod:`repro.analysis.invariants` -- the validators themselves, also
+  callable directly from tests.
+
+The package ``__init__`` resolves its exports lazily (PEP 562): the
+instrumented data structures (``core.heap``, ``index.rtree``) import
+:mod:`repro.analysis.runtime` at module scope, so eagerly importing the
+validators here would recreate the import cycle the layering avoids.
+
+See ``docs/static_analysis.md`` for the rule catalogue and extension
+guide.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = [
+    "HEAP_TRANSITIONS",
+    "InvariantViolation",
+    "LintReport",
+    "Linter",
+    "Rule",
+    "SANITIZER",
+    "Sanitizer",
+    "Violation",
+    "check_heap_structure",
+    "check_heap_transition",
+    "check_verification_soundness",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "sanitized",
+    "sanitizer_enabled",
+    "validate_rtree",
+]
+
+_LINT_EXPORTS = {
+    "LintReport",
+    "Linter",
+    "Rule",
+    "Violation",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+}
+_INVARIANT_EXPORTS = {
+    "HEAP_TRANSITIONS",
+    "InvariantViolation",
+    "check_heap_structure",
+    "check_heap_transition",
+    "check_verification_soundness",
+    "validate_rtree",
+}
+_RUNTIME_EXPORTS = {"SANITIZER", "Sanitizer", "sanitized", "sanitizer_enabled"}
+
+
+def __getattr__(name: str) -> object:
+    if name in _LINT_EXPORTS:
+        from repro.analysis import lint
+
+        return getattr(lint, name)
+    if name in _INVARIANT_EXPORTS:
+        from repro.analysis import invariants
+
+        return getattr(invariants, name)
+    if name in _RUNTIME_EXPORTS:
+        from repro.analysis import runtime
+
+        return getattr(runtime, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> List[str]:
+    return sorted(__all__)

@@ -1,0 +1,102 @@
+"""``repro-lint``: command-line front end for the lint engine.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.
+
+Also runnable without an installed entry point::
+
+    PYTHONPATH=src python -m repro.analysis.cli src/repro tests
+    PYTHONPATH=src python -m repro.analysis src/repro tests
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.lint import Linter, iter_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-specific AST lint for the SENN/SNNN reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (directories are walked for *.py)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line; print violations only",
+    )
+    return parser
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip().upper() for code in raw.split(",") if code.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    missing = [str(p) for p in args.paths if not p.exists()]
+    if missing:
+        print(f"repro-lint: error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    try:
+        linter = Linter(select=_split_codes(args.select), ignore=_split_codes(args.ignore))
+    except ValueError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    report = linter.lint_paths(args.paths)
+    if report.violations:
+        print(report.render())
+    if not args.quiet:
+        noun = "violation" if len(report.violations) == 1 else "violations"
+        print(
+            f"repro-lint: {report.files_checked} files checked, "
+            f"{len(report.violations)} {noun}",
+            file=sys.stderr,
+        )
+    return 1 if report.violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,333 @@
+"""Invariant validators for the hot data structures.
+
+These are the checks the runtime sanitizer (:mod:`repro.analysis.runtime`)
+installs behind ``REPRO_SANITIZE=1``; they are plain functions so tests
+can also call them directly on suspect structures.
+
+Three families:
+
+- :func:`validate_rtree` -- structural soundness of the R*-tree: child
+  MBR containment *and* tightness, fill bounds, uniform leaf depth,
+  entry-count bookkeeping;
+- :func:`check_heap_structure` / :func:`check_heap_transition` -- the
+  candidate heap's Table 1 layout and the legal Section 3.3 state
+  machine (:data:`HEAP_TRANSITIONS`);
+- :func:`check_verification_soundness` -- every POI newly certified by
+  ``kNN_single`` / ``kNN_multiple`` must be confirmed by the
+  covering-disk test of Lemma 3.8 against the peers' certain circles,
+  with its stored distance matching a recomputation.
+
+All failures raise :class:`InvariantViolation` (an ``AssertionError``
+subclass, so ``pytest.raises(AssertionError)`` also catches it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry.circle import Circle
+from repro.geometry.coverage import CertainRegion, CoverageMethod
+from repro.geometry.point import Point
+from repro.core.cache import CachedQueryResult
+from repro.core.heap import CandidateHeap, HeapEntry, HeapState
+from repro.index.node import ChildEntry, LeafEntry, Node
+from repro.index.rtree import RTree
+
+__all__ = [
+    "HEAP_TRANSITIONS",
+    "InvariantViolation",
+    "check_heap_structure",
+    "check_heap_transition",
+    "check_verification_soundness",
+    "validate_rtree",
+]
+
+_DISTANCE_TOLERANCE = 1e-9
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant of the reproduction has been broken."""
+
+
+# ----------------------------------------------------------------------
+# candidate heap (Sections 3.2.1 / 3.3)
+# ----------------------------------------------------------------------
+#: Legal one-``add`` transitions of the Section 3.3 state machine.
+#:
+#: Derived from the heap maintenance rules: entries are never demoted
+#: (certain stays certain), uncertain entries exist only while fewer
+#: than ``k`` certain ones are known, and ``COMPLETE`` is absorbing.
+#: Self-transitions (no-op adds, displacements) are always legal and
+#: included explicitly.
+HEAP_TRANSITIONS: Dict[HeapState, FrozenSet[HeapState]] = {
+    HeapState.EMPTY: frozenset(
+        {
+            HeapState.EMPTY,
+            HeapState.PARTIAL_UNCERTAIN,
+            HeapState.PARTIAL_CERTAIN,
+            HeapState.FULL_UNCERTAIN,  # k == 1, uncertain offer
+            HeapState.COMPLETE,  # k == 1, certain offer
+        }
+    ),
+    HeapState.PARTIAL_UNCERTAIN: frozenset(
+        {
+            HeapState.PARTIAL_UNCERTAIN,
+            HeapState.PARTIAL_MIXED,
+            HeapState.PARTIAL_CERTAIN,  # upgrade of the only uncertain entry
+            HeapState.FULL_UNCERTAIN,
+            HeapState.FULL_MIXED,
+        }
+    ),
+    HeapState.PARTIAL_MIXED: frozenset(
+        {
+            HeapState.PARTIAL_MIXED,
+            HeapState.PARTIAL_CERTAIN,  # upgrade of the last uncertain entry
+            HeapState.FULL_MIXED,
+        }
+    ),
+    HeapState.PARTIAL_CERTAIN: frozenset(
+        {
+            HeapState.PARTIAL_CERTAIN,
+            HeapState.PARTIAL_MIXED,
+            HeapState.FULL_MIXED,
+            HeapState.COMPLETE,
+        }
+    ),
+    HeapState.FULL_UNCERTAIN: frozenset(
+        {
+            HeapState.FULL_UNCERTAIN,
+            HeapState.FULL_MIXED,
+            HeapState.COMPLETE,  # k == 1, certain displaces the uncertain entry
+        }
+    ),
+    HeapState.FULL_MIXED: frozenset({HeapState.FULL_MIXED, HeapState.COMPLETE}),
+    HeapState.COMPLETE: frozenset({HeapState.COMPLETE}),
+}
+
+
+def check_heap_transition(before: HeapState, after: HeapState) -> None:
+    """Assert that one ``add`` may move the heap from ``before`` to ``after``."""
+    legal = HEAP_TRANSITIONS[before]
+    if after not in legal:
+        raise InvariantViolation(
+            f"illegal heap state transition {before.value} -> {after.value}; "
+            f"legal successors: {sorted(s.value for s in legal)}"
+        )
+
+
+def check_heap_structure(heap: CandidateHeap) -> None:
+    """Assert the Table 1 structural invariants of ``heap``."""
+    certain: List[HeapEntry] = heap._certain
+    uncertain: List[HeapEntry] = heap._uncertain
+    index = heap._index
+
+    if len(certain) + len(uncertain) > heap.capacity:
+        raise InvariantViolation(
+            f"heap holds {len(certain) + len(uncertain)} entries, "
+            f"capacity is {heap.capacity}"
+        )
+    if len(certain) + len(uncertain) != len(index):
+        raise InvariantViolation(
+            "heap index out of sync: "
+            f"{len(certain) + len(uncertain)} entries vs {len(index)} index keys"
+        )
+    if uncertain and len(certain) >= heap.capacity:
+        raise InvariantViolation(
+            "uncertain entries present although k certain entries are known"
+        )
+    for bucket, expect_certain, name in (
+        (certain, True, "certain"),
+        (uncertain, False, "uncertain"),
+    ):
+        previous = -1.0
+        for entry in bucket:
+            if entry.certain is not expect_certain:
+                raise InvariantViolation(
+                    f"{name} bucket holds an entry flagged certain={entry.certain}"
+                )
+            if entry.distance < 0.0:
+                raise InvariantViolation("negative distance stored in heap")
+            if entry.distance < previous:
+                raise InvariantViolation(
+                    f"{name} bucket not in ascending distance order: "
+                    f"{entry.distance} after {previous}"
+                )
+            previous = entry.distance
+            if index.get(entry.key()) is not entry:
+                raise InvariantViolation(
+                    f"heap index does not point at the stored {name} entry"
+                )
+
+
+# ----------------------------------------------------------------------
+# verification soundness (Lemmas 3.2 / 3.8)
+# ----------------------------------------------------------------------
+def check_verification_soundness(
+    query: Point,
+    caches: Sequence[CachedQueryResult],
+    heap: CandidateHeap,
+    pre_snapshot: Dict[Tuple[float, float, object], bool],
+    method: CoverageMethod = CoverageMethod.EXACT,
+    polygon_sides: int = 32,
+) -> None:
+    """Cross-check the entries a verifier call just certified.
+
+    ``pre_snapshot`` maps entry key -> certain flag as of *before* the
+    verifier ran.  Three properties are asserted for the call's output:
+
+    1. every newly certified entry's stored distance matches an
+       independent recomputation of ``Dist(Q, n_i)``;
+    2. every newly certified entry passes the covering-disk test of
+       Lemma 3.8 (its disk around ``Q`` lies inside the union of the
+       peers' certain circles, evaluated with the same coverage backend
+       the verifier used);
+    3. sound ordering: no entry left (or newly added as) uncertain by
+       this call is closer to ``Q`` than a newly certified entry.
+    """
+    circles = [cache.certain_circle() for cache in caches if not cache.is_empty()]
+    region = CertainRegion(method=method, polygon_sides=polygon_sides)
+    for circle in circles:
+        region.add_circle(circle)
+
+    new_certain: List[HeapEntry] = []
+    new_uncertain: List[HeapEntry] = []
+    for entry in heap.entries():
+        was_certain = pre_snapshot.get(entry.key())
+        if entry.certain and was_certain is not True:
+            new_certain.append(entry)
+        elif not entry.certain and was_certain is None:
+            new_uncertain.append(entry)
+
+    for entry in new_certain:
+        recomputed = query.distance_to(entry.point)
+        if abs(recomputed - entry.distance) > _DISTANCE_TOLERANCE:
+            raise InvariantViolation(
+                f"certified entry at {entry.point} stores distance "
+                f"{entry.distance}, recomputation gives {recomputed}"
+            )
+        target = Circle(query, entry.distance)
+        covered = any(
+            circle.contains_circle(target) for circle in circles
+        ) or region.covers_disk(target)
+        if not covered:
+            raise InvariantViolation(
+                f"Lemma 3.8 violation: certified POI at {entry.point} "
+                f"(distance {entry.distance}) has a disk not covered by the "
+                f"{len(circles)} peer certain circles"
+            )
+
+    if new_certain and new_uncertain:
+        max_certified = max(entry.distance for entry in new_certain)
+        min_uncertain = min(entry.distance for entry in new_uncertain)
+        if min_uncertain < max_certified - _DISTANCE_TOLERANCE:
+            raise InvariantViolation(
+                "sound-verifier ordering violation: an uncertain candidate at "
+                f"distance {min_uncertain} is closer than a certified one at "
+                f"{max_certified}"
+            )
+
+
+# ----------------------------------------------------------------------
+# R*-tree structure
+# ----------------------------------------------------------------------
+def validate_rtree(tree: RTree, strict_fill: Optional[bool] = None) -> None:
+    """Assert the structural invariants of ``tree``.
+
+    Checks, for every node reachable from the root:
+
+    - levels decrease by exactly one per edge and leaves sit at level 0
+      (uniform leaf depth);
+    - leaf nodes hold only :class:`LeafEntry`, internal only
+      :class:`ChildEntry`;
+    - every ``ChildEntry.bbox`` both *contains* and *is contained by*
+      the child's recomputed MBR (containment ensures search soundness,
+      tightness catches shrink misses after deletes);
+    - no node is referenced twice (aliasing / orphan corruption);
+    - fill bounds: at most ``max_entries`` everywhere; at least
+      ``min_entries`` for non-root nodes when ``strict_fill`` -- which
+      defaults to False for bulk-loaded trees (STR packing legitimately
+      leaves one trailing under-filled node per level) and True for
+      dynamically built ones;
+    - an internal root has at least two children;
+    - the number of reachable leaf entries equals ``len(tree)``.
+    """
+    if strict_fill is None:
+        strict_fill = not getattr(tree, "_relaxed_fill", False)
+    config = tree.config
+    root = tree.root
+    seen: Set[int] = set()
+    leaf_entries = 0
+
+    stack: List[Tuple[Node, bool]] = [(root, True)]
+    while stack:
+        node, is_root = stack.pop()
+        if id(node) in seen:
+            raise InvariantViolation(
+                f"node page={node.page_id} is referenced more than once"
+            )
+        seen.add(id(node))
+
+        count = len(node.entries)
+        if count > config.max_entries:
+            raise InvariantViolation(
+                f"node page={node.page_id} holds {count} entries "
+                f"(max {config.max_entries})"
+            )
+        if is_root:
+            if not node.is_leaf and count < 2:
+                raise InvariantViolation(
+                    f"internal root page={node.page_id} has {count} children; "
+                    "a single-child root must be shortened"
+                )
+        else:
+            minimum = config.min_entries if strict_fill else 1
+            if count < minimum:
+                raise InvariantViolation(
+                    f"non-root node page={node.page_id} (level {node.level}) "
+                    f"holds {count} entries (min {minimum})"
+                )
+
+        if node.is_leaf:
+            for entry in node.entries:
+                if not isinstance(entry, LeafEntry):
+                    raise InvariantViolation(
+                        f"leaf page={node.page_id} holds a non-leaf entry"
+                    )
+                leaf_entries += 1
+        else:
+            for entry in node.entries:
+                if not isinstance(entry, ChildEntry):
+                    raise InvariantViolation(
+                        f"internal page={node.page_id} holds a non-child entry"
+                    )
+                child = entry.child
+                if child.level != node.level - 1:
+                    raise InvariantViolation(
+                        f"level skew: page={node.page_id} at level {node.level} "
+                        f"points to page={child.page_id} at level {child.level}"
+                    )
+                if not child.entries:
+                    raise InvariantViolation(
+                        f"empty node page={child.page_id} linked from "
+                        f"page={node.page_id}"
+                    )
+                computed = child.compute_bbox()
+                if not entry.bbox.contains_box(computed):
+                    raise InvariantViolation(
+                        f"MBR containment violation: page={node.page_id} entry "
+                        f"box {entry.bbox} does not contain child "
+                        f"page={child.page_id} box {computed}"
+                    )
+                if not computed.contains_box(entry.bbox):
+                    raise InvariantViolation(
+                        f"MBR tightness violation (shrink miss): "
+                        f"page={node.page_id} entry box {entry.bbox} is larger "
+                        f"than child page={child.page_id} box {computed}"
+                    )
+                stack.append((child, False))
+
+    if leaf_entries != len(tree):
+        raise InvariantViolation(
+            f"tree bookkeeping broken: {leaf_entries} reachable leaf entries, "
+            f"len(tree) reports {len(tree)} (orphaned or duplicated entries)"
+        )

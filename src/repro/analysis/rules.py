@@ -1,0 +1,390 @@
+"""The project-specific lint rules (``RPR001`` .. ``RPR006``).
+
+Each rule encodes one correctness convention of the SENN/SNNN stack;
+``docs/static_analysis.md`` documents the rationale and the sanctioned
+escape hatches.  Rules are pure AST checks -- no imports of the checked
+code -- so the linter can run on broken trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.lint import ModuleContext, Violation, register_rule
+
+__all__ = ["DISTANCE_CALL_NAMES", "DISTANCE_ATTRIBUTE_NAMES"]
+
+#: Call names whose results are treated as distance-valued floats.
+DISTANCE_CALL_NAMES: Set[str] = {
+    "distance_to",
+    "squared_distance_to",
+    "distance",
+    "squared_distance",
+    "mindist",
+    "maxdist",
+    "network_distance",
+    "path_length",
+    "hypot",
+    "dist",
+}
+
+#: Attribute names treated as distance-valued floats.
+DISTANCE_ATTRIBUTE_NAMES: Set[str] = {
+    "distance",
+    "radius",
+    "certain_radius",
+}
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _dotted(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute/name chains; empty string otherwise."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+# ----------------------------------------------------------------------
+# RPR001: exact float comparison on distance expressions
+# ----------------------------------------------------------------------
+class _DistanceTaint(ast.NodeVisitor):
+    """Flags ``==`` / ``!=`` where either side is distance-valued.
+
+    An expression is distance-valued when it contains a call to one of
+    :data:`DISTANCE_CALL_NAMES`, reads an attribute from
+    :data:`DISTANCE_ATTRIBUTE_NAMES`, or is a local name previously
+    assigned from a distance-valued expression in the same scope
+    (single forward pass; good enough for the straight-line numeric
+    code this project writes).
+
+    Carve-out: in test modules, comparisons inside ``assert`` statements
+    are exempt -- asserting an exact expected value is the test's
+    business, and a float mismatch fails loudly instead of silently
+    corrupting an answer.  Comparisons in test *helper logic* are still
+    flagged.
+    """
+
+    def __init__(self, context: ModuleContext) -> None:
+        self.context = context
+        self.violations: List[Violation] = []
+        self._tainted_stack: List[Set[str]] = [set()]
+        self._assert_depth = 0
+        top = context.module.split(".", 1)[0] if context.module else ""
+        stem = context.module.rsplit(".", 1)[-1] if context.module else ""
+        self._is_test_module = (
+            top in ("tests", "benchmarks")
+            or stem.startswith("test_")
+            or stem == "conftest"
+        )
+
+    # -- scope handling -------------------------------------------------
+    def _enter_scope(self) -> None:
+        # Nested functions close over enclosing locals, so they inherit
+        # the enclosing scope's taint (a copy: their own assignments must
+        # not leak back out).
+        self._tainted_stack.append(set(self._tainted))
+
+    def _exit_scope(self) -> None:
+        self._tainted_stack.pop()
+
+    @property
+    def _tainted(self) -> Set[str]:
+        return self._tainted_stack[-1]
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._exit_scope()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._exit_scope()
+
+    # -- taint ----------------------------------------------------------
+    def _is_distance_expr(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                name = _call_name(sub)
+                if name in DISTANCE_CALL_NAMES:
+                    return True
+            elif isinstance(sub, ast.Attribute):
+                if sub.attr in DISTANCE_ATTRIBUTE_NAMES:
+                    return True
+            elif isinstance(sub, ast.Name):
+                if sub.id in self._tainted:
+                    return True
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        if self._is_distance_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._tainted.add(target.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if (
+            node.value is not None
+            and isinstance(node.target, ast.Name)
+            and self._is_distance_expr(node.value)
+        ):
+            self._tainted.add(node.target.id)
+
+    # -- the check ------------------------------------------------------
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._assert_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._assert_depth -= 1
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        self.generic_visit(node)
+        if self._is_test_module and self._assert_depth:
+            return
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if any(_is_non_float_literal(side) for side in (left, right)):
+                continue
+            if self._is_distance_expr(left) or self._is_distance_expr(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                self.violations.append(
+                    self.context.violation(
+                        node,
+                        "RPR001",
+                        f"exact float `{symbol}` on a distance expression; use "
+                        "repro.geometry.tolerance (feq/fne/near_zero) or add "
+                        "`# repro: noqa(RPR001)` with a justification",
+                    )
+                )
+                break
+
+
+def _is_non_float_literal(node: ast.AST) -> bool:
+    """Literals that make the comparison clearly not a float equality."""
+    if isinstance(node, ast.Constant):
+        return not isinstance(node.value, (int, float)) or isinstance(node.value, bool)
+    return False
+
+
+@register_rule(
+    "RPR001",
+    "float-eq-distance",
+    "exact ==/!= on float distance expressions (use the tolerance helpers)",
+)
+def rule_float_eq_distance(context: ModuleContext) -> Iterator[Violation]:
+    visitor = _DistanceTaint(context)
+    visitor.visit(context.tree)
+    yield from visitor.violations
+
+
+# ----------------------------------------------------------------------
+# RPR002: unseeded RNG construction outside sim.config
+# ----------------------------------------------------------------------
+_GLOBAL_STATE_RNG_FUNCS = {
+    "seed",
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "normal",
+    "gauss",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "permutation",
+    "rand",
+    "randn",
+}
+
+
+@register_rule(
+    "RPR002",
+    "unseeded-rng",
+    "unseeded random.Random()/numpy RNG construction or global-state RNG calls "
+    "outside sim.config",
+)
+def rule_unseeded_rng(context: ModuleContext) -> Iterator[Violation]:
+    if context.module in ("repro.sim.config",):
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        head = dotted.split(".", 1)[0] if dotted else ""
+        tail = dotted.rsplit(".", 1)[-1] if dotted else ""
+        seeded = bool(node.args) or any(
+            kw.arg == "seed" and not _is_none(kw.value) for kw in node.keywords
+        )
+        if tail in ("Random", "default_rng", "RandomState") and head in (
+            "random",
+            "np",
+            "numpy",
+        ):
+            if not seeded:
+                yield context.violation(
+                    node,
+                    "RPR002",
+                    f"unseeded RNG construction `{dotted}()`; pass an explicit "
+                    "seed (derived from sim.config) so runs are reproducible",
+                )
+        elif (
+            head in ("random", "np", "numpy")
+            and tail in _GLOBAL_STATE_RNG_FUNCS
+            and dotted in (f"random.{tail}", f"np.random.{tail}", f"numpy.random.{tail}")
+        ):
+            yield context.violation(
+                node,
+                "RPR002",
+                f"global-state RNG call `{dotted}()`; construct a seeded "
+                "Generator/Random instead",
+            )
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+# ----------------------------------------------------------------------
+# RPR003: Euclidean distance inside network/
+# ----------------------------------------------------------------------
+_EUCLIDEAN_CALLS = {"distance_to", "squared_distance_to", "distance", "squared_distance"}
+
+
+@register_rule(
+    "RPR003",
+    "euclid-in-network",
+    "Euclidean Point distance call inside repro.network (network distance required)",
+)
+def rule_euclid_in_network(context: ModuleContext) -> Iterator[Violation]:
+    if not context.module.startswith("repro.network"):
+        return
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in _EUCLIDEAN_CALLS:
+                yield context.violation(
+                    node,
+                    "RPR003",
+                    f"Euclidean `{name}` inside repro.network; use network "
+                    "(shortest-path) distance, or `# repro: noqa(RPR003)` when "
+                    "the Euclidean value is an intentional lower bound",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR004: mutable default arguments
+# ----------------------------------------------------------------------
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+
+
+@register_rule(
+    "RPR004",
+    "mutable-default",
+    "mutable default argument (list/dict/set literals or constructors)",
+)
+def rule_mutable_default(context: ModuleContext) -> Iterator[Violation]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                yield context.violation(
+                    default,
+                    "RPR004",
+                    "mutable default argument; default to None and construct "
+                    "inside the function body",
+                )
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+# ----------------------------------------------------------------------
+# RPR005: bare except
+# ----------------------------------------------------------------------
+@register_rule(
+    "RPR005",
+    "bare-except",
+    "bare `except:` clause (catch a specific exception type)",
+)
+def rule_bare_except(context: ModuleContext) -> Iterator[Violation]:
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield context.violation(
+                node,
+                "RPR005",
+                "bare `except:` swallows SystemExit/KeyboardInterrupt; name the "
+                "exception type (use `except Exception` at minimum)",
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR006: missing __all__ in public library modules
+# ----------------------------------------------------------------------
+@register_rule(
+    "RPR006",
+    "missing-all",
+    "public repro module without an `__all__` declaration",
+    module_scope=True,
+)
+def rule_missing_all(context: ModuleContext) -> Iterator[Violation]:
+    if not context.module.startswith("repro"):
+        return  # only the library package has a public API surface
+    stem = context.module.rsplit(".", 1)[-1]
+    if stem.startswith("_"):
+        return
+    has_public_definition = False
+    for node in context.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                has_public_definition = True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if target.id == "__all__":
+                        return
+                    if not target.id.startswith("_"):
+                        has_public_definition = True
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                if node.target.id == "__all__":
+                    return
+                if not node.target.id.startswith("_"):
+                    has_public_definition = True
+    if has_public_definition:
+        yield context.module_violation(
+            "RPR006",
+            "public module defines names but no `__all__`; declare the public "
+            "surface explicitly",
+        )

@@ -24,7 +24,9 @@ class Trajectory:
         self._cumulative: List[float] = [0.0]
         for a, b in zip(self._waypoints, self._waypoints[1:]):
             step = a.distance_to(b)
-            if step == 0.0:
+            # Exactly coincident waypoints break direction vectors; any
+            # non-zero step, however small, keeps the polyline walkable.
+            if step == 0.0:  # repro: noqa(RPR001)
                 raise ValueError("consecutive duplicate waypoints are not allowed")
             self._cumulative.append(self._cumulative[-1] + step)
 

@@ -30,6 +30,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis.runtime import SANITIZER
 from repro.geometry.point import Point
 
 __all__ = ["CandidateHeap", "HeapEntry", "HeapState"]
@@ -85,6 +86,14 @@ class CandidateHeap:
         Re-offering a stored POI as certain upgrades it; re-offering as
         uncertain is a no-op.
         """
+        if not SANITIZER.enabled:
+            return self._add(point, payload, distance, certain)
+        before = self.state()
+        stored = self._add(point, payload, distance, certain)
+        SANITIZER.after_heap_add(self, before)
+        return stored
+
+    def _add(self, point: Point, payload: Any, distance: float, certain: bool) -> bool:
         if distance < 0.0:
             raise ValueError("distance must be non-negative")
         entry = HeapEntry(point, payload, distance, certain)

@@ -16,7 +16,10 @@ aggregates into the SQRR statistics of Section 4.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # runtime import stays local to query_range (import cycle)
+    from repro.core.range_queries import RangeQueryResult
 
 from repro.geometry.point import Point
 from repro.network.graph import SpatialNetwork
@@ -118,7 +121,7 @@ class MobileHost:
         peers: Sequence["MobileHost"] = (),
         server: Optional[SpatialDatabaseServer] = None,
         timestamp: float = 0.0,
-    ):
+    ) -> "RangeQueryResult":
         """Issue a range query ("all POIs within ``radius``").
 
         Implements the paper's Section-5 extension via

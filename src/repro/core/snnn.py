@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.geometry.point import Point
+from repro.geometry.tolerance import near_zero
 from repro.index.knn import NeighborResult
 from repro.network.dijkstra import network_distance
 from repro.network.graph import SpatialNetwork
@@ -84,7 +85,7 @@ def snnn_query(
     )
 
     def adjusted(neighbor: NeighborResult) -> NeighborResult:
-        if snap_slack == 0.0:
+        if near_zero(snap_slack):
             return neighbor
         return NeighborResult(
             neighbor.point, neighbor.payload, max(0.0, neighbor.distance - snap_slack)

@@ -16,7 +16,9 @@ paper's verification lemmas need:
   segment intersection and circle polygonization;
 - :mod:`repro.geometry.coverage` -- the certain-region coverage tests used
   by multi-peer verification (exact disk-union test and the paper's
-  polygon-overlay approximation).
+  polygon-overlay approximation);
+- :mod:`repro.geometry.tolerance` -- explicit-epsilon float comparison
+  helpers (the lint rule RPR001 steers distance comparisons here).
 """
 
 from repro.geometry.bbox import BoundingBox
@@ -29,15 +31,29 @@ from repro.geometry.coverage import (
 from repro.geometry.intervals import AngularIntervalSet
 from repro.geometry.point import Point, distance
 from repro.geometry.polygon import Polygon
+from repro.geometry.tolerance import (
+    DEFAULT_TOLERANCE,
+    feq,
+    fge,
+    fle,
+    fne,
+    near_zero,
+)
 
 __all__ = [
     "AngularIntervalSet",
     "BoundingBox",
     "Circle",
     "CoverageMethod",
+    "DEFAULT_TOLERANCE",
     "Point",
     "Polygon",
     "disk_covered_by_disks",
     "disk_covered_by_polygons",
     "distance",
+    "feq",
+    "fge",
+    "fle",
+    "fne",
+    "near_zero",
 ]

@@ -121,7 +121,9 @@ class Circle:
             # Disks disjoint, or the other disk is strictly inside this
             # circle without reaching the boundary: no boundary coverage.
             return ArcCoverage(full=False, empty=True)
-        if d == 0.0:
+        # Exact zero guard for the concentric case: d divides the law-of-
+        # cosines expression below, so only a literal zero is degenerate.
+        if d == 0.0:  # repro: noqa(RPR001)
             # Concentric with other.radius < r (the full-coverage case
             # returned above): boundary not covered.
             return ArcCoverage(full=False, empty=True)
@@ -140,7 +142,8 @@ class Circle:
         """
         d = self.center.distance_to(other.center)
         r0, r1 = self.radius, other.radius
-        if d == 0.0:
+        # Exact zero guard: d divides the chord computation below.
+        if d == 0.0:  # repro: noqa(RPR001)
             return []
         if d > r0 + r1 or d < abs(r0 - r1):
             return []
@@ -154,7 +157,9 @@ class Circle:
         ux = (other.center.x - self.center.x) / d
         uy = (other.center.y - self.center.y) / d
         mid = Point(self.center.x + a * ux, self.center.y + a * uy)
-        if h == 0.0:
+        # Exact tangency: h_sq was clamped to literal 0.0 above, so the
+        # single-point case is an exact comparison by construction.
+        if h == 0.0:  # repro: noqa(RPR001)
             return [mid]
         return [
             Point(mid.x - h * uy, mid.y + h * ux),

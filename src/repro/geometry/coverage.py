@@ -51,6 +51,7 @@ from repro.geometry.circle import Circle
 from repro.geometry.intervals import AngularIntervalSet
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon, segment_intersections
+from repro.geometry.tolerance import near_zero
 
 __all__ = [
     "CoverageMethod",
@@ -86,7 +87,8 @@ def disk_covered_by_disks(
     for disk in relevant:
         if disk.contains_circle(target, tolerance=-tolerance):
             return True
-    if target.radius == 0.0:
+    if near_zero(target.radius, tolerance):
+        # A disk no larger than the tolerance degenerates to its center.
         return any(
             disk.strictly_contains_point(target.center, tolerance) for disk in relevant
         )
@@ -138,7 +140,8 @@ def disk_covered_by_polygons(
     """
     if not cover_polygons:
         return False
-    if target.radius == 0.0:
+    if near_zero(target.radius, tolerance):
+        # A disk no larger than the tolerance degenerates to its center.
         return any(poly.contains_point(target.center) for poly in cover_polygons)
     target_polygon = Polygon.circumscribed_around_circle(target, sides=sides)
     return polygon_covered_by_polygons(target_polygon, cover_polygons, tolerance)
@@ -205,7 +208,8 @@ def _segment_covered(
 ) -> bool:
     """True when the closed segment ``a-b`` lies inside the polygon union."""
     length_sq = a.squared_distance_to(b)
-    if length_sq == 0.0:
+    # Exact zero guard: any non-zero squared length is safely divisible.
+    if length_sq == 0.0:  # repro: noqa(RPR001)
         return any(poly.contains_point(a, tolerance) for poly in polygons)
     cut_params: List[float] = [0.0, 1.0]
     for edge in cover_edges:
@@ -251,7 +255,8 @@ def _distance_to_boundary(polygon: Polygon, point: Point) -> float:
 def _point_segment_distance(p: Point, a: Point, b: Point) -> float:
     """Distance from ``p`` to the closed segment ``a-b``."""
     length_sq = a.squared_distance_to(b)
-    if length_sq == 0.0:
+    # Exact zero guard: any non-zero squared length is safely divisible.
+    if length_sq == 0.0:  # repro: noqa(RPR001)
         return p.distance_to(a)
     t = ((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / length_sq
     t = min(1.0, max(0.0, t))

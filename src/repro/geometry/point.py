@@ -46,7 +46,8 @@ class Point:
         there is no direction to move in.
         """
         total = self.distance_to(other)
-        if total == 0.0:
+        # Exact zero guard: any non-zero distance is safely divisible.
+        if total == 0.0:  # repro: noqa(RPR001)
             return self
         frac = dist / total
         return Point(self.x + (other.x - self.x) * frac, self.y + (other.y - self.y) * frac)

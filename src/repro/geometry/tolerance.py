@@ -1,0 +1,51 @@
+"""Float comparison helpers with explicit tolerances.
+
+All of the verification lemmas ultimately compare Euclidean distances,
+and exact ``==``/``!=`` on such values is almost always a latent bug:
+two mathematically equal distances rarely share a bit pattern after a
+different sequence of operations.  These helpers make the tolerance an
+explicit, auditable part of every comparison; the project lint rule
+``RPR001`` (see :mod:`repro.analysis`) flags exact float comparisons on
+distance expressions and points offenders here.
+
+``DEFAULT_TOLERANCE`` matches the conservative 1e-9 epsilon already used
+by the coverage tests in :mod:`repro.geometry.coverage`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "feq",
+    "fne",
+    "fle",
+    "fge",
+    "near_zero",
+]
+
+DEFAULT_TOLERANCE = 1e-9
+
+
+def feq(a: float, b: float, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """True when ``a`` and ``b`` differ by at most ``tolerance``."""
+    return abs(a - b) <= tolerance
+
+
+def fne(a: float, b: float, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """True when ``a`` and ``b`` differ by more than ``tolerance``."""
+    return abs(a - b) > tolerance
+
+
+def fle(a: float, b: float, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """``a <= b`` up to ``tolerance`` (``a`` may exceed ``b`` slightly)."""
+    return a <= b + tolerance
+
+
+def fge(a: float, b: float, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """``a >= b`` up to ``tolerance`` (``a`` may trail ``b`` slightly)."""
+    return a >= b - tolerance
+
+
+def near_zero(value: float, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """True when ``value`` is within ``tolerance`` of zero."""
+    return abs(value) <= tolerance

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Hashable, List, Optional
 
 __all__ = ["PageAccessCounter", "BufferPool", "AccessBreakdown"]
 
@@ -75,13 +75,13 @@ class PageAccessCounter:
         self.total_accesses += 1
         self._buffer_access(page_id)
 
-    def record_object(self, object_id) -> None:
+    def record_object(self, object_id: Hashable) -> None:
         """Record fetching one object record (a data-node access)."""
         self._current_data += 1
         self.total_accesses += 1
         self._buffer_access(("data", object_id))
 
-    def _buffer_access(self, page_id) -> None:
+    def _buffer_access(self, page_id: Hashable) -> None:
         if self._buffer_pool is not None:
             if self._buffer_pool.access(page_id):
                 self._current_hits += 1

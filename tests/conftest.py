@@ -1,0 +1,33 @@
+"""Shared pytest configuration for the repro test suite.
+
+Adds the ``--sanitize`` flag: ``pytest --sanitize`` enables the
+:mod:`repro.analysis.runtime` invariant sanitizer for the whole session,
+so every heap mutation, R-tree restructure and verification round in the
+suite is cross-checked against the paper's invariants.  The same effect
+is available without the flag by exporting ``REPRO_SANITIZE=1``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="enable repro.analysis runtime invariant checks for all tests",
+    )
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sanitizer_session(request: pytest.FixtureRequest):
+    if not request.config.getoption("--sanitize"):
+        yield
+        return
+    from repro.analysis.runtime import SANITIZER
+
+    SANITIZER.enable()
+    try:
+        yield
+    finally:
+        SANITIZER.disable()

@@ -1,0 +1,183 @@
+"""Acceptance tests for the repro-lint engine and its rules."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.analysis.lint import Linter, lint_paths, lint_source
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# One seeded violation per rule.  The pretend path places the module in
+# repro.network so the Euclidean-distance ban (RPR003) applies too.
+FIXTURE_PATH = "src/repro/network/fixture_module.py"
+FIXTURE = '''\
+"""Fixture module with exactly one violation of every lint rule."""
+
+import random
+
+
+def euclidean_probe(a, b, history=[]):
+    gap = a.distance_to(b)
+    if gap == 0.0:
+        history.append(gap)
+    rng = random.Random()
+    try:
+        return rng.random()
+    except:
+        return 0.0
+'''
+ALL_RULE_CODES = {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"}
+
+
+def codes_of(violations):
+    return {v.code for v in violations}
+
+
+class TestSeededFixture:
+    def test_one_violation_per_rule(self):
+        violations = lint_source(FIXTURE, path=FIXTURE_PATH)
+        assert codes_of(violations) == ALL_RULE_CODES
+        # exactly one finding per rule -- the fixture seeds no duplicates
+        assert len(violations) == len(ALL_RULE_CODES)
+
+    def test_violations_carry_position_and_render(self):
+        violations = lint_source(FIXTURE, path=FIXTURE_PATH)
+        by_code = {v.code: v for v in violations}
+        assert by_code["RPR001"].line == 8  # gap == 0.0
+        assert by_code["RPR005"].line == 13  # bare except
+        rendered = by_code["RPR004"].render()
+        assert rendered.startswith(FIXTURE_PATH)
+        assert "RPR004" in rendered
+
+
+class TestSuppression:
+    def test_line_noqa_suppresses_single_code(self):
+        patched = FIXTURE.replace(
+            "if gap == 0.0:", "if gap == 0.0:  # repro: noqa(RPR001)"
+        )
+        assert codes_of(lint_source(patched, path=FIXTURE_PATH)) == (
+            ALL_RULE_CODES - {"RPR001"}
+        )
+
+    def test_bare_noqa_suppresses_all_codes_on_line(self):
+        patched = FIXTURE.replace(
+            "rng = random.Random()", "rng = random.Random()  # repro: noqa"
+        )
+        assert "RPR002" not in codes_of(lint_source(patched, path=FIXTURE_PATH))
+
+    def test_noqa_for_other_code_does_not_suppress(self):
+        patched = FIXTURE.replace(
+            "if gap == 0.0:", "if gap == 0.0:  # repro: noqa(RPR005)"
+        )
+        assert "RPR001" in codes_of(lint_source(patched, path=FIXTURE_PATH))
+
+    def test_module_scope_rule_suppressed_file_wide(self):
+        patched = "# repro: noqa(RPR006)\n" + FIXTURE
+        assert "RPR006" not in codes_of(lint_source(patched, path=FIXTURE_PATH))
+
+    def test_dunder_all_satisfies_rpr006(self):
+        patched = FIXTURE + '\n__all__ = ["euclidean_probe"]\n'
+        assert "RPR006" not in codes_of(lint_source(patched, path=FIXTURE_PATH))
+
+
+class TestRuleSemantics:
+    def test_tolerance_helper_not_flagged(self):
+        source = (
+            "from repro.geometry.tolerance import near_zero\n"
+            "def f(a, b):\n"
+            "    return near_zero(a.distance_to(b))\n"
+        )
+        assert "RPR001" not in codes_of(lint_source(source, path="src/repro/core/m.py"))
+
+    def test_taint_flows_through_assignment_chains(self):
+        source = "def f(a, b):\n    d = a.distance_to(b)\n    e = d\n    return e == 1.5\n"
+        assert "RPR001" in codes_of(lint_source(source, path="src/repro/core/m.py"))
+
+    def test_exact_assert_allowed_in_test_modules_only(self):
+        source = "def test_x(a, b):\n    assert a.distance_to(b) == 5.0\n"
+        assert "RPR001" not in codes_of(lint_source(source, path="tests/test_m.py"))
+        assert "RPR001" in codes_of(lint_source(source, path="src/repro/core/m.py"))
+
+    def test_seeded_rng_not_flagged(self):
+        source = "import random\nrng = random.Random(42)\n"
+        assert codes_of(lint_source(source, path="src/repro/sim/m.py")) <= {"RPR006"}
+
+    def test_sim_config_exempt_from_rpr002(self):
+        source = "import random\n\nrng = random.Random()\n"
+        assert "RPR002" not in codes_of(
+            lint_source(source, path="src/repro/sim/config.py")
+        )
+
+    def test_global_rng_state_flagged(self):
+        source = "import random\n\ndef f():\n    return random.uniform(0.0, 1.0)\n"
+        assert "RPR002" in codes_of(lint_source(source, path="src/repro/sim/m.py"))
+
+    def test_euclidean_ban_only_inside_network(self):
+        source = "def f(a, b):\n    return a.distance_to(b)\n"
+        assert "RPR003" in codes_of(
+            lint_source(source, path="src/repro/network/m.py")
+        )
+        assert "RPR003" not in codes_of(
+            lint_source(source, path="src/repro/geometry/m.py")
+        )
+
+    def test_syntax_error_reported_as_rpr900(self):
+        violations = lint_source("def broken(:\n", path="src/repro/core/m.py")
+        assert codes_of(violations) == {"RPR900"}
+
+
+class TestEngine:
+    def test_select_restricts_to_listed_codes(self):
+        linter = Linter(select={"RPR004"})
+        assert codes_of(linter.lint_source(FIXTURE, path=FIXTURE_PATH)) == {"RPR004"}
+
+    def test_ignore_drops_listed_codes(self):
+        linter = Linter(ignore={"RPR001", "RPR006"})
+        assert codes_of(linter.lint_source(FIXTURE, path=FIXTURE_PATH)) == (
+            ALL_RULE_CODES - {"RPR001", "RPR006"}
+        )
+
+    def test_repo_source_tree_is_clean(self):
+        report = lint_paths([REPO_ROOT / "src" / "repro"])
+        assert report.files_checked > 50
+        assert report.ok, report.render()
+
+
+class TestCli:
+    def _run(self, *args, cwd=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis.cli", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=cwd or REPO_ROOT,
+        )
+
+    def test_cli_reports_seeded_fixture(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "network" / "fixture_module.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(FIXTURE)
+        proc = self._run(str(target))
+        assert proc.returncode == 1
+        for code in ALL_RULE_CODES:
+            assert code in proc.stdout
+
+    def test_cli_clean_file_exits_zero(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text('"""Clean."""\n\n__all__ = []\n')
+        proc = self._run(str(target))
+        assert proc.returncode == 0
+
+    def test_cli_missing_path_is_usage_error(self, tmp_path):
+        proc = self._run(str(tmp_path / "absent.py"))
+        assert proc.returncode == 2
+
+    def test_cli_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for code in ALL_RULE_CODES:
+            assert code in proc.stdout

@@ -95,7 +95,8 @@ class TestPointProperties:
 
     @given(points, points, st.floats(min_value=0.0, max_value=100.0))
     def test_towards_distance(self, a, b, dist):
-        if a.distance_to(b) == 0.0:
+        # Mirrors the exact zero guard inside Point.towards on purpose.
+        if a.distance_to(b) == 0.0:  # repro: noqa(RPR001)
             assert a.towards(b, dist) == a
         else:
             moved = a.towards(b, dist)

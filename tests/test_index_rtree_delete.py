@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.invariants import InvariantViolation, validate_rtree
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import Point
 from repro.index.rtree import RTree, RTreeConfig, SplitPolicy
@@ -113,6 +114,19 @@ class TestDelete:
             assert tree.delete(points[i], payload=i)
         assert check_invariants(tree) == 60
 
+    def test_delete_backtracks_across_leaves_for_duplicates(self):
+        # Twelve copies of one point spill over several leaves (M=4), so
+        # _find_leaf_path must keep descending into sibling subtrees when
+        # the first DFS leaf holds the point but not the wanted payload.
+        tree = RTree(RTreeConfig(max_entries=4))
+        p = Point(2.0, 2.0)
+        for i in range(12):
+            tree.insert(p, payload=i)
+        for i in (11, 0, 6, 3, 9, 1, 10, 2, 7, 4, 8, 5):
+            assert tree.delete(p, payload=i), f"payload {i} not found"
+            validate_rtree(tree)
+        assert len(tree) == 0
+
     @given(
         st.lists(point_strategy, min_size=1, max_size=60),
         st.integers(min_value=0, max_value=59),
@@ -129,3 +143,80 @@ class TestDelete:
         found = sorted(e.payload for e in tree.range_search(window))
         assert found == expected
         check_invariants(tree)
+
+
+class TestCondenseAgainstValidator:
+    """Regressions driven by the repro.analysis structural validator.
+
+    ``validate_rtree`` is stricter than :func:`check_invariants` above: it
+    additionally demands *tight* parent MBRs (catching shrink misses after
+    underflow), unique node objects (catching orphaned or doubly-linked
+    subtrees), an internal root with at least two children, and a reachable
+    leaf count equal to ``len(tree)``.  These tests run it after every
+    single mutation in the scenarios that historically stress CondenseTree.
+    """
+
+    @pytest.mark.parametrize("policy", [SplitPolicy.QUADRATIC, SplitPolicy.RSTAR])
+    def test_validator_clean_through_churn(self, policy):
+        tree = RTree(RTreeConfig(max_entries=4, split_policy=policy))
+        rng = np.random.default_rng(11)
+        live = []
+        for op in range(220):
+            if live and rng.uniform() < 0.45:
+                idx = int(rng.integers(len(live)))
+                p, payload = live.pop(idx)
+                assert tree.delete(p, payload=payload)
+            else:
+                p = Point(float(rng.uniform(0, 50)), float(rng.uniform(0, 50)))
+                tree.insert(p, payload=op)
+                live.append((p, op))
+            validate_rtree(tree)
+            assert len(tree) == len(live)
+
+    def test_validator_clean_during_full_drain(self):
+        tree = RTree(RTreeConfig(max_entries=4))
+        points = make_points(120, seed=13)
+        for i, p in enumerate(points):
+            tree.insert(p, payload=i)
+        order = list(range(120))
+        np.random.default_rng(13).shuffle(order)
+        for i in order:
+            assert tree.delete(points[i], payload=i)
+            validate_rtree(tree)
+        assert len(tree) == 0 and tree.height == 1
+
+    def test_delete_from_bulk_loaded_tree(self):
+        # STR packing legitimately leaves trailing under-filled nodes; the
+        # tree marks itself relaxed so the validator's fill check adapts,
+        # and CondenseTree must keep the structure sound as entries leave.
+        points = make_points(90, seed=17)
+        items = [(p, i) for i, p in enumerate(points)]
+        tree = RTree.bulk_load(items, RTreeConfig(max_entries=5))
+        validate_rtree(tree)
+        for i in range(0, 90, 2):
+            assert tree.delete(points[i], payload=i)
+            validate_rtree(tree)
+        survivors = sorted(e.payload for e in tree.iter_entries())
+        assert survivors == list(range(1, 90, 2))
+
+    def test_strict_fill_flags_underfilled_bulk_load(self):
+        # 11 items at capacity 5 tile into STR slices of 6 and 5, leaving
+        # one trailing leaf with a single entry: fine for a static packed
+        # tree, but a min-fill violation for a dynamically built one --
+        # strict_fill=True must notice.
+        items = [(Point(float(i), 0.0), i) for i in range(11)]
+        tree = RTree.bulk_load(items, RTreeConfig(max_entries=5))
+        validate_rtree(tree)  # relaxed by default for bulk-loaded trees
+        with pytest.raises(InvariantViolation):
+            validate_rtree(tree, strict_fill=True)
+
+    def test_validator_clean_with_identical_points(self):
+        tree = RTree(RTreeConfig(max_entries=4))
+        p = Point(2.5, 2.5)
+        for i in range(30):
+            tree.insert(p, payload=i)
+            validate_rtree(tree)
+        for i in range(30):
+            assert tree.delete(p, payload=i)
+            validate_rtree(tree)
+        assert len(tree) == 0
