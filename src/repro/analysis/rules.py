@@ -1,4 +1,4 @@
-"""The project-specific lint rules (``RPR001`` .. ``RPR006``).
+"""The project-specific lint rules (``RPR001`` .. ``RPR007``).
 
 Each rule encodes one correctness convention of the SENN/SNNN stack;
 ``docs/static_analysis.md`` documents the rationale and the sanctioned
@@ -280,6 +280,13 @@ _EUCLIDEAN_CALLS = {"distance_to", "squared_distance_to", "distance", "squared_d
 def rule_euclid_in_network(context: ModuleContext) -> Iterator[Violation]:
     if not context.module.startswith("repro.network"):
         return
+    if context.module.startswith("repro.testing"):
+        # Oracle modules re-derive ground truth (including the network
+        # kNN oracle, which runs over a flattened adjacency mapping) with
+        # raw arithmetic by design -- independence from the code under
+        # test is enforced by RPR007 instead.  Listed here explicitly so
+        # a future widening of this rule's scope does not capture them.
+        return
     for node in ast.walk(context.tree):
         if isinstance(node, ast.Call):
             name = _call_name(node)
@@ -388,3 +395,53 @@ def rule_missing_all(context: ModuleContext) -> Iterator[Violation]:
             "public module defines names but no `__all__`; declare the public "
             "surface explicitly",
         )
+
+
+# ----------------------------------------------------------------------
+# RPR007: oracle independence (repro.testing.oracles)
+# ----------------------------------------------------------------------
+#: Modules holding differential-test oracles.  Their entire value is
+#: recomputing ground truth from first principles, so importing the code
+#: under test would silently turn the differential comparison into a
+#: tautology.
+_ORACLE_MODULES = ("repro.testing.oracles",)
+
+#: The only shared vocabulary: the plain ``Point`` value type.
+_ORACLE_ALLOWED_IMPORTS = ("repro.geometry.point",)
+
+
+@register_rule(
+    "RPR007",
+    "oracle-independence",
+    "differential-test oracle module importing the code under test",
+)
+def rule_oracle_independence(context: ModuleContext) -> Iterator[Violation]:
+    if context.module not in _ORACLE_MODULES:
+        return
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Import):
+            targets = [alias.name for alias in node.names]
+            relative = False
+        elif isinstance(node, ast.ImportFrom):
+            targets = [node.module or ""]
+            relative = node.level > 0
+        else:
+            continue
+        for target in targets:
+            if relative:
+                # Relative imports resolve inside repro.testing, where the
+                # implementation-facing runner lives: always a violation.
+                shown = "." * getattr(node, "level", 1) + target
+            elif target == "repro" or target.startswith("repro."):
+                if target in _ORACLE_ALLOWED_IMPORTS:
+                    continue
+                shown = target
+            else:
+                continue  # stdlib / third-party imports are fine
+            yield context.violation(
+                node,
+                "RPR007",
+                f"oracle module imports `{shown}`; oracles must stay "
+                "independent of the code under test (only "
+                f"{', '.join(_ORACLE_ALLOWED_IMPORTS)} is shared)",
+            )

@@ -79,7 +79,7 @@ def sharing_range_query(
     usable_peers = [cache for cache in peer_caches if not cache.is_empty()]
 
     # Tier 0: the host's own previous result.
-    if usable_own and own_cache.certain_circle().contains_circle(target):
+    if usable_own and _cache_covers_disk(own_cache, target):
         return RangeQueryResult(
             _answer_from_caches(query, radius, [own_cache]),
             ResolutionTier.LOCAL_CACHE,
@@ -91,7 +91,7 @@ def sharing_range_query(
         usable_peers, key=lambda cache: query.distance_to(cache.query_location)
     )
     for consulted, cache in enumerate(ordered, start=1):
-        if cache.certain_circle().contains_circle(target):
+        if _cache_covers_disk(cache, target):
             caches = ([own_cache] if usable_own else []) + ordered[:consulted]
             return RangeQueryResult(
                 _answer_from_caches(query, radius, caches),
@@ -125,6 +125,24 @@ def sharing_range_query(
         peers_consulted=len(ordered),
         server_pages=pages.total if pages else 0,
     )
+
+
+def _cache_covers_disk(cache: CachedQueryResult, target: Circle) -> bool:
+    """Does this single cache's knowledge cover the whole target disk?
+
+    A cached *range* result (``known_radius`` set) proves the closed
+    disk, so closed containment suffices.  A kNN result proves only the
+    *open* certain disk plus the cached POIs themselves: an uncached POI
+    may sit at exactly ``Dist(P, n_k)`` (a tie at the k-th distance), so
+    a target disk touching the certain boundary cannot be answered
+    completely and containment must be strict.  Found by repro-difftest
+    (duplicate POIs tied at a zero-radius 1-NN cache boundary).
+    """
+    circle = cache.certain_circle()
+    if cache.known_radius is not None:
+        return circle.contains_circle(target)
+    separation = circle.center.distance_to(target.center)
+    return separation + target.radius < circle.radius
 
 
 def _answer_from_caches(

@@ -95,15 +95,31 @@ def disk_covered_by_disks(
 
     # Condition 1: the target boundary must be fully covered by arcs.
     arcs = AngularIntervalSet(tolerance=1e-12)
+    angular_tol = tolerance / max(target.radius, tolerance)
     for disk in relevant:
         coverage = target.boundary_arc_covered_by(disk)
         if coverage.full:
-            arcs.add(-math.pi, math.pi)
-            break
+            # The strict fast path above already failed for this disk, so
+            # the containment is borderline: the target is internally
+            # tangent (within ``tolerance``).  The tangency point -- the
+            # target boundary point opposite the covering center -- is not
+            # robustly covered, so leave a tolerance gap there instead of
+            # certifying the full circle.  (Found by repro-difftest: an
+            # uncached POI tied exactly at a peer's k-th distance sits on
+            # that tangency point.)
+            separation = target.center.distance_to(disk.center)
+            if near_zero(separation, tolerance):
+                # Borderline concentric ring: no direction is robust.
+                continue
+            half = math.pi - angular_tol
+            if half > 0.0:
+                arcs.add_centered(
+                    target.center.angle_to(disk.center), half
+                )
+            continue
         if not coverage.empty:
             # Shrink each arc by an angular tolerance so borderline
             # touching arcs do not spuriously certify coverage.
-            angular_tol = tolerance / max(target.radius, tolerance)
             half = coverage.half_width - angular_tol
             if half > 0.0:
                 arcs.add_centered(coverage.center, half)

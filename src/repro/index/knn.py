@@ -21,10 +21,17 @@ Three algorithms, matching the paper's Section 2/3.3/4.4 cast:
 
 All algorithms account page accesses through an optional
 :class:`~repro.index.pagestats.PageAccessCounter`.
+
+Tie-breaking: POIs at exactly equal distance are ordered by
+:func:`poi_tie_key` (numeric payloads numerically, everything else by its
+string form), so INN, EINN and the depth-first baseline return the *same*
+neighbors in the same order even on duplicate-distance inputs.  The
+differential harness in :mod:`repro.testing` depends on this.
 """
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import itertools
 import math
@@ -43,7 +50,34 @@ __all__ = [
     "k_nearest",
     "k_nearest_depth_first",
     "k_nearest_einn",
+    "poi_tie_key",
 ]
+
+#: Total order on POI payloads for breaking exact distance ties.
+TieKey = Tuple[int, float, str]
+
+#: Sorts before every payload tie key: nodes at the same heap distance are
+#: expanded before equal-distance objects are reported, so an MBR touching
+#: the current k-th distance can still contribute a better-tie neighbor.
+_NODE_TIE: TieKey = (0, 0.0, "")
+
+#: Sorts after every payload tie key (used as an "unbounded" cut).
+_MAX_TIE: TieKey = (3, 0.0, "")
+
+_MAX_CUT: Tuple[float, TieKey] = (math.inf, _MAX_TIE)
+
+
+def poi_tie_key(payload: Any) -> TieKey:
+    """Deterministic total order on payloads, stable by POI id.
+
+    Numeric ids sort numerically, all other payloads by ``str()``; the two
+    classes never interleave.  Every kNN algorithm in this module breaks
+    equal-distance ties with this key, which is what makes their results
+    comparable in differential tests.
+    """
+    if isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        return (1, float(payload), "")
+    return (2, 0.0, str(payload))
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,12 +132,12 @@ def incremental_nearest(
     if len(tree) == 0:
         return
     tiebreak = itertools.count()
-    # Heap items: (distance, tiebreak, node_or_entry)
-    heap: List[Tuple[float, int, Any]] = []
+    # Heap items: (distance, tie_key, insertion_order, node_or_entry)
+    heap: List[Tuple[float, TieKey, int, Any]] = []
     root = tree.read_node(tree.root, counter)
     _expand_into_heap(root, query, heap, tiebreak)
     while heap:
-        dist, _, item = heapq.heappop(heap)
+        dist, _, _, item = heapq.heappop(heap)
         if isinstance(item, LeafEntry):
             yield NeighborResult(item.point, item.payload, dist)
         else:
@@ -114,17 +148,21 @@ def incremental_nearest(
 def _expand_into_heap(
     node: Node,
     query: Point,
-    heap: List[Tuple[float, int, Any]],
+    heap: List[Tuple[float, TieKey, int, Any]],
     tiebreak: "itertools.count[int]",
 ) -> None:
     if node.is_leaf:
         for entry in node.entries:
             dist = query.distance_to(entry.point)  # type: ignore[union-attr]
-            heapq.heappush(heap, (dist, next(tiebreak), entry))
+            heapq.heappush(
+                heap, (dist, poi_tie_key(entry.payload), next(tiebreak), entry)
+            )
     else:
         for entry in node.entries:
             dist = entry.bbox.mindist(query)
-            heapq.heappush(heap, (dist, next(tiebreak), entry.child))  # type: ignore[union-attr]
+            heapq.heappush(
+                heap, (dist, _NODE_TIE, next(tiebreak), entry.child)  # type: ignore[union-attr]
+            )
 
 
 def k_nearest(
@@ -154,35 +192,36 @@ def k_nearest_depth_first(
         raise ValueError("k must be non-negative")
     if k == 0 or len(tree) == 0:
         return []
-    # Max-heap (by negated distance) of the best k candidates so far.
-    best: List[Tuple[float, int, LeafEntry]] = []
-    tiebreak = itertools.count()
+    # Best k candidates so far, ascending by (distance, tie_key).
+    best: List[Tuple[Tuple[float, TieKey], LeafEntry]] = []
 
-    def kth_distance() -> float:
-        return -best[0][0] if len(best) == k else math.inf
+    def kth_cut() -> Tuple[float, TieKey]:
+        return best[k - 1][0] if len(best) == k else _MAX_CUT
 
     def visit(node: Node) -> None:
         tree.read_node(node, counter)
         if node.is_leaf:
             for entry in node.entries:
                 dist = query.distance_to(entry.point)  # type: ignore[union-attr]
-                if dist < kth_distance():
-                    heapq.heappush(best, (-dist, next(tiebreak), entry))
-                    if len(best) > k:
-                        heapq.heappop(best)
+                key = (dist, poi_tie_key(entry.payload))
+                if key < kth_cut():
+                    index = bisect.bisect_right(best, key, key=lambda item: item[0])
+                    best.insert(index, (key, entry))
+                    del best[k:]
         else:
             branches = sorted(
                 node.entries, key=lambda entry: entry.bbox.mindist(query)
             )
             for entry in branches:
-                if entry.bbox.mindist(query) < kth_distance():
+                # A node whose MINDIST equals the current k-th distance may
+                # still hold an equal-distance entry with a better tie key,
+                # so the cut uses the node tie (which sorts first).
+                if (entry.bbox.mindist(query), _NODE_TIE) < kth_cut():
                     visit(entry.child)  # type: ignore[union-attr]
 
     visit(tree.root)
-    ordered = sorted(best, key=lambda item: -item[0])
     return [
-        NeighborResult(entry.point, entry.payload, -neg_dist)
-        for neg_dist, _, entry in ordered
+        NeighborResult(entry.point, entry.payload, key[0]) for key, entry in best
     ]
 
 
@@ -210,23 +249,28 @@ def k_nearest_einn(
     if k == 0:
         return []
 
-    results: List[NeighborResult] = sorted(known_certain, key=lambda r: r.distance)
+    results: List[NeighborResult] = sorted(
+        known_certain, key=lambda r: (r.distance, poi_tie_key(r.payload))
+    )
     known_keys = {_result_key(r) for r in results}
 
-    def kth_distance() -> float:
-        candidates = [bounds.upper]
+    def kth_cut() -> Tuple[float, TieKey]:
+        # The client's upper bound caps the k-th *distance*; ties at the
+        # bound are still admissible, so it pairs with the maximal tie.
+        cut = (bounds.upper, _MAX_TIE)
         if len(results) >= k:
-            candidates.append(results[k - 1].distance)
-        return min(candidates)
+            entry = results[k - 1]
+            cut = min(cut, (entry.distance, poi_tie_key(entry.payload)))
+        return cut
 
     if len(tree) > 0:
         tiebreak = itertools.count()
-        heap: List[Tuple[float, int, Any]] = []
+        heap: List[Tuple[float, TieKey, int, Any]] = []
         root = tree.read_node(tree.root, counter)
-        _expand_einn(root, query, heap, tiebreak, bounds, kth_distance())
+        _expand_einn(root, query, heap, tiebreak, bounds, kth_cut())
         while heap:
-            dist, _, item = heapq.heappop(heap)
-            if dist > kth_distance():
+            dist, tie, _, item = heapq.heappop(heap)
+            if (dist, tie) > kth_cut():
                 break
             if isinstance(item, LeafEntry):
                 key = _result_key_entry(item)
@@ -235,7 +279,7 @@ def k_nearest_einn(
                 _insert_sorted(results, NeighborResult(item.point, item.payload, dist))
             else:
                 node = tree.read_node(item, counter)
-                _expand_einn(node, query, heap, tiebreak, bounds, kth_distance())
+                _expand_einn(node, query, heap, tiebreak, bounds, kth_cut())
 
     return results[:k]
 
@@ -243,33 +287,38 @@ def k_nearest_einn(
 def _expand_einn(
     node: Node,
     query: Point,
-    heap: List[Tuple[float, int, Any]],
+    heap: List[Tuple[float, TieKey, int, Any]],
     tiebreak: "itertools.count[int]",
     bounds: PruningBounds,
-    current_kth: float,
+    current_kth: Tuple[float, TieKey],
 ) -> None:
     if node.is_leaf:
         for entry in node.entries:
             dist = query.distance_to(entry.point)  # type: ignore[union-attr]
-            if dist <= current_kth:
-                heapq.heappush(heap, (dist, next(tiebreak), entry))
+            tie = poi_tie_key(entry.payload)
+            if (dist, tie) <= current_kth:
+                heapq.heappush(heap, (dist, tie, next(tiebreak), entry))
         return
     for entry in node.entries:
         mindist = entry.bbox.mindist(query)
         # Upward pruning: nothing in this MBR can enter the result.
-        if mindist > current_kth:
+        if (mindist, _NODE_TIE) > current_kth:
             continue
         # Downward pruning: the MBR is fully inside the certain circle;
         # every object in it is already known to the client.
         if bounds.has_lower and entry.bbox.maxdist(query) < bounds.lower:
             continue
-        heapq.heappush(heap, (mindist, next(tiebreak), entry.child))  # type: ignore[union-attr]
+        heapq.heappush(heap, (mindist, _NODE_TIE, next(tiebreak), entry.child))  # type: ignore[union-attr]
 
 
 def _insert_sorted(results: List[NeighborResult], item: NeighborResult) -> None:
-    """Insert keeping ascending distance order (small lists; O(n) is fine)."""
+    """Insert keeping ascending (distance, tie) order (small lists; O(n))."""
+    item_key = (item.distance, poi_tie_key(item.payload))
     index = len(results)
-    while index > 0 and results[index - 1].distance > item.distance:
+    while index > 0 and (
+        results[index - 1].distance,
+        poi_tie_key(results[index - 1].payload),
+    ) > item_key:
         index -= 1
     results.insert(index, item)
 

@@ -1,0 +1,56 @@
+"""Differential-testing harness for the SENN/SNNN query stack.
+
+Three cooperating pieces (see ``docs/differential_testing.md``):
+
+- :mod:`repro.testing.oracles` -- brute-force ground truth (kNN, range,
+  window, network kNN) plus a sampling-based re-derivation of the
+  Lemma 3.2 / 3.8 certainty tests, deliberately independent of
+  :mod:`repro.geometry.coverage` and :mod:`repro.index`;
+- :mod:`repro.testing.scenarios` -- a seeded generator of adversarial
+  query scenarios and a compact scenario-string codec for deterministic
+  replay;
+- :mod:`repro.testing.difftest` -- the differential runner that executes
+  SENN / SNNN / naive sharing / EINN / INN / depth-first side by side on
+  each scenario, diffs them against the oracles, and shrinks failures to
+  minimal reproductions.
+
+The ``repro-difftest`` console script (:mod:`repro.testing.cli`) and the
+pytest plugin (:mod:`repro.testing.pytest_plugin`) are the front ends.
+"""
+
+from repro.testing.difftest import CheckFailure, DiffReport, run_scenario, shrink_scenario
+from repro.testing.oracles import (
+    OracleNeighbor,
+    certify_multi_oracle,
+    certify_single_oracle,
+    oracle_knn,
+    oracle_network_knn,
+    oracle_range,
+    oracle_window,
+)
+from repro.testing.scenarios import (
+    PeerSpec,
+    Scenario,
+    ScenarioGen,
+    decode_scenario,
+    encode_scenario,
+)
+
+__all__ = [
+    "CheckFailure",
+    "DiffReport",
+    "OracleNeighbor",
+    "PeerSpec",
+    "Scenario",
+    "ScenarioGen",
+    "certify_multi_oracle",
+    "certify_single_oracle",
+    "decode_scenario",
+    "encode_scenario",
+    "oracle_knn",
+    "oracle_network_knn",
+    "oracle_range",
+    "oracle_window",
+    "run_scenario",
+    "shrink_scenario",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.testing`` runs the differential fuzzer."""
+
+import sys
+
+from repro.testing.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""``repro-difftest`` -- the differential fuzzing console entry point.
+
+Runs a budget of generated scenarios through
+:func:`repro.testing.difftest.run_scenario`, shrinks every failure to a
+minimal reproduction and prints it as a copy-pasteable pytest test (plus
+the compact scenario string for ``--replay``).
+
+Exit codes: ``0`` all scenarios passed, ``1`` at least one check failed,
+``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.testing.difftest import (
+    DiffReport,
+    repro_snippet,
+    run_scenario,
+    shrink_scenario,
+)
+from repro.testing.scenarios import ScenarioGen, decode_scenario, encode_scenario
+
+__all__ = ["build_parser", "main", "run_difftest"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-difftest",
+        description=(
+            "Differentially test SENN/SNNN/naive sharing/EINN/INN/"
+            "depth-first against brute-force oracles on generated "
+            "adversarial scenarios."
+        ),
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=500,
+        help="number of scenarios to run (default: 500)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default: 0)"
+    )
+    parser.add_argument(
+        "--start",
+        type=int,
+        default=0,
+        help="first scenario index (resume a budget; default: 0)",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="SCENARIO",
+        help="run one encoded scenario string instead of generating",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without minimizing them",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=5,
+        help="stop after this many failing scenarios (default: 5)",
+    )
+    parser.add_argument(
+        "--artifact",
+        metavar="PATH",
+        help="write shrunk reproductions (scenario strings + snippets) here",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    return parser
+
+
+def run_difftest(
+    budget: int,
+    seed: int,
+    start: int = 0,
+    shrink: bool = True,
+    max_failures: int = 5,
+    out=None,
+    quiet: bool = False,
+) -> DiffReport:
+    """Run ``budget`` scenarios; shrink and report failures as they appear."""
+    if out is None:
+        out = sys.stdout
+    report = DiffReport()
+    gen = ScenarioGen(seed=seed)
+    stats: Dict[str, int] = {}
+    for index, scenario in gen.stream(budget, start=start):
+        failures = run_scenario(scenario, stats)
+        report.scenarios_run += 1
+        if not quiet and report.scenarios_run % 100 == 0:
+            print(
+                f"  ... {report.scenarios_run}/{budget} scenarios, "
+                f"{len(report.failures)} failing",
+                file=out,
+            )
+        if not failures:
+            continue
+        if shrink:
+            scenario = shrink_scenario(scenario, failures[0].check)
+            failures = run_scenario(scenario) or failures
+        report.failures.append((index, scenario, failures))
+        print(f"FAIL scenario {index} (seed {seed}):", file=out)
+        for failure in failures:
+            print(f"  {failure.render()}", file=out)
+        print(f"  replay: {encode_scenario(scenario)}", file=out)
+        if len(report.failures) >= max_failures:
+            print(f"stopping after {max_failures} failing scenarios", file=out)
+            break
+    report.checks_run = stats
+    return report
+
+
+def _write_artifact(path: str, seed: int, report: DiffReport) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# repro-difftest failures (seed {seed})\n\n")
+        for index, scenario, failures in report.failures:
+            handle.write(f"## scenario {index}\n\n")
+            for failure in failures:
+                handle.write(f"- {failure.render()}\n")
+            handle.write(f"\nreplay: `{encode_scenario(scenario)}`\n\n")
+            handle.write("```python\n")
+            handle.write(repro_snippet(scenario, failures[0].check))
+            handle.write("```\n\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.budget < 0:
+        parser.error("--budget must be non-negative")
+
+    if args.replay is not None:
+        try:
+            scenario = decode_scenario(args.replay)
+        except ValueError as error:
+            print(f"invalid scenario string: {error}", file=sys.stderr)
+            return 2
+        failures = run_scenario(scenario)
+        if not failures:
+            print("scenario passed all checks")
+            return 0
+        for failure in failures:
+            print(failure.render())
+        if not args.no_shrink:
+            shrunk = shrink_scenario(scenario, failures[0].check)
+            print(f"shrunk replay: {encode_scenario(shrunk)}")
+            print(repro_snippet(shrunk, failures[0].check))
+        return 1
+
+    report = run_difftest(
+        budget=args.budget,
+        seed=args.seed,
+        start=args.start,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+        quiet=args.quiet,
+    )
+    print(
+        f"{report.scenarios_run} scenarios, "
+        f"{sum(report.checks_run.values())} checks, "
+        f"{len(report.failures)} failing"
+    )
+    if report.failures:
+        for _, scenario, failures in report.failures:
+            print()
+            print(repro_snippet(scenario, failures[0].check))
+        if args.artifact:
+            _write_artifact(args.artifact, args.seed, report)
+            print(f"wrote reproductions to {args.artifact}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,715 @@
+"""The differential runner: implementations vs. oracles, plus a shrinker.
+
+For each :class:`~repro.testing.scenarios.Scenario` the runner
+
+1. materializes the POI set and builds every peer's cache from *ground
+   truth* (the oracle kNN at the peer's location), so cache contents are
+   valid by construction;
+2. executes the full cast side by side -- INN, depth-first, EINN (empty
+   and client-derived bounds), SENN, SNNN, naive sharing, sharing-based
+   range and window queries, ``kNN_single`` / ``kNN_multiple``;
+3. diffs every result against the brute-force oracles and checks the
+   cross-implementation invariants:
+
+   - the three server algorithms return identical neighbor sequences
+     (tie-breaking is pinned by ``poi_tie_key``);
+   - EINN never reads more pages than INN for the same query;
+   - SENN's answers match the oracle ranking rank by rank (ties compared
+     by distance class), and certified ranks are exact (Lemma 3.7);
+   - ``kNN_single`` / ``kNN_multiple`` certainty flags agree with the
+     sampling oracle, in both directions (soundness *and* completeness,
+     with margins wide enough for the backends' documented conservatism);
+   - shared range/window answers equal the oracle sets exactly.
+
+Failures are :class:`CheckFailure` records; :func:`shrink_scenario`
+greedily minimizes a failing scenario (drop POIs/peers, simplify
+coordinates, shrink ``k`` and caches) while preserving the failing check,
+and :func:`repro_snippet` renders the result as a copy-pasteable test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, MutableMapping, Optional, Sequence, Tuple
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.coverage import CoverageMethod
+from repro.geometry.point import Point
+from repro.index.knn import (
+    NeighborResult,
+    k_nearest,
+    k_nearest_depth_first,
+    k_nearest_einn,
+    poi_tie_key,
+)
+from repro.index.pagestats import PageAccessCounter
+from repro.index.rtree import RTree
+from repro.network.graph import NetworkLocation, SpatialNetwork
+from repro.core.cache import CachedQueryResult
+from repro.core.heap import CandidateHeap
+from repro.core.naive_sharing import naive_share_query
+from repro.core.range_queries import sharing_range_query, sharing_window_query
+from repro.core.senn import ResolutionTier, SennConfig, senn_query
+from repro.core.server import ServerAlgorithm, SpatialDatabaseServer
+from repro.core.snnn import snnn_query
+from repro.core.verification import (
+    collect_candidates,
+    verify_multi_peer,
+    verify_single_peer,
+)
+from repro.testing import oracles
+from repro.testing.scenarios import Scenario, encode_scenario
+
+__all__ = [
+    "CheckFailure",
+    "DiffReport",
+    "repro_snippet",
+    "run_scenario",
+    "shrink_scenario",
+]
+
+#: Absolute tolerance for distance comparisons between implementations.
+TOL = 1e-9
+
+#: Completeness margin for non-exact scenarios: the oracle must report at
+#: least this much coverage slack before a missing certification counts
+#: as a bug (well above float noise, well below scenario geometry).
+LOOSE_MARGIN = 1e-7
+
+#: Boundary samples for the multi-peer coverage oracle.  The sampled
+#: minimum overestimates the true minimum slack by at most
+#: ``pi * candidate_distance / samples`` (slack is 1-Lipschitz along the
+#: boundary), which the completeness margin must absorb.
+MULTI_ORACLE_SAMPLES = 256
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One violated invariant on one scenario."""
+
+    check: str
+    detail: str
+
+    def render(self) -> str:
+        return f"[{self.check}] {self.detail}"
+
+
+@dataclass
+class DiffReport:
+    """Aggregate outcome of a differential run."""
+
+    scenarios_run: int = 0
+    checks_run: Dict[str, int] = field(default_factory=dict)
+    failures: List[Tuple[int, Scenario, List[CheckFailure]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# ----------------------------------------------------------------------
+# materialization
+# ----------------------------------------------------------------------
+@dataclass
+class _Materialized:
+    pois: List[Tuple[Point, str]]
+    query: Point
+    own_cache: Optional[CachedQueryResult]
+    peer_caches: List[CachedQueryResult]
+    all_caches: List[CachedQueryResult]
+    config: SennConfig
+    tree: RTree
+
+
+def _build_cache(
+    scenario: Scenario, pois: Sequence[Tuple[Point, str]], x: float, y: float, cache_k: int
+) -> CachedQueryResult:
+    """A peer's cache: its true ``cache_k`` NNs, as peers actually hold them."""
+    location = Point(x, y)
+    count = min(cache_k, scenario.cache_capacity)
+    truth = oracles.oracle_knn(pois, location, count)
+    neighbors = tuple(
+        NeighborResult(n.point, n.payload, n.distance) for n in truth
+    )
+    return CachedQueryResult(location, neighbors)
+
+
+def _materialize(scenario: Scenario) -> _Materialized:
+    pois = [(Point(x, y), pid) for x, y, pid in scenario.pois]
+    query = Point(*scenario.query)
+    caches = [
+        _build_cache(scenario, pois, peer.x, peer.y, peer.cache_k)
+        for peer in scenario.peers
+    ]
+    own_cache: Optional[CachedQueryResult] = None
+    peer_caches = caches
+    if scenario.use_own_cache and caches:
+        own_cache, peer_caches = caches[0], caches[1:]
+    config = SennConfig(
+        k=scenario.k,
+        cache_capacity=scenario.cache_capacity,
+        coverage_method=(
+            CoverageMethod.EXACT
+            if scenario.coverage == "exact"
+            else CoverageMethod.POLYGON
+        ),
+        polygon_sides=scenario.polygon_sides,
+    )
+    # Alternate build paths so both STR packing and R* insertion are
+    # exercised across a budget.
+    if len(pois) % 2 == 0:
+        tree = RTree.bulk_load(list(pois))
+    else:
+        tree = RTree()
+        for point, payload in pois:
+            tree.insert(point, payload)
+    return _Materialized(
+        pois, query, own_cache, peer_caches, caches, config, tree
+    )
+
+
+# ----------------------------------------------------------------------
+# comparison helpers
+# ----------------------------------------------------------------------
+def _sequence_mismatch(
+    label: str,
+    got: Sequence[NeighborResult],
+    expected: Sequence[oracles.OracleNeighbor],
+) -> Optional[str]:
+    """Exact sequence comparison (payload identity and distances)."""
+    if len(got) != len(expected):
+        return (
+            f"{label}: got {len(got)} neighbors, oracle has {len(expected)}: "
+            f"{[n.payload for n in got]} vs {[n.payload for n in expected]}"
+        )
+    for rank, (ours, truth) in enumerate(zip(got, expected)):
+        if ours.payload != truth.payload:
+            return (
+                f"{label}: rank {rank} payload {ours.payload!r} != oracle "
+                f"{truth.payload!r}"
+            )
+        if abs(ours.distance - truth.distance) > TOL:
+            return (
+                f"{label}: rank {rank} distance {ours.distance!r} != oracle "
+                f"{truth.distance!r}"
+            )
+    return None
+
+
+def _rank_mismatch(
+    label: str,
+    got: Sequence[NeighborResult],
+    expected: Sequence[oracles.OracleNeighbor],
+    truth_distance: Dict[str, float],
+) -> Optional[str]:
+    """Tie-class comparison: distances per rank exact, payloads real.
+
+    Peer-derived answers may legitimately pick a different member of an
+    equal-distance tie class (Lemma 3.2 certifies either), so payload
+    equality is required only up to the tie class at each rank.
+    """
+    if len(got) != len(expected):
+        return (
+            f"{label}: got {len(got)} neighbors, oracle has {len(expected)}: "
+            f"{[n.payload for n in got]} vs {[n.payload for n in expected]}"
+        )
+    seen: set = set()
+    for rank, (ours, truth) in enumerate(zip(got, expected)):
+        if abs(ours.distance - truth.distance) > TOL:
+            return (
+                f"{label}: rank {rank} distance {ours.distance!r} != oracle "
+                f"{truth.distance!r} (payload {ours.payload!r})"
+            )
+        actual = truth_distance.get(ours.payload)
+        if actual is None:
+            return f"{label}: rank {rank} payload {ours.payload!r} is not a POI"
+        if abs(actual - ours.distance) > TOL:
+            return (
+                f"{label}: rank {rank} payload {ours.payload!r} reported at "
+                f"{ours.distance!r} but truly lies at {actual!r}"
+            )
+        if ours.payload in seen:
+            return f"{label}: duplicate payload {ours.payload!r}"
+        seen.add(ours.payload)
+    return None
+
+
+def _set_mismatch(
+    label: str,
+    got: Sequence[NeighborResult],
+    expected: Sequence[oracles.OracleNeighbor],
+) -> Optional[str]:
+    got_set = {n.payload for n in got}
+    expected_set = {n.payload for n in expected}
+    if got_set != expected_set:
+        missing = sorted(map(str, expected_set - got_set))
+        extra = sorted(map(str, got_set - expected_set))
+        return f"{label}: missing {missing}, extra {extra}"
+    return None
+
+
+def _multi_completeness_margin(
+    scenario: Scenario,
+    circles: Sequence[Tuple[Point, float]],
+    candidate_distance: float,
+) -> float:
+    """How much oracle slack obliges ``kNN_multiple`` to certify.
+
+    Three conservatisms stack up: the oracle's sampled slack overestimates
+    the true slack by up to ``pi * d / samples``; the exact backend
+    declares borderline configurations uncovered (by design, within its
+    1e-9 tolerance); the polygon backend additionally under-approximates
+    each circle by its inscribed polygon, losing up to
+    ``r * (1 - cos(pi/sides))`` of radius.
+    """
+    sampling = math.pi * candidate_distance / MULTI_ORACLE_SAMPLES
+    if scenario.coverage == "exact":
+        return sampling + 1e-6
+    max_radius = max((radius for _, radius in circles), default=0.0)
+    sagitta = max_radius * (1.0 - math.cos(math.pi / scenario.polygon_sides))
+    return sampling + sagitta + 1e-6
+
+
+# ----------------------------------------------------------------------
+# the checks
+# ----------------------------------------------------------------------
+def run_scenario(
+    scenario: Scenario, stats: Optional[MutableMapping[str, int]] = None
+) -> List[CheckFailure]:
+    """Run every differential check on one scenario; return the failures."""
+    failures: List[CheckFailure] = []
+
+    def ran(check: str) -> None:
+        if stats is not None:
+            stats[check] = stats.get(check, 0) + 1
+
+    def fail(check: str, detail: str) -> None:
+        failures.append(CheckFailure(check, detail))
+
+    m = _materialize(scenario)
+    ranking = oracles.oracle_knn(m.pois, m.query, len(m.pois))
+    truth_distance = {n.payload: n.distance for n in ranking}
+    expected_k = ranking[: min(scenario.k, len(m.pois))]
+
+    # -- server algorithms against the oracle and each other ------------
+    ran("server-inn")
+    inn_counter = PageAccessCounter()
+    inn = k_nearest(m.tree, m.query, scenario.k, inn_counter)
+    mismatch = _sequence_mismatch("INN vs oracle", inn, expected_k)
+    if mismatch:
+        fail("server-inn", mismatch)
+
+    ran("server-depth-first")
+    df = k_nearest_depth_first(m.tree, m.query, scenario.k)
+    mismatch = _sequence_mismatch("depth-first vs oracle", df, expected_k)
+    if mismatch:
+        fail("server-depth-first", mismatch)
+
+    ran("server-einn-plain")
+    einn_plain = k_nearest_einn(m.tree, m.query, scenario.k)
+    mismatch = _sequence_mismatch("EINN (no bounds) vs oracle", einn_plain, expected_k)
+    if mismatch:
+        fail("server-einn-plain", mismatch)
+
+    # -- kNN_single soundness & completeness (Lemma 3.2) ----------------
+    candidate_count = sum(len(c.neighbors) for c in m.all_caches)
+    for cache_index, cache in enumerate(m.all_caches):
+        if cache.is_empty():
+            continue
+        ran("single-peer-lemma")
+        probe = CandidateHeap(max(1, candidate_count))
+        verify_single_peer(m.query, cache, probe)
+        for neighbor in cache.neighbors:
+            distance = m.query.distance_to(neighbor.point)
+            verdict = oracles.certify_single_oracle(
+                m.query, cache.query_location, cache.certain_radius, distance
+            )
+            certified = probe.is_certain(neighbor.point, neighbor.payload)
+            if certified and verdict.definitely_uncovered(TOL):
+                fail(
+                    "single-peer-soundness",
+                    f"peer {cache_index}: {neighbor.payload!r} certified but its "
+                    f"disk leaves the certain circle (slack {verdict.slack!r})",
+                )
+            if not certified and verdict.definitely_covered(
+                LOOSE_MARGIN, allow_exact_zero=scenario.exact
+            ):
+                fail(
+                    "single-peer-completeness",
+                    f"peer {cache_index}: {neighbor.payload!r} not certified "
+                    f"although its disk lies inside the certain circle "
+                    f"(slack {verdict.slack!r})",
+                )
+
+    # -- kNN_multiple soundness & completeness (Lemma 3.8) --------------
+    circles = [
+        (c.query_location, c.certain_radius)
+        for c in m.all_caches
+        if not c.is_empty() and c.certain_radius > 0.0
+    ]
+    if m.all_caches:
+        ran("multi-peer-lemma")
+        probe = CandidateHeap(max(1, candidate_count))
+        verify_multi_peer(
+            m.query,
+            m.all_caches,
+            probe,
+            method=m.config.coverage_method,
+            polygon_sides=m.config.polygon_sides,
+        )
+        candidates = collect_candidates(m.query, m.all_caches)
+        for distance, point, payload in candidates:
+            margin = _multi_completeness_margin(scenario, circles, distance)
+            verdict = oracles.certify_multi_oracle(
+                m.query, circles, distance, samples=MULTI_ORACLE_SAMPLES
+            )
+            certified = probe.is_certain(point, payload)
+            if certified and verdict.definitely_uncovered(TOL):
+                fail(
+                    "multi-peer-soundness",
+                    f"{payload!r} certified but its disk leaves the certain "
+                    f"region (slack {verdict.slack!r})",
+                )
+            if not certified:
+                if verdict.definitely_covered(margin):
+                    fail(
+                        "multi-peer-completeness",
+                        f"{payload!r} at distance {distance!r} not certified "
+                        f"although the certain region covers its disk with "
+                        f"slack {verdict.slack!r} (margin {margin!r})",
+                    )
+                # verify_multi_peer stops at the first uncovered candidate
+                # (coverage is monotone); later ones are legitimately
+                # unclassified, so the completeness sweep must stop too.
+                break
+
+    # -- SENN end to end -------------------------------------------------
+    ran("senn")
+    server = SpatialDatabaseServer(m.tree, algorithm=ServerAlgorithm.EINN)
+    senn = senn_query(
+        m.query,
+        scenario.k,
+        m.own_cache,
+        m.peer_caches,
+        m.config,
+        server=server,
+    )
+    mismatch = _rank_mismatch("SENN vs oracle", senn.neighbors, expected_k, truth_distance)
+    if mismatch:
+        fail("senn", mismatch)
+
+    ran("senn-certified-ranks")
+    certain_entries = senn.heap.certain_entries()[: scenario.k]
+    for rank, entry in enumerate(certain_entries):
+        if rank >= len(ranking) or abs(entry.distance - ranking[rank].distance) > TOL:
+            truth_repr = ranking[rank].distance if rank < len(ranking) else None
+            fail(
+                "senn-certified-ranks",
+                f"certified rank {rank} ({entry.payload!r}) at distance "
+                f"{entry.distance!r}, oracle rank distance {truth_repr!r}",
+            )
+            break
+
+    # -- EINN with client bounds vs INN (results and page accesses) ------
+    ran("einn-bounds")
+    offline = senn_query(
+        m.query, scenario.k, m.own_cache, m.peer_caches, m.config, server=None
+    )
+    known = [
+        NeighborResult(e.point, e.payload, e.distance)
+        for e in offline.heap.certain_entries()
+    ]
+    einn_counter = PageAccessCounter()
+    einn_bounded = k_nearest_einn(
+        m.tree, m.query, scenario.k, offline.bounds, known, einn_counter
+    )
+    mismatch = _rank_mismatch(
+        "EINN (client bounds) vs oracle", einn_bounded, expected_k, truth_distance
+    )
+    if mismatch:
+        fail("einn-bounds", mismatch)
+
+    ran("einn-page-accesses")
+    if einn_counter.total_accesses > inn_counter.total_accesses:
+        fail(
+            "einn-page-accesses",
+            f"EINN read {einn_counter.total_accesses} pages, INN only "
+            f"{inn_counter.total_accesses} (bounds {offline.bounds!r})",
+        )
+
+    # -- naive sharing: well-formedness and server fallback ---------------
+    ran("naive-sharing")
+    naive = naive_share_query(
+        m.query, scenario.k, m.peer_caches, adoption_radius=0.25, server=server
+    )
+    previous = -math.inf
+    for neighbor in naive.neighbors:
+        actual = truth_distance.get(neighbor.payload)
+        if actual is None:
+            fail("naive-sharing", f"adopted payload {neighbor.payload!r} is not a POI")
+            break
+        if abs(actual - neighbor.distance) > TOL:
+            fail(
+                "naive-sharing",
+                f"adopted {neighbor.payload!r} reported at {neighbor.distance!r}, "
+                f"truly at {actual!r}",
+            )
+            break
+        if neighbor.distance < previous - TOL:
+            fail("naive-sharing", "adopted answer is not in ascending order")
+            break
+        previous = neighbor.distance
+    if len(naive.neighbors) > scenario.k:
+        fail("naive-sharing", f"{len(naive.neighbors)} neighbors for k={scenario.k}")
+    if naive.tier is ResolutionTier.SERVER:
+        mismatch = _rank_mismatch(
+            "naive server fallback vs oracle", naive.neighbors, expected_k, truth_distance
+        )
+        if mismatch:
+            fail("naive-sharing", mismatch)
+
+    # -- sharing-based range and window queries ---------------------------
+    if scenario.range_radius is not None:
+        ran("range-query")
+        range_truth = oracles.oracle_range(m.pois, m.query, scenario.range_radius)
+        range_result = sharing_range_query(
+            m.query,
+            scenario.range_radius,
+            m.own_cache,
+            m.peer_caches,
+            m.config,
+            server=server,
+        )
+        mismatch = _set_mismatch(
+            f"range({scenario.range_radius!r}) [{range_result.tier.value}] vs oracle",
+            range_result.neighbors,
+            range_truth,
+        )
+        if mismatch:
+            fail("range-query", mismatch)
+
+        ran("window-query")
+        half = scenario.range_radius * 0.75
+        window = BoundingBox(
+            m.query.x - half, m.query.y - half, m.query.x + half, m.query.y + half
+        )
+        window_truth = oracles.oracle_window(
+            m.pois, window.min_x, window.min_y, window.max_x, window.max_y, m.query
+        )
+        window_result = sharing_window_query(
+            window, m.own_cache, m.peer_caches, m.config, server=server
+        )
+        mismatch = _set_mismatch(
+            f"window [{window_result.tier.value}] vs oracle",
+            window_result.neighbors,
+            window_truth,
+        )
+        if mismatch:
+            fail("window-query", mismatch)
+
+    # -- SNNN against the independent network oracle ----------------------
+    if scenario.check_network:
+        ran("snnn")
+        failures.extend(_check_snnn(scenario, m))
+
+    return failures
+
+
+# ----------------------------------------------------------------------
+# SNNN cross-check
+# ----------------------------------------------------------------------
+def _grid_network() -> SpatialNetwork:
+    """A deterministic 4x4 grid network over the unit square."""
+    network = SpatialNetwork()
+    side = 4
+    nodes = {}
+    for i in range(side):
+        for j in range(side):
+            nodes[(i, j)] = network.add_node(Point(i / (side - 1), j / (side - 1)))
+    for i in range(side):
+        for j in range(side):
+            if i + 1 < side:
+                network.add_edge(nodes[(i, j)], nodes[(i + 1, j)])
+            if j + 1 < side:
+                network.add_edge(nodes[(i, j)], nodes[(i, j + 1)])
+    return network
+
+
+def _flatten_location(location: NetworkLocation) -> oracles.NetworkLoc:
+    edge = location.edge
+    return ("edge", edge.u, edge.v, location.offset, edge.length)
+
+
+def _check_snnn(scenario: Scenario, m: _Materialized) -> List[CheckFailure]:
+    network = _grid_network()
+    # SNNN's IER stop rule assumes POIs lie *on* the network (only the
+    # query may stand off it, absorbed by the snap-slack adjustment), so
+    # the scenario's free-floating POIs are projected onto the grid first
+    # and the whole stack -- server tree, peer caches -- is rebuilt over
+    # the projected set.
+    projected = [
+        (network.snap(point).point, payload) for point, payload in m.pois
+    ]
+    tree = RTree.bulk_load(list(projected))
+    server = SpatialDatabaseServer(tree, algorithm=ServerAlgorithm.EINN)
+    caches = [
+        _build_cache(scenario, projected, peer.x, peer.y, peer.cache_k)
+        for peer in scenario.peers
+    ]
+    own_cache = None
+    peer_caches = caches
+    if scenario.use_own_cache and caches:
+        own_cache, peer_caches = caches[0], caches[1:]
+
+    adjacency: Dict[int, List[Tuple[int, float]]] = {}
+    for node in network.node_ids():
+        adjacency[node] = [
+            (other, edge.length) for other, edge in network.neighbors(node)
+        ]
+    origin = _flatten_location(network.snap(m.query))
+    flattened = [
+        (_flatten_location(network.snap(point)), payload)
+        for point, payload in projected
+    ]
+    k = min(scenario.k, len(projected))
+    truth = oracles.oracle_network_knn(adjacency, origin, flattened, k)
+
+    result = snnn_query(
+        m.query,
+        scenario.k,
+        network,
+        own_cache,
+        peer_caches,
+        m.config,
+        server=server,
+    )
+    got = sorted(n.network_distance for n in result.neighbors)
+    want = sorted(distance for _, distance in truth)
+    if len(got) != len(want):
+        return [
+            CheckFailure(
+                "snnn",
+                f"SNNN returned {len(got)} neighbors, network oracle has "
+                f"{len(want)}",
+            )
+        ]
+    for rank, (ours, truth_distance) in enumerate(zip(got, want)):
+        if abs(ours - truth_distance) > 1e-6:
+            return [
+                CheckFailure(
+                    "snnn",
+                    f"network distance at rank {rank}: SNNN {ours!r}, oracle "
+                    f"{truth_distance!r}",
+                )
+            ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+def _round_coord(value: float, grid: float) -> float:
+    return round(value / grid) * grid
+
+
+def _shrink_candidates(scenario: Scenario) -> List[Scenario]:
+    """Strictly-simpler variants, most aggressive first."""
+    out: List[Scenario] = []
+
+    def attempt(**changes) -> None:
+        try:
+            out.append(replace(scenario, **changes))
+        except ValueError:
+            pass  # candidate violates Scenario validation; skip it
+
+    for index in range(len(scenario.pois)):
+        attempt(pois=scenario.pois[:index] + scenario.pois[index + 1 :])
+    for index in range(len(scenario.peers)):
+        attempt(
+            peers=scenario.peers[:index] + scenario.peers[index + 1 :],
+            use_own_cache=scenario.use_own_cache and len(scenario.peers) > 1,
+        )
+    if scenario.check_network:
+        attempt(check_network=False)
+    if scenario.range_radius is not None:
+        attempt(range_radius=None)
+    if scenario.use_own_cache:
+        attempt(use_own_cache=False)
+    if scenario.k > 1:
+        attempt(k=scenario.k - 1)
+    for index, peer in enumerate(scenario.peers):
+        if peer.cache_k > 0:
+            shrunk = replace(peer, cache_k=peer.cache_k - 1)
+            attempt(
+                peers=scenario.peers[:index] + (shrunk,) + scenario.peers[index + 1 :]
+            )
+    for grid in (0.25, 0.125):
+        rounded_pois = tuple(
+            (_round_coord(x, grid), _round_coord(y, grid), pid)
+            for x, y, pid in scenario.pois
+        )
+        rounded_peers = tuple(
+            replace(p, x=_round_coord(p.x, grid), y=_round_coord(p.y, grid))
+            for p in scenario.peers
+        )
+        if rounded_pois != scenario.pois or rounded_peers != scenario.peers:
+            attempt(
+                pois=rounded_pois,
+                peers=rounded_peers,
+                query=(
+                    _round_coord(scenario.query[0], grid),
+                    _round_coord(scenario.query[1], grid),
+                ),
+            )
+    return out
+
+
+def shrink_scenario(
+    scenario: Scenario, check: str, max_runs: int = 600
+) -> Scenario:
+    """Greedy minimization preserving a failure of ``check``.
+
+    Each accepted candidate restarts the pass, so the result is a local
+    minimum: no single simplification step keeps the failure alive.
+    """
+
+    def still_fails(candidate: Scenario) -> bool:
+        try:
+            return any(f.check == check for f in run_scenario(candidate))
+        except Exception:
+            # A shrink step must not trade the original failure for a crash.
+            return False
+
+    current = scenario
+    runs = 0
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        for candidate in _shrink_candidates(current):
+            runs += 1
+            if runs > max_runs:
+                break
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def repro_snippet(scenario: Scenario, check: str) -> str:
+    """A copy-pasteable pytest regression for a (shrunk) failing scenario."""
+    encoded = encode_scenario(scenario)
+    return (
+        "def test_difftest_regression() -> None:\n"
+        f'    """Shrunk repro-difftest failure: {check}."""\n'
+        "    from repro.testing.difftest import run_scenario\n"
+        "    from repro.testing.scenarios import decode_scenario\n"
+        "\n"
+        "    scenario = decode_scenario(\n"
+        f'        "{encoded}"\n'
+        "    )\n"
+        "    assert run_scenario(scenario) == []\n"
+    )

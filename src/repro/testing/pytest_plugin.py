@@ -1,0 +1,67 @@
+"""Pytest integration for the differential fuzzer.
+
+Loaded via ``pytest_plugins`` in ``tests/conftest.py``.  Adds two knobs:
+
+- ``--difftest-budget N`` -- how many generated scenarios the difftest
+  smoke test runs (default 100; ``0`` skips it);
+- ``--difftest-seed S`` -- the generator seed (default 0).
+
+and two fixtures: ``difftest_budget`` / ``difftest_seed`` expose the
+values, and ``difftest_report`` runs the budget once per session and
+yields the :class:`~repro.testing.difftest.DiffReport` (shrunk failures
+included), so the smoke test stays a one-liner.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+__all__ = [
+    "difftest_budget",
+    "difftest_report",
+    "difftest_seed",
+    "pytest_addoption",
+]
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    group = parser.getgroup("difftest")
+    group.addoption(
+        "--difftest-budget",
+        type=int,
+        default=100,
+        help="scenarios for the differential smoke test (0 disables)",
+    )
+    group.addoption(
+        "--difftest-seed",
+        type=int,
+        default=0,
+        help="scenario generator seed for the differential smoke test",
+    )
+
+
+@pytest.fixture(scope="session")
+def difftest_budget(request: pytest.FixtureRequest) -> int:
+    return int(request.config.getoption("--difftest-budget"))
+
+
+@pytest.fixture(scope="session")
+def difftest_seed(request: pytest.FixtureRequest) -> int:
+    return int(request.config.getoption("--difftest-seed"))
+
+
+@pytest.fixture(scope="session")
+def difftest_report(difftest_budget: int, difftest_seed: int):
+    """Run the configured budget once and yield the report."""
+    if difftest_budget <= 0:
+        pytest.skip("differential smoke test disabled (--difftest-budget 0)")
+    from repro.testing.cli import run_difftest
+
+    out = io.StringIO()
+    report = run_difftest(
+        budget=difftest_budget, seed=difftest_seed, out=out, quiet=True
+    )
+    report.log = out.getvalue()  # type: ignore[attr-defined]
+    return report

@@ -9,6 +9,10 @@ is available without the flag by exporting ``REPRO_SANITIZE=1``.
 
 import pytest
 
+# Differential-fuzzing knobs (--difftest-budget / --difftest-seed) and the
+# session-scoped difftest_report fixture.
+pytest_plugins = ("repro.testing.pytest_plugin",)
+
 
 def pytest_addoption(parser: pytest.Parser) -> None:
     parser.addoption(

@@ -123,6 +123,36 @@ class TestRuleSemantics:
             lint_source(source, path="src/repro/geometry/m.py")
         )
 
+    def test_oracle_module_cannot_import_code_under_test(self):
+        source = "from repro.index.knn import k_nearest\n\n__all__ = []\n"
+        assert "RPR007" in codes_of(
+            lint_source(source, path="src/repro/testing/oracles.py")
+        )
+
+    def test_oracle_module_plain_import_flagged_too(self):
+        source = "import repro.core.verification\n\n__all__ = []\n"
+        assert "RPR007" in codes_of(
+            lint_source(source, path="src/repro/testing/oracles.py")
+        )
+
+    def test_oracle_relative_import_flagged(self):
+        source = "from . import difftest\n\n__all__ = []\n"
+        assert "RPR007" in codes_of(
+            lint_source(source, path="src/repro/testing/oracles.py")
+        )
+
+    def test_oracle_point_import_allowed(self):
+        source = "from repro.geometry.point import Point\n\n__all__ = []\n"
+        assert "RPR007" not in codes_of(
+            lint_source(source, path="src/repro/testing/oracles.py")
+        )
+
+    def test_non_oracle_testing_modules_exempt_from_rpr007(self):
+        source = "from repro.index.knn import k_nearest\n\n__all__ = []\n"
+        assert "RPR007" not in codes_of(
+            lint_source(source, path="src/repro/testing/difftest.py")
+        )
+
     def test_syntax_error_reported_as_rpr900(self):
         violations = lint_source("def broken(:\n", path="src/repro/core/m.py")
         assert codes_of(violations) == {"RPR900"}
@@ -179,5 +209,5 @@ class TestCli:
     def test_cli_list_rules(self):
         proc = self._run("--list-rules")
         assert proc.returncode == 0
-        for code in ALL_RULE_CODES:
+        for code in ALL_RULE_CODES | {"RPR007"}:
             assert code in proc.stdout

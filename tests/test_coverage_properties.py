@@ -1,0 +1,162 @@
+"""Property tests for Lemma 3.8 certain-region coverage.
+
+Hypothesis drives :class:`repro.geometry.coverage.CertainRegion` against
+the sampling oracle from :mod:`repro.testing.oracles` across both
+backends and polygonization levels 8/16/32/64.  Coordinates are dyadic
+rationals so distance comparisons frequently land on exact ties -- the
+regime where coverage code historically breaks.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.circle import Circle
+from repro.geometry.coverage import CertainRegion, CoverageMethod
+from repro.geometry.point import Point
+from repro.testing.oracles import certify_multi_oracle
+
+SIDES = (8, 16, 32, 64)
+
+coords = st.integers(-12, 12).map(lambda v: v / 8.0)
+radii = st.integers(1, 16).map(lambda v: v / 8.0)
+circles = st.tuples(coords, coords, radii).map(
+    lambda t: Circle(Point(t[0], t[1]), t[2])
+)
+
+
+def build_region(cover, method, sides):
+    region = CertainRegion(method=method, polygon_sides=sides)
+    for circle in cover:
+        region.add_circle(circle)
+    return region
+
+
+class TestSoundness:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        cover=st.lists(circles, min_size=1, max_size=4),
+        cx=coords,
+        cy=coords,
+        radius=radii,
+    )
+    def test_covered_verdict_never_contradicts_oracle(self, cover, cx, cy, radius):
+        """If any backend certifies coverage, no sampled boundary point may
+        escape the union (Lemma 3.8 soundness)."""
+        target = Circle(Point(cx, cy), radius)
+        oracle = certify_multi_oracle(
+            target.center, [(c.center, c.radius) for c in cover], radius
+        )
+        for sides in SIDES:
+            for method in (CoverageMethod.EXACT, CoverageMethod.POLYGON):
+                region = build_region(cover, method, sides)
+                if region.covers_disk(target):
+                    assert not oracle.definitely_uncovered(), (
+                        f"{method.value}/{sides} certified a disk the oracle "
+                        f"finds uncovered (slack {oracle.slack})"
+                    )
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        cover=st.lists(circles, min_size=1, max_size=3),
+        cx=coords,
+        cy=coords,
+        radius=radii,
+    )
+    def test_sampled_escape_is_never_certified(self, cover, cx, cy, radius):
+        """A boundary point provably outside every circle forbids coverage
+        for every backend and every polygonization level."""
+        target = Circle(Point(cx, cy), radius)
+        oracle = certify_multi_oracle(
+            target.center, [(c.center, c.radius) for c in cover], radius
+        )
+        assume(oracle.definitely_uncovered(1e-9))
+        for sides in SIDES:
+            for method in (CoverageMethod.EXACT, CoverageMethod.POLYGON):
+                region = build_region(cover, method, sides)
+                assert not region.covers_disk(target)
+
+
+class TestCompleteness:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        cx=coords,
+        cy=coords,
+        big=st.integers(4, 16).map(lambda v: v / 8.0),
+        angle=st.integers(0, 15).map(lambda v: v * math.pi / 8.0),
+        offset_num=st.integers(0, 6),
+        sides_index=st.integers(0, len(SIDES) - 1),
+    )
+    def test_disk_inside_apothem_verifies(
+        self, cx, cy, big, angle, offset_num, sides_index
+    ):
+        """A target comfortably inside the inscribed polygon's apothem must
+        verify under the paper's polygon backend (and the exact one)."""
+        sides = SIDES[sides_index]
+        center = Point(cx, cy)
+        apothem = big * math.cos(math.pi / sides)
+        small = big / 8.0
+        # Place the target so d + r stays 0.01 below the apothem.
+        reach = apothem - small - 0.01
+        assume(reach > 0.0)
+        distance = reach * (offset_num / 8.0)
+        target = Circle(
+            Point(
+                center.x + distance * math.cos(angle),
+                center.y + distance * math.sin(angle),
+            ),
+            small,
+        )
+        exact = build_region([Circle(center, big)], CoverageMethod.EXACT, sides)
+        polygon = build_region([Circle(center, big)], CoverageMethod.POLYGON, sides)
+        assert exact.covers_disk(target)
+        assert polygon.covers_disk(target)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        cover=st.lists(circles, min_size=1, max_size=3),
+        dx=st.integers(-4, 4).map(lambda v: v / 16.0),
+        dy=st.integers(-4, 4).map(lambda v: v / 16.0),
+        radius=st.integers(1, 4).map(lambda v: v / 16.0),
+        sides_index=st.integers(0, len(SIDES) - 1),
+    )
+    def test_polygon_certified_implies_truly_covered(
+        self, cover, dx, dy, radius, sides_index
+    ):
+        """The polygon backend under-approximates the circles, so its YES
+        carries real slack: the oracle must see clear coverage, not a
+        borderline touch.  Targets sit near the first covering circle's
+        center so the covered branch is actually exercised."""
+        sides = SIDES[sides_index]
+        target = Circle(
+            Point(cover[0].center.x + dx, cover[0].center.y + dy), radius
+        )
+        region = build_region(cover, CoverageMethod.POLYGON, sides)
+        if not region.covers_disk(target):
+            return
+        oracle = certify_multi_oracle(
+            target.center, [(c.center, c.radius) for c in cover], radius
+        )
+        assert oracle.slack > -math.pi * radius / 256
+
+
+class TestRegionBasics:
+    def test_empty_region_covers_nothing(self):
+        region = CertainRegion()
+        assert region.is_empty()
+        assert not region.covers_disk(Circle(Point(0, 0), 0.0))
+
+    def test_zero_radius_circles_are_ignored(self):
+        region = CertainRegion()
+        region.add_circle(Circle(Point(0, 0), 0.0))
+        assert region.is_empty()
+
+    @given(sides_index=st.integers(0, len(SIDES) - 1))
+    def test_region_itself_is_covered(self, sides_index):
+        """Each backend certifies a disk well inside a single circle."""
+        sides = SIDES[sides_index]
+        inner = Circle(Point(0.25, 0.25), 0.25)
+        for method in (CoverageMethod.EXACT, CoverageMethod.POLYGON):
+            region = build_region([Circle(Point(0, 0), 2.0)], method, sides)
+            assert region.covers_disk(inner)

@@ -1,0 +1,45 @@
+"""The golden scenario corpus: shrunk regression scenarios, one per file.
+
+Every ``tests/golden/*.scenario`` file holds ``#`` comment lines followed
+by exactly one encoded scenario string.  Each scenario either reproduces
+a bug the differential runner once found (now fixed) or pins a degeneracy
+the generator is supposed to reach.  The corpus doubles as replay input:
+``repro-difftest --replay "$(grep -v '^#' tests/golden/<name>.scenario)"``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.testing.difftest import run_scenario
+from repro.testing.scenarios import decode_scenario, encode_scenario
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.scenario"))
+
+
+def load(path: pathlib.Path) -> str:
+    lines = [
+        line.strip()
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip() and not line.startswith("#")
+    ]
+    assert len(lines) == 1, f"{path.name}: expected exactly one scenario line"
+    return lines[0]
+
+
+def test_corpus_is_present():
+    assert len(GOLDEN_FILES) >= 20
+
+
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+def test_golden_scenario_stays_green(path):
+    scenario = decode_scenario(load(path))
+    failures = run_scenario(scenario)
+    assert failures == [], "\n".join(f.render() for f in failures)
+
+
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+def test_golden_scenario_round_trips(path):
+    text = load(path)
+    assert encode_scenario(decode_scenario(text)) == text

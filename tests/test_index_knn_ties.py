@@ -1,0 +1,115 @@
+"""Tie-breaking regression: equal-distance POIs across all kNN algorithms.
+
+INN, EINN and the depth-first baseline must break exact distance ties
+identically -- stable by POI id via :func:`repro.index.knn.poi_tie_key` --
+so differential comparisons (and the paper's page-access experiments) see
+the same neighbor sequence from every algorithm.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.index.knn import (
+    k_nearest,
+    k_nearest_depth_first,
+    k_nearest_einn,
+    poi_tie_key,
+)
+from repro.index.rtree import RTree
+
+
+def build_trees(items):
+    """Both construction paths: STR bulk packing and one-by-one insertion."""
+    bulk = RTree.bulk_load(list(items))
+    incremental = RTree()
+    for point, payload in items:
+        incremental.insert(point, payload)
+    return [bulk, incremental]
+
+
+def sequences(tree, query, k):
+    return {
+        "inn": [(n.payload, n.distance) for n in k_nearest(tree, query, k)],
+        "depth-first": [
+            (n.payload, n.distance) for n in k_nearest_depth_first(tree, query, k)
+        ],
+        "einn": [(n.payload, n.distance) for n in k_nearest_einn(tree, query, k)],
+    }
+
+
+class TestPoiTieKey:
+    def test_numeric_payloads_sort_numerically(self):
+        assert poi_tie_key(2) < poi_tie_key(10)
+        assert poi_tie_key(2.5) < poi_tie_key(3)
+
+    def test_string_payloads_sort_lexicographically(self):
+        assert poi_tie_key("a2") < poi_tie_key("b1")
+
+    def test_numerics_sort_before_strings(self):
+        assert poi_tie_key(999) < poi_tie_key("0")
+
+    def test_bool_is_not_numeric(self):
+        # repr-stable: True ties by str("True"), not by float(1.0).
+        assert poi_tie_key(True) == poi_tie_key("True")
+
+
+class TestDuplicateDistanceTies:
+    def test_four_corners_same_distance(self):
+        """Four POIs at exactly the same distance; k=2 picks by id."""
+        items = [
+            (Point(1.0, 0.0), "d"),
+            (Point(-1.0, 0.0), "a"),
+            (Point(0.0, 1.0), "c"),
+            (Point(0.0, -1.0), "b"),
+        ]
+        query = Point(0.0, 0.0)
+        for tree in build_trees(items):
+            got = sequences(tree, query, 2)
+            assert got["inn"] == [("a", 1.0), ("b", 1.0)]
+            assert got["depth-first"] == got["inn"]
+            assert got["einn"] == got["inn"]
+
+    def test_duplicate_locations(self):
+        """Several POIs on the very same location."""
+        items = [
+            (Point(0.5, 0.5), "p2"),
+            (Point(0.5, 0.5), "p0"),
+            (Point(0.5, 0.5), "p1"),
+            (Point(2.0, 2.0), "far"),
+        ]
+        query = Point(0.0, 0.0)
+        for tree in build_trees(items):
+            got = sequences(tree, query, 3)
+            assert [p for p, _ in got["inn"]] == ["p0", "p1", "p2"]
+            assert got["depth-first"] == got["inn"]
+            assert got["einn"] == got["inn"]
+
+    def test_numeric_ids_on_tied_ring(self):
+        items = [(Point(0.0, 3.0), 11), (Point(3.0, 0.0), 2), (Point(-3.0, 0.0), 5)]
+        query = Point(0.0, 0.0)
+        for tree in build_trees(items):
+            got = sequences(tree, query, 2)
+            assert [p for p, _ in got["inn"]] == [2, 5]
+            assert got["depth-first"] == got["inn"]
+            assert got["einn"] == got["inn"]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_lattice_agreement(self, seed):
+        """Dyadic lattice worlds are packed with exact ties; all three
+        algorithms must agree on the full ranking."""
+        rng = random.Random(seed)
+        items = [
+            (
+                Point(rng.randint(0, 8) / 4.0, rng.randint(0, 8) / 4.0),
+                f"p{index}",
+            )
+            for index in range(40)
+        ]
+        query = Point(rng.randint(0, 8) / 4.0, rng.randint(0, 8) / 4.0)
+        for tree in build_trees(items):
+            for k in (1, 3, 7, 40):
+                got = sequences(tree, query, k)
+                assert got["depth-first"] == got["inn"]
+                assert got["einn"] == got["inn"]
