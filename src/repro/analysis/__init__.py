@@ -14,7 +14,14 @@ guardrails on both sides of the build:
   structure, candidate-heap state transitions and Lemma 3.8 soundness
   after every mutation of those hot structures;
 - :mod:`repro.analysis.invariants` -- the validators themselves, also
-  callable directly from tests.
+  callable directly from tests;
+- :mod:`repro.analysis.deep` and friends (:mod:`~repro.analysis.
+  callgraph`, :mod:`~repro.analysis.purity`, :mod:`~repro.analysis.
+  floatcheck`, :mod:`~repro.analysis.layers`) -- the whole-program
+  pass behind ``repro-lint --deep`` (rules ``RPR008`` .. ``RPR013``):
+  call-graph reachability and dead code, interprocedural purity and
+  determinism inference, distance-expression float-comparison dataflow
+  with a paper-lemma conformance table, and layering contracts.
 
 The package ``__init__`` resolves its exports lazily (PEP 562): the
 instrumented data structures (``core.heap``, ``index.rtree``) import
@@ -30,20 +37,28 @@ from __future__ import annotations
 from typing import List
 
 __all__ = [
+    "DEEP_RULES",
+    "DeepAnalysis",
     "HEAP_TRANSITIONS",
     "InvariantViolation",
+    "LEMMA_TABLE",
     "LintReport",
     "Linter",
     "Rule",
     "SANITIZER",
     "Sanitizer",
     "Violation",
+    "analyze_project",
+    "build_call_graph",
+    "build_import_graph",
     "check_heap_structure",
     "check_heap_transition",
     "check_verification_soundness",
+    "infer_effects",
     "iter_rules",
     "lint_paths",
     "lint_source",
+    "run_deep",
     "sanitized",
     "sanitizer_enabled",
     "validate_rtree",
@@ -67,6 +82,10 @@ _INVARIANT_EXPORTS = {
     "validate_rtree",
 }
 _RUNTIME_EXPORTS = {"SANITIZER", "Sanitizer", "sanitized", "sanitizer_enabled"}
+_DEEP_EXPORTS = {"DEEP_RULES", "DeepAnalysis", "analyze_project", "run_deep"}
+_CALLGRAPH_EXPORTS = {"build_call_graph", "build_import_graph"}
+_PURITY_EXPORTS = {"infer_effects"}
+_FLOATCHECK_EXPORTS = {"LEMMA_TABLE"}
 
 
 def __getattr__(name: str) -> object:
@@ -82,6 +101,22 @@ def __getattr__(name: str) -> object:
         from repro.analysis import runtime
 
         return getattr(runtime, name)
+    if name in _DEEP_EXPORTS:
+        from repro.analysis import deep
+
+        return getattr(deep, name)
+    if name in _CALLGRAPH_EXPORTS:
+        from repro.analysis import callgraph
+
+        return getattr(callgraph, name)
+    if name in _PURITY_EXPORTS:
+        from repro.analysis import purity
+
+        return getattr(purity, name)
+    if name in _FLOATCHECK_EXPORTS:
+        from repro.analysis import floatcheck
+
+        return getattr(floatcheck, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -1,0 +1,691 @@
+"""Module import graph and name-resolution call graph (deep pass 1).
+
+Two graphs over the parsed :class:`~repro.analysis.project.Project`:
+
+- the **import graph**: module -> imported project modules, split into
+  top-level and deferred (function-scope) imports.  The layering
+  contract (:mod:`repro.analysis.layers`) and the import-cycle check
+  are judged on the top-level edges only, because deferred imports are
+  the sanctioned cycle-breaking device in this codebase;
+- the **call graph**: an AST-built graph over every top-level function
+  and class method.  Calls through bare names are resolved through the
+  module's import/def table; ``self.m()`` resolves to the enclosing
+  class; all other attribute calls fall back to *name matching* (every
+  known function with that name becomes a candidate).  The graph is
+  therefore an over-approximation: reachability is sound for dead-code
+  detection (RPR008) but may keep a same-named helper alive.
+
+The extracted per-module facts serialize to JSON
+(:meth:`CallGraph.facts_to_json`) keyed by source SHA-256, which is how
+CI shares the parse between the lint and deep jobs.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import config
+from repro.analysis.project import Project, ProjectModule
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "ImportGraph",
+    "ImportRecord",
+    "build_call_graph",
+    "build_import_graph",
+    "dead_code_report",
+]
+
+
+# ----------------------------------------------------------------------
+# import graph
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ImportRecord:
+    """One import statement edge, resolved to a project module."""
+
+    source: str  # importing module
+    target: str  # imported project module (dotted)
+    raw: str  # the name as written (dotted, after relative resolution)
+    lineno: int
+    top_level: bool
+
+
+@dataclass
+class ImportGraph:
+    """Module-level dependency graph restricted to project modules."""
+
+    records: List[ImportRecord] = field(default_factory=list)
+
+    def edges(self, top_level_only: bool = True) -> Dict[str, Set[str]]:
+        result: Dict[str, Set[str]] = {}
+        for record in self.records:
+            if top_level_only and not record.top_level:
+                continue
+            result.setdefault(record.source, set()).add(record.target)
+        return result
+
+    def cycles(self) -> List[List[str]]:
+        """Elementary cycles among top-level imports (Tarjan SCCs > 1)."""
+        graph = self.edges(top_level_only=True)
+        index_counter = [0]
+        stack: List[str] = []
+        lowlink: Dict[str, int] = {}
+        index: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        result: List[List[str]] = []
+
+        def strongconnect(node: str) -> None:
+            index[node] = lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for succ in sorted(graph.get(node, ())):
+                if succ not in index:
+                    strongconnect(succ)
+                    lowlink[node] = min(lowlink[node], lowlink[succ])
+                elif succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph.get(node, ()):
+                    result.append(sorted(component))
+
+        for node in sorted(graph):
+            if node not in index:
+                strongconnect(node)
+        return result
+
+
+def build_import_graph(project: Project) -> ImportGraph:
+    graph = ImportGraph()
+    for module in project.modules.values():
+        graph.records.extend(_module_imports(project, module))
+    return graph
+
+
+def _module_imports(project: Project, module: ProjectModule) -> Iterator[ImportRecord]:
+    top_level_nodes = set(_top_level_statements(module.tree))
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_relative(module, node)
+            if base is None:
+                continue
+            # `from pkg import name` may pull a submodule or a symbol;
+            # resolve_import collapses both onto the defining module.
+            names = [f"{base}.{alias.name}" if base else alias.name for alias in node.names]
+            names.append(base)
+        else:
+            continue
+        for raw in names:
+            if not raw:
+                continue
+            target = project.resolve_import(raw)
+            if target is None or target == module.name:
+                continue
+            yield ImportRecord(
+                source=module.name,
+                target=target,
+                raw=raw,
+                lineno=node.lineno,
+                top_level=node in top_level_nodes,
+            )
+
+
+def _top_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    for node in tree.body:
+        yield node
+        # Imports guarded by `if TYPE_CHECKING:` (or any other top-level
+        # `if`) still execute at import time unless the guard is false;
+        # TYPE_CHECKING guards are recognized and treated as deferred.
+        if isinstance(node, ast.If) and not _is_type_checking_guard(node.test):
+            yield from node.body
+            yield from node.orelse
+
+
+def _is_type_checking_guard(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _resolve_relative(module: ProjectModule, node: ast.ImportFrom) -> Optional[str]:
+    if node.level == 0:
+        return node.module or ""
+    parts = module.name.split(".")
+    # For a package __init__, level 1 is the package itself.
+    cut = len(parts) - node.level + (1 if module.is_package else 0)
+    if cut < 0:
+        return None
+    base_parts = parts[:cut]
+    if node.module:
+        base_parts.append(node.module)
+    return ".".join(base_parts)
+
+
+# ----------------------------------------------------------------------
+# call graph
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CallSite:
+    """One call inside a function, after best-effort resolution."""
+
+    lineno: int
+    #: Candidate callee qualnames.  Exactly one for a resolved call;
+    #: several for a name-matched attribute call; empty for calls into
+    #: the stdlib / third-party code.
+    candidates: Tuple[str, ...]
+    #: True when the candidates come from exact resolution rather than
+    #: bare-name matching.
+    resolved: bool
+    #: Caller parameter used as the receiver (``x.m()`` with ``x`` a
+    #: parameter; ``self`` included), if any.
+    receiver_param: Optional[str]
+    #: Caller parameters passed as positional arguments: (position, name).
+    param_args: Tuple[Tuple[int, str], ...]
+    #: Bare method name for unresolved attribute calls (``x.append`` ->
+    #: ``append``); lets the purity pass name-match effects.
+    attr: Optional[str] = None
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function or class method."""
+
+    qualname: str
+    module: str
+    name: str
+    cls: Optional[str]
+    lineno: int
+    params: Tuple[str, ...]
+    decorators: Tuple[str, ...]
+    #: Bare names + attribute names referenced anywhere in the body.
+    references: FrozenSet[str]
+    call_sites: Tuple[CallSite, ...] = ()
+
+    @property
+    def is_dunder(self) -> bool:
+        return self.name.startswith("__") and self.name.endswith("__")
+
+    @property
+    def is_framework_hook(self) -> bool:
+        return self.name.startswith(config.FRAMEWORK_METHOD_PREFIXES)
+
+
+@dataclass
+class CallGraph:
+    """The project call graph plus the liveness machinery."""
+
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: bare name -> qualnames defined with that name (project modules only)
+    by_name: Dict[str, List[str]] = field(default_factory=dict)
+    #: module name -> names referenced at module scope (includes __all__)
+    module_references: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    #: source SHA-256 per module, for the facts cache
+    hashes: Dict[str, str] = field(default_factory=dict)
+
+    # -- queries -------------------------------------------------------
+    def edges_from(self, qualname: str) -> Set[str]:
+        """Callees of one function (resolved + name-matched)."""
+        info = self.functions.get(qualname)
+        if info is None:
+            return set()
+        out: Set[str] = set()
+        for site in info.call_sites:
+            out.update(site.candidates)
+        # Function references (decorator use, callbacks, aliasing) count
+        # as edges too: passing a function along keeps it reachable.
+        for name in info.references:
+            for target in self.by_name.get(name, ()):
+                if target != qualname:
+                    out.add(target)
+        return out
+
+    def reachable(self, roots: Sequence[str]) -> Set[str]:
+        """Transitive closure over :meth:`edges_from`."""
+        seen: Set[str] = set()
+        stack = [root for root in roots if root in self.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for succ in self.edges_from(current):
+                if succ not in seen:
+                    stack.append(succ)
+        return seen
+
+    def liveness_roots(self) -> Set[str]:
+        """Functions considered externally invoked."""
+        roots: Set[str] = set()
+        for qualname, info in self.functions.items():
+            if qualname in config.ENTRY_POINTS:
+                roots.add(qualname)
+            elif info.is_dunder or info.is_framework_hook:
+                roots.add(qualname)
+            elif info.decorators:
+                # Registered via a decorator (rule registries, pytest
+                # fixtures, properties): invoked reflectively.
+                roots.add(qualname)
+        # Anything referenced by name at module scope (includes __all__
+        # exports, i.e. the public API surface).
+        for names in self.module_references.values():
+            for name in names:
+                roots.update(self.by_name.get(name, ()))
+        return roots
+
+    def live(self) -> Set[str]:
+        return self.reachable(sorted(self.liveness_roots()))
+
+    def dead(self) -> List[FunctionInfo]:
+        live = self.live()
+        return sorted(
+            (info for qualname, info in self.functions.items() if qualname not in live),
+            key=lambda info: (info.module, info.lineno),
+        )
+
+    # -- facts cache ---------------------------------------------------
+    def facts_to_json(self) -> str:
+        payload = {
+            "version": 1,
+            "hashes": self.hashes,
+            "module_references": {
+                module: sorted(names)
+                for module, names in self.module_references.items()
+            },
+            "functions": [
+                {
+                    "qualname": info.qualname,
+                    "module": info.module,
+                    "name": info.name,
+                    "cls": info.cls,
+                    "lineno": info.lineno,
+                    "params": list(info.params),
+                    "decorators": list(info.decorators),
+                    "references": sorted(info.references),
+                    "call_sites": [
+                        {
+                            "lineno": site.lineno,
+                            "candidates": list(site.candidates),
+                            "resolved": site.resolved,
+                            "receiver_param": site.receiver_param,
+                            "param_args": [list(pair) for pair in site.param_args],
+                            "attr": site.attr,
+                        }
+                        for site in info.call_sites
+                    ],
+                }
+                for info in self.functions.values()
+            ],
+        }
+        return json.dumps(payload, indent=0, sort_keys=True)
+
+    @staticmethod
+    def facts_from_json(text: str) -> Optional["CallGraph"]:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            return None
+        graph = CallGraph()
+        graph.hashes = dict(payload.get("hashes", {}))
+        graph.module_references = {
+            module: frozenset(names)
+            for module, names in payload.get("module_references", {}).items()
+        }
+        for raw in payload.get("functions", []):
+            info = FunctionInfo(
+                qualname=raw["qualname"],
+                module=raw["module"],
+                name=raw["name"],
+                cls=raw.get("cls"),
+                lineno=raw["lineno"],
+                params=tuple(raw.get("params", ())),
+                decorators=tuple(raw.get("decorators", ())),
+                references=frozenset(raw.get("references", ())),
+                call_sites=tuple(
+                    CallSite(
+                        lineno=site["lineno"],
+                        candidates=tuple(site.get("candidates", ())),
+                        resolved=bool(site.get("resolved")),
+                        receiver_param=site.get("receiver_param"),
+                        param_args=tuple(
+                            (int(pos), str(name))
+                            for pos, name in site.get("param_args", ())
+                        ),
+                        attr=site.get("attr"),
+                    )
+                    for site in raw.get("call_sites", ())
+                ),
+            )
+            graph.functions[info.qualname] = info
+            graph.by_name.setdefault(info.name, []).append(info.qualname)
+        return graph
+
+
+def source_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def build_call_graph(
+    project: Project, cached: Optional[CallGraph] = None
+) -> CallGraph:
+    """Extract facts from every module (reusing ``cached`` where hashes match)."""
+    graph = CallGraph()
+    cached_by_module: Dict[str, List[FunctionInfo]] = {}
+    if cached is not None:
+        for info in cached.functions.values():
+            cached_by_module.setdefault(info.module, []).append(info)
+
+    for module in project.all_modules():
+        analyzed = module.name in project.modules
+        sha = source_sha(module.source)
+        graph.hashes[module.name] = sha
+        if (
+            cached is not None
+            and cached.hashes.get(module.name) == sha
+            and module.name in cached.module_references
+        ):
+            graph.module_references[module.name] = cached.module_references[module.name]
+            if analyzed:
+                for info in cached_by_module.get(module.name, []):
+                    graph.functions[info.qualname] = info
+                    graph.by_name.setdefault(info.name, []).append(info.qualname)
+            continue
+        _extract_module(graph, project, module, record_defs=analyzed)
+
+    return graph
+
+
+# ----------------------------------------------------------------------
+# fact extraction
+# ----------------------------------------------------------------------
+def _extract_module(
+    graph: CallGraph,
+    project: Project,
+    module: ProjectModule,
+    record_defs: bool,
+) -> None:
+    scope = _ModuleScope(project, module)
+    module_refs: Set[str] = set()
+
+    def collect_function(
+        node: ast.FunctionDef | ast.AsyncFunctionDef, cls: Optional[str]
+    ) -> None:
+        qualname = (
+            f"{module.name}.{cls}.{node.name}" if cls else f"{module.name}.{node.name}"
+        )
+        params = tuple(
+            arg.arg
+            for arg in [
+                *node.args.posonlyargs,
+                *node.args.args,
+                *node.args.kwonlyargs,
+                *([node.args.vararg] if node.args.vararg else []),
+                *([node.args.kwarg] if node.args.kwarg else []),
+            ]
+        )
+        references: Set[str] = set()
+        call_sites: List[CallSite] = []
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id != node.name:
+                references.add(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                references.add(sub.attr)
+            if isinstance(sub, ast.Call):
+                site = _resolve_call(scope, cls, set(params), sub)
+                if site is not None:
+                    call_sites.append(site)
+        decorators = tuple(
+            _decorator_name(dec) for dec in node.decorator_list
+        )
+        # Decorator names used on this function reference those functions.
+        module_refs.update(name for name in decorators if name)
+        info = FunctionInfo(
+            qualname=qualname,
+            module=module.name,
+            name=node.name,
+            cls=cls,
+            lineno=node.lineno,
+            params=params,
+            decorators=tuple(d for d in decorators if d),
+            references=frozenset(references),
+            call_sites=tuple(call_sites),
+        )
+        if record_defs:
+            graph.functions[qualname] = info
+            graph.by_name.setdefault(node.name, []).append(qualname)
+        else:
+            # Reference-only modules (tests, benchmarks): their bodies
+            # keep project functions alive but are not analyzed.
+            module_refs.update(references)
+
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            collect_function(node, None)
+        elif isinstance(node, ast.ClassDef):
+            module_refs.add(node.name)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    collect_function(item, node.name)
+                else:
+                    _collect_refs(item, module_refs)
+            for base in node.bases + [kw.value for kw in node.keywords]:
+                _collect_refs(base, module_refs)
+            for dec in node.decorator_list:
+                _collect_refs(dec, module_refs)
+        else:
+            _collect_refs(node, module_refs)
+            _collect_all_exports(node, module_refs)
+
+    existing = graph.module_references.get(module.name, frozenset())
+    graph.module_references[module.name] = frozenset(module_refs) | existing
+
+
+def _collect_refs(node: ast.AST, into: Set[str]) -> None:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            into.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            into.add(sub.attr)
+
+
+def _collect_all_exports(node: ast.stmt, into: Set[str]) -> None:
+    targets: List[ast.expr] = []
+    value: Optional[ast.expr] = None
+    if isinstance(node, ast.Assign):
+        targets, value = node.targets, node.value
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        targets, value = [node.target], node.value
+    elif isinstance(node, ast.AugAssign):
+        targets, value = [node.target], node.value
+    for target in targets:
+        if isinstance(target, ast.Name) and target.id == "__all__" and value is not None:
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    into.add(sub.value)
+
+
+def _decorator_name(node: ast.expr) -> str:
+    current = node
+    if isinstance(current, ast.Call):
+        current = current.func
+    if isinstance(current, ast.Attribute):
+        return current.attr
+    if isinstance(current, ast.Name):
+        return current.id
+    return ""
+
+
+def _dotted_chain(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute/name chains; empty string otherwise."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class _ModuleScope:
+    """Name -> qualname resolution table for one module."""
+
+    def __init__(self, project: Project, module: ProjectModule) -> None:
+        self.project = project
+        self.module = module
+        #: local top-level definitions: name -> qualname
+        self.defs: Dict[str, str] = {}
+        #: methods per class: class -> {method -> qualname}
+        self.methods: Dict[str, Dict[str, str]] = {}
+        #: imported bare names: alias -> dotted target
+        self.imports: Dict[str, str] = {}
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.defs[node.name] = f"{module.name}.{node.name}"
+            elif isinstance(node, ast.ClassDef):
+                self.defs[node.name] = f"{module.name}.{node.name}"
+                table: Dict[str, str] = {}
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        table[item.name] = f"{module.name}.{node.name}.{item.name}"
+                self.methods[node.name] = table
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    self.imports[bound] = alias.name if alias.asname else alias.name.split(".", 1)[0]
+            elif isinstance(node, ast.ImportFrom):
+                base = _resolve_relative(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+
+    def resolve_name(self, name: str) -> Optional[str]:
+        """Resolve a bare name to a project function/class qualname."""
+        if name in self.defs:
+            return self.defs[name]
+        dotted = self.imports.get(name)
+        if dotted is None:
+            return None
+        return self._resolve_dotted(dotted)
+
+    def _resolve_dotted(self, dotted: str) -> Optional[str]:
+        owner = self.project.resolve_import(dotted)
+        if owner is None:
+            return None
+        if owner == dotted:
+            return None  # a module, not a function/class
+        symbol = dotted[len(owner) + 1 :]
+        owner_module = self.project.get(owner)
+        if owner_module is None or "." in symbol:
+            return None
+        for node in owner_module.tree.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and node.name == symbol
+            ):
+                return f"{owner}.{symbol}"
+        return None
+
+
+def _resolve_call(
+    scope: _ModuleScope,
+    cls: Optional[str],
+    params: Set[str],
+    call: ast.Call,
+) -> Optional[CallSite]:
+    param_args = tuple(
+        (position, arg.id)
+        for position, arg in enumerate(call.args)
+        if isinstance(arg, ast.Name) and arg.id in params
+    )
+    func = call.func
+    if isinstance(func, ast.Name):
+        resolved = scope.resolve_name(func.id)
+        if resolved is not None:
+            candidates = _callable_targets(scope, resolved)
+            return CallSite(call.lineno, candidates, True, None, param_args)
+        # Unknown bare name (builtin, closure); name matching by the
+        # reference set covers liveness, nothing to record here.
+        return None
+    if isinstance(func, ast.Attribute):
+        receiver = func.value
+        receiver_param: Optional[str] = None
+        if isinstance(receiver, ast.Name):
+            if receiver.id in params:
+                receiver_param = receiver.id
+            if receiver.id in ("self", "cls") and cls is not None:
+                table = scope.methods.get(cls, {})
+                if func.attr in table:
+                    return CallSite(
+                        call.lineno, (table[func.attr],), True, receiver_param, param_args
+                    )
+            dotted = _dotted_chain(func)
+            if dotted:
+                resolved = scope._resolve_dotted(dotted)
+                if resolved is None and "." in dotted:
+                    head = dotted.split(".", 1)[0]
+                    mapped = scope.imports.get(head)
+                    if mapped is not None:
+                        resolved = scope._resolve_dotted(
+                            dotted.replace(head, mapped, 1)
+                        )
+                if resolved is not None:
+                    candidates = _callable_targets(scope, resolved)
+                    return CallSite(call.lineno, candidates, True, receiver_param, param_args)
+        # Fallback: record the bare attribute name; liveness is covered
+        # by the reference set, purity matches the name itself.
+        return CallSite(call.lineno, (), False, receiver_param, param_args, func.attr)
+    return None
+
+
+def _callable_targets(scope: _ModuleScope, qualname: str) -> Tuple[str, ...]:
+    """Map a resolved symbol to callable targets (class -> its methods)."""
+    module_name, _, symbol = qualname.rpartition(".")
+    owner = scope.project.get(module_name)
+    if owner is None:
+        return (qualname,)
+    for node in owner.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == symbol:
+            # Constructing a class reaches __init__/__post_init__ and,
+            # conservatively, every method (instances escape the graph).
+            targets = [
+                f"{qualname}.{item.name}"
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            return tuple(targets) if targets else (qualname,)
+    return (qualname,)
+
+
+def dead_code_report(graph: CallGraph) -> List[str]:
+    """Human-readable dead-code findings, one line per function."""
+    lines = []
+    for info in graph.dead():
+        lines.append(
+            f"{info.module}:{info.lineno}: {info.qualname} is unreachable "
+            "from every entry point"
+        )
+    return lines

@@ -6,15 +6,25 @@ Also runnable without an installed entry point::
 
     PYTHONPATH=src python -m repro.analysis.cli src/repro tests
     PYTHONPATH=src python -m repro.analysis src/repro tests
+
+``--deep`` switches to the whole-program analysis suite (call graph,
+purity inference, float-comparison dataflow, layering contracts; rules
+RPR008-RPR013).  The deep pass always analyzes the full ``src/repro``
+tree — cross-module reasoning needs the whole program — but
+``--changed-only`` restricts the *reported* findings to the given paths
+(or, with no paths, to the files ``git diff --name-only HEAD`` lists),
+which is what the pre-commit hook uses.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.analysis.config import DEFAULT_BASELINE_NAME
 from repro.analysis.lint import Linter, iter_rules
 
 __all__ = ["main", "build_parser"]
@@ -51,6 +61,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the summary line; print violations only",
     )
+    deep = parser.add_argument_group("deep analysis")
+    deep.add_argument(
+        "--deep",
+        action="store_true",
+        help="run the whole-program passes (RPR008-RPR013) over src/repro",
+    )
+    deep.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(DEFAULT_BASELINE_NAME),
+        metavar="FILE",
+        help="baseline file of known findings (default: %(default)s)",
+    )
+    deep.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    deep.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "report only findings in the given paths (or in `git diff "
+            "--name-only HEAD` when no paths are given); analysis still "
+            "covers the whole tree"
+        ),
+    )
+    deep.add_argument(
+        "--callgraph-cache",
+        type=Path,
+        metavar="FILE",
+        help="read/write the call-graph facts cache (JSON, SHA-keyed)",
+    )
     return parser
 
 
@@ -60,6 +103,80 @@ def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
     return [code.strip().upper() for code in raw.split(",") if code.strip()]
 
 
+def _git_changed_files() -> List[Path]:
+    try:
+        output = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return []
+    return [Path(line) for line in output.splitlines() if line.strip()]
+
+
+def _deep_main(args: argparse.Namespace) -> int:
+    from repro.analysis import deep
+
+    src_root = Path("src/repro")
+    if not src_root.is_dir():
+        print(
+            "repro-lint: error: --deep must run from the repository root "
+            "(src/repro not found)",
+            file=sys.stderr,
+        )
+        return 2
+
+    cached = None
+    if args.callgraph_cache is not None:
+        cached = deep.load_cached_graph(args.callgraph_cache)
+
+    analysis = deep.run_deep(
+        [src_root], deep.default_reference_roots(Path(".")), cached=cached
+    )
+
+    if args.callgraph_cache is not None:
+        deep.save_graph_cache(args.callgraph_cache, analysis.graph)
+
+    violations = analysis.violations
+    if args.changed_only:
+        changed = args.paths if args.paths else _git_changed_files()
+        allowed = {path.resolve() for path in changed}
+        violations = [
+            v for v in violations if Path(v.path).resolve() in allowed
+        ]
+
+    if args.update_baseline:
+        deep.save_baseline(args.baseline, violations)
+        if not args.quiet:
+            print(
+                f"repro-lint: baseline updated with {len(violations)} "
+                f"finding(s) -> {args.baseline}",
+                file=sys.stderr,
+            )
+        return 0
+
+    baseline = deep.load_baseline(args.baseline)
+    new, baselined, stale = deep.partition_violations(violations, baseline)
+    for violation in new:
+        print(violation.render())
+    for entry in stale:
+        print(
+            f"repro-lint: stale baseline entry (no longer fires): {entry}",
+            file=sys.stderr,
+        )
+    if not args.quiet:
+        modules = len(analysis.project.modules)
+        noun = "finding" if len(new) == 1 else "findings"
+        print(
+            f"repro-lint --deep: {modules} modules analyzed, {len(new)} new "
+            f"{noun}, {len(baselined)} baselined, {len(stale)} stale",
+            file=sys.stderr,
+        )
+    return 1 if new or stale else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -67,7 +184,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         for rule in iter_rules():
             print(f"{rule.code}  {rule.name}: {rule.description}")
+        if args.deep:
+            from repro.analysis.deep import DEEP_RULES
+
+            for code in sorted(DEEP_RULES):
+                name, description = DEEP_RULES[code]
+                print(f"{code}  {name}: {description}")
         return 0
+
+    if args.deep:
+        return _deep_main(args)
 
     if not args.paths:
         parser.print_usage(sys.stderr)

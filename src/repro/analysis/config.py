@@ -1,0 +1,157 @@
+"""Configuration for the deep (whole-program) analysis passes.
+
+Everything the passes treat as *policy* rather than *mechanism* lives
+here, so a reviewer can audit the contracts in one place and a satellite
+change (a new entry point, a widened purity zone) is a one-line diff.
+
+See ``docs/static_analysis.md`` ("Deep analysis") for the rationale
+behind each table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "DETERMINISM_ZONES",
+    "ENTRY_POINTS",
+    "FRAMEWORK_METHOD_PREFIXES",
+    "LAYER_RANKS",
+    "LIVENESS_REFERENCE_ROOTS",
+    "PURITY_ZONES",
+    "STATIC_ANALYSIS_MODULES",
+    "STRICT_FLOAT_MODULES",
+]
+
+#: Default name of the committed deep-analysis baseline file (repo root).
+DEFAULT_BASELINE_NAME = "analysis_baseline.txt"
+
+# ----------------------------------------------------------------------
+# Call graph / dead code (RPR008)
+# ----------------------------------------------------------------------
+
+#: Functions reachable from outside the project: console-script mains,
+#: ``python -m`` entry modules, and the pytest plugin.  Qualified names
+#: as produced by :mod:`repro.analysis.callgraph` (``module.func`` /
+#: ``module.Class.method``).
+ENTRY_POINTS: FrozenSet[str] = frozenset(
+    {
+        "repro.cli.main",
+        "repro.analysis.cli.main",
+        "repro.testing.cli.main",
+    }
+)
+
+#: Method-name prefixes invoked reflectively by frameworks (``getattr``
+#: dispatch), so a name-resolution call graph never sees the call:
+#: ``ast.NodeVisitor.visit_*``, pytest hooks/fixtures/tests.
+FRAMEWORK_METHOD_PREFIXES: Tuple[str, ...] = (
+    "visit_",
+    "pytest_",
+    "test_",
+)
+
+#: Directories (relative to the repo root) whose references keep project
+#: definitions alive even though the files themselves are not analyzed
+#: for contracts: a helper used only by the test suite is not dead.
+LIVENESS_REFERENCE_ROOTS: Tuple[str, ...] = ("tests", "benchmarks", "examples")
+
+# ----------------------------------------------------------------------
+# Purity / determinism (RPR009, RPR010)
+# ----------------------------------------------------------------------
+
+#: Modules whose functions must be externally pure: no I/O, no mutation
+#: of globals, and no mutation of their arguments (``self`` included for
+#: module-level functions; geometry builder methods legitimately mutate
+#: ``self`` and are covered by the ``allow_self_mutation`` flag).
+#: Maps module prefix -> allow_self_mutation.
+PURITY_ZONES: Mapping[str, bool] = {
+    # Oracles recompute ground truth from first principles; any side
+    # effect would let one differential check perturb the next.
+    "repro.testing.oracles": False,
+    # The tolerance helpers are the project's comparison vocabulary.
+    "repro.geometry.tolerance": False,
+    # Geometry predicates and constructors; mutating *self* is allowed
+    # (AngularIntervalSet.add, CertainRegion.add_circle are builders)
+    # but arguments and globals are off limits.
+    "repro.geometry": True,
+}
+
+#: Modules that must be bit-exact reproducible: no wall-clock reads, no
+#: global-state RNG, no ``id()``-dependent values, no iteration over
+#: sets (hash order varies across processes under PYTHONHASHSEED).
+#: Replay strings and oracle verdicts both depend on this.
+DETERMINISM_ZONES: Tuple[str, ...] = (
+    "repro.geometry",
+    "repro.testing.oracles",
+    "repro.testing.scenarios",
+    "repro.core",
+    "repro.index",
+)
+
+# ----------------------------------------------------------------------
+# Float-comparison dataflow (RPR011, RPR012)
+# ----------------------------------------------------------------------
+
+#: Modules in which every ordering/equality comparison on a
+#: distance-valued expression must be tolerance-routed, lemma-sanctioned
+#: (see ``repro.analysis.floatcheck.LEMMA_TABLE``) or justified with a
+#: ``# repro: noqa(RPR011)``.
+STRICT_FLOAT_MODULES: Tuple[str, ...] = (
+    "repro.core.verification",
+    "repro.core.heap",
+    "repro.core.bounds",
+    "repro.core.range_queries",
+    "repro.geometry.coverage",
+    "repro.index.knn",
+)
+
+# ----------------------------------------------------------------------
+# Layering (RPR013)
+# ----------------------------------------------------------------------
+
+#: Rank of each package/module prefix; a module may only import modules
+#: whose rank is <= its own.  Longest-prefix match wins, so single
+#: modules can override their package (``repro.analysis.runtime`` is
+#: imported *by* the core data structures and must stay import-free,
+#: while ``repro.analysis.invariants`` validates core structures and
+#: sits above them).
+LAYER_RANKS: Dict[str, int] = {
+    "repro": 6,  # the package façade re-exports everything below it
+    "repro.version": 0,
+    "repro.geometry": 0,
+    "repro.analysis.runtime": 0,
+    "repro.index": 1,
+    "repro.network": 1,
+    "repro.core": 2,
+    "repro.continuous": 3,
+    "repro.io": 3,
+    "repro.io.figures": 4,  # serializes experiments.runner.FigureResult
+    "repro.sim": 3,
+    "repro.analysis.invariants": 3,
+    "repro.testing": 3,
+    "repro.experiments": 4,
+    "repro.cli": 5,
+    "repro.analysis": 5,  # static-analysis side; see STATIC_ANALYSIS_MODULES
+}
+
+#: The static-analysis side of ``repro.analysis`` must be able to lint a
+#: broken tree, so it may import **only** these modules (stdlib aside;
+#: exact names, not prefixes).  ``repro.analysis.invariants``/``runtime``
+#: are exempt (they are the runtime side and carry their own contracts
+#: above).  The package ``__init__`` is listed because importing any
+#: submodule runs it; its own imports are all deferred (PEP 562).
+STATIC_ANALYSIS_MODULES: Tuple[str, ...] = (
+    "repro.analysis",
+    "repro.analysis.callgraph",
+    "repro.analysis.cli",
+    "repro.analysis.config",
+    "repro.analysis.deep",
+    "repro.analysis.floatcheck",
+    "repro.analysis.layers",
+    "repro.analysis.lint",
+    "repro.analysis.project",
+    "repro.analysis.purity",
+    "repro.analysis.rules",
+)

@@ -1,0 +1,341 @@
+"""The deep (whole-program) analysis driver: ``repro-lint --deep``.
+
+The per-module rules of :mod:`repro.analysis.rules` cannot see across
+files.  This driver loads the whole project once
+(:mod:`repro.analysis.project`), builds the import and call graphs
+(:mod:`repro.analysis.callgraph`), runs the interprocedural passes and
+folds their findings into the engine's :class:`~repro.analysis.lint.
+Violation` shape so suppression, rendering and CI treatment stay uniform:
+
+========  ============================================================
+RPR008    dead code: functions unreachable from every liveness root
+RPR009    side effect inside a purity zone (oracles, geometry)
+RPR010    nondeterminism inside a determinism zone (replay surfaces)
+RPR011    raw float comparison on a distance-valued expression
+RPR012    lemma-conformance breach (direction flip, stale table entry)
+RPR013    layering-contract or import-cycle violation
+========  ============================================================
+
+``# repro: noqa(CODE)`` works on the reported line as usual; for RPR009/
+RPR010 a noqa at the *origin* of an effect (the ``hash()`` probe, the
+cache-fill assignment) additionally stops the effect from propagating,
+so one justified suppression covers the whole transitive caller set.
+
+Findings can be ratcheted through a committed baseline file
+(:func:`load_baseline` / :func:`partition_violations`): only findings
+not in the baseline fail the build, and stale entries are reported so
+the file can only shrink.  The call-graph facts cache
+(:func:`load_cached_graph` / :func:`save_graph_cache`) lets CI reuse the
+parse between jobs; modules are keyed by source SHA-256 so a stale cache
+degrades to a cold start, never to wrong results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import config
+from repro.analysis.callgraph import (
+    CallGraph,
+    ImportGraph,
+    build_call_graph,
+    build_import_graph,
+)
+from repro.analysis.floatcheck import (
+    float_comparison_violations,
+    lemma_conformance_violations,
+)
+from repro.analysis.layers import cycle_violations, layer_violations
+from repro.analysis.lint import (
+    ALL_CODES,
+    Violation,
+    _collect_suppressions,
+)
+from repro.analysis.project import Project, load_project
+from repro.analysis.purity import (
+    FunctionEffects,
+    determinism_violations,
+    infer_effects,
+    purity_violations,
+)
+
+__all__ = [
+    "DEEP_RULES",
+    "DeepAnalysis",
+    "analyze_project",
+    "baseline_key",
+    "load_baseline",
+    "load_cached_graph",
+    "partition_violations",
+    "run_deep",
+    "save_baseline",
+    "save_graph_cache",
+]
+
+#: Code -> (name, description), mirroring the shallow rule catalogue.
+DEEP_RULES: Dict[str, Tuple[str, str]] = {
+    "RPR008": (
+        "dead-code",
+        "function unreachable from every entry point, export, dunder, "
+        "framework hook or test reference",
+    ),
+    "RPR009": (
+        "purity-zone-violation",
+        "I/O, global mutation or argument mutation inside a purity zone "
+        "(repro.testing.oracles, repro.geometry)",
+    ),
+    "RPR010": (
+        "determinism-zone-violation",
+        "wall-clock, global RNG, id()/hash(), or set-iteration order "
+        "inside a determinism zone (geometry, core, index, oracles)",
+    ),
+    "RPR011": (
+        "raw-distance-comparison",
+        "ordering/equality on a distance-valued expression bypassing "
+        "repro.geometry.tolerance in a strict-float module",
+    ),
+    "RPR012": (
+        "lemma-conformance",
+        "verifier/heap comparison deviating from its paper lemma "
+        "(direction, operands, required coverage call)",
+    ),
+    "RPR013": (
+        "layering-contract",
+        "top-level import against the declared layer order, into the "
+        "static-analysis zone, or forming a cycle",
+    ),
+}
+
+
+@dataclass
+class DeepAnalysis:
+    """Everything one deep run produced (reused by tests and the CLI)."""
+
+    project: Project
+    graph: CallGraph
+    import_graph: ImportGraph
+    effects: Dict[str, FunctionEffects]
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_deep(
+    roots: Sequence[Path],
+    reference_roots: Sequence[Path] = (),
+    cached: Optional[CallGraph] = None,
+) -> DeepAnalysis:
+    """Load the project from disk and analyze it."""
+    project = load_project(roots, reference_roots)
+    return analyze_project(project, cached=cached)
+
+
+def analyze_project(
+    project: Project, cached: Optional[CallGraph] = None
+) -> DeepAnalysis:
+    """Run every deep pass over an already-loaded project."""
+    graph = build_call_graph(project, cached)
+    import_graph = build_import_graph(project)
+    oracle = _suppression_oracle(project)
+    effects = infer_effects(
+        project, graph, import_graph=import_graph, is_suppressed=oracle
+    )
+    paths = {name: module.path for name, module in project.modules.items()}
+
+    violations: List[Violation] = []
+    for path, message in project.errors:
+        violations.append(Violation(path, 1, 0, "RPR900", f"cannot parse file: {message}"))
+
+    for info in graph.dead():
+        violations.append(
+            Violation(
+                paths[info.module],
+                info.lineno,
+                0,
+                "RPR008",
+                f"`{info.qualname}` is unreachable from every entry point, "
+                "export or test; delete it or add a liveness root "
+                "(repro.analysis.config.ENTRY_POINTS)",
+            )
+        )
+
+    for info, effect, witness in purity_violations(graph, effects):
+        violations.append(
+            Violation(
+                paths[info.module],
+                witness.lineno,
+                0,
+                "RPR009",
+                f"`{info.qualname}` {effect.value} inside a purity zone: "
+                f"{witness.description}",
+            )
+        )
+
+    for info, witness in determinism_violations(graph, effects):
+        violations.append(
+            Violation(
+                paths[info.module],
+                witness.lineno,
+                0,
+                "RPR010",
+                f"`{info.qualname}` is nondeterministic inside a determinism "
+                f"zone: {witness.description}",
+            )
+        )
+
+    for site, message in float_comparison_violations(project):
+        violations.append(
+            Violation(paths[site.module], site.lineno, site.col, "RPR011", message)
+        )
+
+    for module_name, lineno, message in lemma_conformance_violations(project):
+        violations.append(Violation(paths[module_name], lineno, 0, "RPR012", message))
+
+    for record, message in layer_violations(import_graph):
+        violations.append(
+            Violation(paths[record.source], record.lineno, 0, "RPR013", message)
+        )
+    for module_name, message in cycle_violations(import_graph):
+        violations.append(Violation(paths[module_name], 1, 0, "RPR013", message))
+
+    violations = _apply_suppressions(project, violations)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return DeepAnalysis(
+        project=project,
+        graph=graph,
+        import_graph=import_graph,
+        effects=effects,
+        violations=violations,
+    )
+
+
+# ----------------------------------------------------------------------
+# suppression
+# ----------------------------------------------------------------------
+def _suppression_oracle(project: Project) -> Callable[[str, int, str], bool]:
+    """``(module, lineno, code) -> suppressed?`` backed by noqa comments."""
+    cache: Dict[str, Dict[int, Set[str]]] = {}
+
+    def lookup(module: str) -> Dict[int, Set[str]]:
+        table = cache.get(module)
+        if table is None:
+            loaded = project.get(module)
+            table = _collect_suppressions(loaded.lines) if loaded is not None else {}
+            cache[module] = table
+        return table
+
+    def is_suppressed(module: str, lineno: int, code: str) -> bool:
+        codes = lookup(module).get(lineno)
+        if codes is None:
+            return False
+        return codes is ALL_CODES or code in codes
+
+    return is_suppressed
+
+
+def _apply_suppressions(
+    project: Project, violations: List[Violation]
+) -> List[Violation]:
+    by_path: Dict[str, Dict[int, Set[str]]] = {}
+    file_wide: Dict[str, Set[str]] = {}
+    for module in project.modules.values():
+        table = _collect_suppressions(module.lines)
+        by_path[module.path] = table
+        named: Set[str] = set()
+        for codes in table.values():
+            if codes is not ALL_CODES:
+                named.update(codes)
+        file_wide[module.path] = named
+
+    kept: List[Violation] = []
+    for violation in violations:
+        codes = by_path.get(violation.path, {}).get(violation.line)
+        if codes is not None and (codes is ALL_CODES or violation.code in codes):
+            continue
+        # Findings anchored at line 1 are module-scope (stale table
+        # entries, import cycles): a named directive anywhere suppresses.
+        if violation.line == 1 and violation.code in file_wide.get(violation.path, set()):
+            continue
+        kept.append(violation)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# baseline ratchet
+# ----------------------------------------------------------------------
+def baseline_key(violation: Violation) -> str:
+    """Line-number-free identity so unrelated edits do not churn the file."""
+    return f"{violation.path}: {violation.code} {violation.message}"
+
+
+def load_baseline(path: Path) -> List[str]:
+    """Baseline entries (one key per line; blanks and ``#`` comments skipped)."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    entries: List[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            entries.append(stripped)
+    return entries
+
+
+def save_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    lines = [
+        "# repro-lint --deep baseline: known findings that do not fail CI.",
+        "# Regenerate with `repro-lint --deep --update-baseline`; the goal",
+        "# is for this file to stay empty.",
+    ]
+    lines.extend(sorted({baseline_key(v) for v in violations}))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def partition_violations(
+    violations: Sequence[Violation], baseline: Sequence[str]
+) -> Tuple[List[Violation], List[Violation], List[str]]:
+    """Split into (new, baselined) and report stale baseline entries."""
+    known = set(baseline)
+    seen: Set[str] = set()
+    new: List[Violation] = []
+    baselined: List[Violation] = []
+    for violation in violations:
+        key = baseline_key(violation)
+        if key in known:
+            baselined.append(violation)
+            seen.add(key)
+        else:
+            new.append(violation)
+    stale = sorted(known - seen)
+    return new, baselined, stale
+
+
+# ----------------------------------------------------------------------
+# call-graph facts cache
+# ----------------------------------------------------------------------
+def load_cached_graph(path: Path) -> Optional[CallGraph]:
+    """A previously saved facts cache, or None when unusable."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    return CallGraph.facts_from_json(text)
+
+
+def save_graph_cache(path: Path, graph: CallGraph) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(graph.facts_to_json(), encoding="utf-8")
+
+
+def default_reference_roots(base: Path) -> List[Path]:
+    """The liveness reference roots that exist under ``base``."""
+    return [
+        base / name
+        for name in config.LIVENESS_REFERENCE_ROOTS
+        if (base / name).is_dir()
+    ]

@@ -1,0 +1,647 @@
+"""Float-comparison dataflow over distance-valued expressions (deep pass 3).
+
+The SENN/SNNN verifiers are soundness-critical float code: Lemma 3.2
+certifies a candidate with ``Dist(Q, n_i) + delta <= Dist(P, n_k)`` and a
+single flipped comparison silently turns an exact algorithm into an
+approximate one (differential tests catch it eventually; this pass
+catches it at lint time).
+
+Mechanism — per function, a flow-insensitive taint pass marks
+*distance-valued* expressions: calls like ``distance_to``/``mindist``,
+attributes like ``.distance``/``.radius``/``.certain_radius``, parameters
+with distance names, and anything arithmetic built from them.  Every
+ordering/equality comparison with a tainted operand in a strict-float
+module (:data:`repro.analysis.config.STRICT_FLOAT_MODULES`) is a *site*.
+
+Two rules consume the sites:
+
+``RPR011``
+    A site must be tolerance-routed (an operand mentions a tolerance),
+    a sign guard against literal zero, sanctioned by the lemma table,
+    or carry a justified ``# repro: noqa(RPR011)``.
+
+``RPR012``
+    The lemma-conformance check.  :data:`LEMMA_TABLE` pins down every
+    load-bearing comparison in the verifiers, the candidate heap and
+    the EINN pruning rules: its paper lemma, exact operands, and the
+    required direction.  A site whose operands match a table entry but
+    whose operator differs (the classic ``<=`` -> ``<`` soundness flip)
+    is a violation; so is a stale table entry with no matching site, a
+    missing required call (Lemma 3.8's ``covers_disk``), and — inside
+    the self-check scopes — any tainted comparison the table does not
+    cover at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import config
+from repro.analysis.project import Project, ProjectModule
+
+__all__ = [
+    "ComparisonSite",
+    "LEMMA_TABLE",
+    "LemmaEntry",
+    "SELF_CHECK_SCOPES",
+    "collect_comparison_sites",
+    "float_comparison_violations",
+    "lemma_conformance_violations",
+    "lemma_table_lines",
+    "match_lemma_entry",
+]
+
+# ----------------------------------------------------------------------
+# taint vocabulary
+# ----------------------------------------------------------------------
+
+#: Call names whose result is a distance (mirrors RPR001's catalogue).
+_DISTANCE_CALLS: Set[str] = {
+    "distance_to",
+    "squared_distance_to",
+    "distance",
+    "squared_distance",
+    "mindist",
+    "maxdist",
+    "network_distance",
+    "path_length",
+    "hypot",
+    "dist",
+}
+
+#: Attribute names holding distances.
+_DISTANCE_ATTRS: Set[str] = {
+    "distance",
+    "radius",
+    "certain_radius",
+    "known_radius",
+    "lower",
+    "upper",
+    "half_width",
+}
+
+#: Parameter names seeding taint by convention.
+_DISTANCE_PARAMS: Set[str] = {
+    "distance",
+    "dist",
+    "radius",
+    "delta",
+    "separation",
+    "mindist",
+    "maxdist",
+    "lower",
+    "upper",
+    "certain_radius",
+}
+
+#: Calls that forward their arguments' taint.
+_TAINT_FORWARDING_CALLS: Set[str] = {"min", "max", "abs", "sum", "float", "round"}
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _is_tolerance_token(token: str) -> bool:
+    lowered = token.lower()
+    return (
+        lowered in {"tol", "eps", "epsilon"}
+        or "tolerance" in lowered
+        or lowered.endswith("_tol")
+        or lowered.endswith("_eps")
+    )
+
+
+def _mentions_tolerance(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and _is_tolerance_token(sub.id):
+            return True
+        if isinstance(sub, ast.Attribute) and _is_tolerance_token(sub.attr):
+            return True
+    return False
+
+
+def _is_zero_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return isinstance(node, ast.Constant) and node.value in (0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# sites
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ComparisonSite:
+    """One comparison with a distance-valued operand."""
+
+    module: str
+    qualname: str  # enclosing top-level function/method, fully qualified
+    lineno: int
+    col: int
+    op: str  # ast operator class name: "Lt", "LtE", ...
+    left: str  # ast.unparse of the left operand
+    right: str  # ast.unparse of the (joined) comparators
+    tolerance_routed: bool
+    zero_guard: bool
+
+
+def collect_comparison_sites(module: ProjectModule) -> List[ComparisonSite]:
+    """All distance-tainted comparisons in ``module``.
+
+    Comparisons inside nested functions are attributed to the enclosing
+    top-level function (that is where the lemma lives).
+    """
+    sites: List[ComparisonSite] = []
+    for qualname, node in _top_level_functions(module):
+        tainted = _tainted_names(node)
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Compare):
+                continue
+            if not isinstance(sub.ops[0], _COMPARE_OPS):
+                continue
+            operands = [sub.left, *sub.comparators]
+            if not any(_is_distance_expr(op, tainted) for op in operands):
+                continue
+            right = ", ".join(ast.unparse(c) for c in sub.comparators)
+            sites.append(
+                ComparisonSite(
+                    module=module.name,
+                    qualname=qualname,
+                    lineno=sub.lineno,
+                    col=sub.col_offset,
+                    op=type(sub.ops[0]).__name__,
+                    left=ast.unparse(sub.left),
+                    right=right,
+                    tolerance_routed=any(_mentions_tolerance(op) for op in operands),
+                    zero_guard=(
+                        isinstance(sub.ops[0], (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                        and any(_is_zero_literal(op) for op in operands)
+                    ),
+                )
+            )
+    return sites
+
+
+def _top_level_functions(
+    module: ProjectModule,
+) -> Iterator[Tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield f"{module.name}.{node.name}", node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{module.name}.{node.name}.{item.name}", item
+
+
+def _tainted_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> Set[str]:
+    """Names bound to distance-valued expressions anywhere in the function."""
+    tainted: Set[str] = set()
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg in _DISTANCE_PARAMS:
+            tainted.add(arg.arg)
+    # Flow-insensitive: iterate to a fixpoint over assignments.
+    changed = True
+    while changed:
+        changed = False
+        for sub in ast.walk(node):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(sub, ast.Assign):
+                targets, value = list(sub.targets), sub.value
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                targets, value = [sub.target], sub.value
+            elif isinstance(sub, ast.AugAssign):
+                targets, value = [sub.target], sub.value
+            if value is None:
+                continue
+            if _is_distance_expr(value, tainted):
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id not in tainted:
+                        tainted.add(target.id)
+                        changed = True
+            else:
+                # Tuple unpacking from an opaque source (heappop and
+                # friends): element-wise taint is unknowable, so fall
+                # back to the naming convention for the unpacked names.
+                for target in targets:
+                    if not isinstance(target, ast.Tuple):
+                        continue
+                    for element in target.elts:
+                        if (
+                            isinstance(element, ast.Name)
+                            and element.id in _DISTANCE_PARAMS
+                            and element.id not in tainted
+                        ):
+                            tainted.add(element.id)
+                            changed = True
+    return tainted
+
+
+def _is_distance_expr(node: ast.expr, tainted: Set[str]) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in tainted
+    if isinstance(node, ast.Attribute):
+        return node.attr in _DISTANCE_ATTRS or _is_distance_expr(node.value, tainted)
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name in _DISTANCE_CALLS:
+            return True
+        if name in _TAINT_FORWARDING_CALLS:
+            return any(_is_distance_expr(arg, tainted) for arg in node.args)
+        return False
+    if isinstance(node, ast.BinOp):
+        return _is_distance_expr(node.left, tainted) or _is_distance_expr(
+            node.right, tainted
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _is_distance_expr(node.operand, tainted)
+    if isinstance(node, ast.Tuple):
+        return any(_is_distance_expr(element, tainted) for element in node.elts)
+    if isinstance(node, ast.IfExp):
+        return _is_distance_expr(node.body, tainted) or _is_distance_expr(
+            node.orelse, tainted
+        )
+    if isinstance(node, ast.Subscript):
+        return _is_distance_expr(node.value, tainted)
+    return False
+
+
+# ----------------------------------------------------------------------
+# the lemma table
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LemmaEntry:
+    """One sanctioned comparison (or required call) and its justification."""
+
+    qualname: str  # fully qualified enclosing function
+    lemma: str  # paper reference or invariant name
+    op: str = ""  # required ast operator class name (compare entries)
+    left: str = ""  # exact ast.unparse of the left operand
+    right: str = ""  # exact ast.unparse of the comparators
+    requires_call: str = ""  # attribute name that must be called (call entries)
+    rationale: str = ""
+
+    @property
+    def is_call_entry(self) -> bool:
+        return bool(self.requires_call)
+
+    def module_of(self, module_names: Sequence[str]) -> Optional[str]:
+        """The analyzed module containing this entry's function, if any.
+
+        A qualname alone cannot distinguish ``module.func`` from
+        ``module.Class.method``, so the split is resolved against the
+        actual module list (module names are never prefixes of each
+        other here).
+        """
+        for name in module_names:
+            if self.qualname.startswith(name + "."):
+                return name
+        return None
+
+
+#: Every load-bearing float comparison in the verification stack, pinned
+#: to its paper lemma and required direction.  Operand strings are the
+#: exact ``ast.unparse`` of the source expressions — an edit to either
+#: side or to the operator surfaces as an RPR012 finding.
+LEMMA_TABLE: Tuple[LemmaEntry, ...] = (
+    LemmaEntry(
+        qualname="repro.core.verification._verify_single_peer",
+        lemma="Lemma 3.2",
+        op="LtE",
+        left="distance + delta",
+        right="certain_radius",
+        rationale=(
+            "single-peer certification: Dist(Q,n_i) + delta <= Dist(P,n_k); "
+            "the closed inequality is exactly the lemma statement — "
+            "flipping to < drops boundary candidates and breaks exactness, "
+            "widening to a tolerance would certify unsound candidates"
+        ),
+    ),
+    LemmaEntry(
+        qualname="repro.core.verification._verify_multi_peer",
+        lemma="Lemma 3.8",
+        requires_call="covers_disk",
+        rationale=(
+            "multi-peer certification must delegate to the certain-region "
+            "coverage test (union of certain circles covers the candidate "
+            "disk); a hand-rolled comparison here cannot be conservative"
+        ),
+    ),
+    LemmaEntry(
+        qualname="repro.core.heap.CandidateHeap._add",
+        lemma="domain invariant",
+        op="Lt",
+        left="distance",
+        right="0.0",
+        rationale=(
+            "negative distances are logic errors, never rounding artefacts "
+            "of the metric (hypot is non-negative); strict sign guard"
+        ),
+    ),
+    LemmaEntry(
+        qualname="repro.core.heap.CandidateHeap._insert",
+        lemma="Table 1 (Section 3.2.1)",
+        op="Lt",
+        left="entry.distance",
+        right="worst.distance",
+        rationale=(
+            "an uncertain entry displaces the farthest uncertain entry only "
+            "when strictly closer; ties keep the incumbent, which makes "
+            "heap content deterministic under duplicate distances"
+        ),
+    ),
+    LemmaEntry(
+        qualname="repro.index.knn._expand_einn",
+        lemma="Section 3.3, rule 1 (downward pruning)",
+        op="Lt",
+        left="entry.bbox.maxdist(query)",
+        right="bounds.lower",
+        rationale=(
+            "an MBR is skipped only when strictly inside the certain circle "
+            "C_r; at MAXDIST == D_ct a POI may sit exactly on the boundary "
+            "and must still be enumerated (<= would drop it)"
+        ),
+    ),
+    LemmaEntry(
+        qualname="repro.index.knn._expand_einn",
+        lemma="Section 3.3, rule 2 (upward pruning)",
+        op="Gt",
+        left="(mindist, _NODE_TIE)",
+        right="current_kth",
+        rationale=(
+            "an MBR is discarded only when its MINDIST strictly exceeds the "
+            "running k-th cut; the node tie key sorts before every payload "
+            "tie so boundary MBRs are still expanded"
+        ),
+    ),
+    LemmaEntry(
+        qualname="repro.index.knn._expand_einn",
+        lemma="Section 3.3, rule 2 (upward pruning, leaf)",
+        op="LtE",
+        left="(dist, tie)",
+        right="current_kth",
+        rationale=(
+            "a leaf object enters the queue when its (distance, tie) is "
+            "admissible under the current cut; ties at the bound are "
+            "admissible by definition of the cut"
+        ),
+    ),
+    LemmaEntry(
+        qualname="repro.index.knn.k_nearest_einn",
+        lemma="Section 3.3, rule 2 (upward pruning, pop)",
+        op="Gt",
+        left="(dist, tie)",
+        right="kth_cut()",
+        rationale=(
+            "best-first termination: once the queue head strictly exceeds "
+            "the k-th cut nothing better remains (queue is distance-ordered)"
+        ),
+    ),
+    LemmaEntry(
+        qualname="repro.index.knn.k_nearest_depth_first",
+        lemma="branch-and-bound cut (Roussopoulos et al.)",
+        op="Lt",
+        left="key",
+        right="kth_cut()",
+        rationale=(
+            "a leaf entry improves the result set only when strictly below "
+            "the k-th (distance, tie) cut; at equality it is the same "
+            "candidate rank and must not displace"
+        ),
+    ),
+    LemmaEntry(
+        qualname="repro.index.knn.k_nearest_depth_first",
+        lemma="branch-and-bound cut (subtree descent)",
+        op="Lt",
+        left="(entry.bbox.mindist(query), _NODE_TIE)",
+        right="kth_cut()",
+        rationale=(
+            "a subtree is visited when its MINDIST paired with the node tie "
+            "is strictly below the cut; the node tie sorts first so an MBR "
+            "touching the k-th distance can still contribute a better tie"
+        ),
+    ),
+    LemmaEntry(
+        qualname="repro.index.knn._insert_sorted",
+        lemma="result-order invariant",
+        op="Gt",
+        left="(results[index - 1].distance, poi_tie_key(results[index - 1].payload))",
+        right="item_key",
+        rationale=(
+            "insertion scans left while the predecessor strictly exceeds "
+            "the new key, keeping equal keys in insertion order (stable)"
+        ),
+    ),
+    LemmaEntry(
+        qualname="repro.core.range_queries._cache_covers_disk",
+        lemma="Lemma 3.2 analogue (range)",
+        op="Lt",
+        left="separation + target.radius",
+        right="circle.radius",
+        rationale=(
+            "a kNN cache proves only the open certain disk: an uncached POI "
+            "may tie exactly at Dist(P,n_k), so containment must be strict "
+            "(found by repro-difftest on a zero-radius 1-NN cache)"
+        ),
+    ),
+    LemmaEntry(
+        qualname="repro.core.range_queries._answer_from_caches",
+        lemma="range semantics",
+        op="LtE",
+        left="distance",
+        right="radius",
+        rationale=(
+            "the query asks for the closed disk; candidates at exactly the "
+            "query radius are members of the answer"
+        ),
+    ),
+)
+
+#: Scopes in which *every* distance-tainted comparison must be matched by
+#: a :data:`LEMMA_TABLE` entry — the soundness-critical verifier surface.
+#: A prefix of the site qualname (``CandidateHeap`` covers every method).
+SELF_CHECK_SCOPES: Tuple[str, ...] = (
+    "repro.core.verification._verify_single_peer",
+    "repro.core.verification._verify_multi_peer",
+    "repro.core.heap.CandidateHeap",
+)
+
+
+def match_lemma_entry(site: ComparisonSite) -> Optional[LemmaEntry]:
+    """The table entry whose scope and operands match ``site``, if any.
+
+    Matching deliberately ignores the operator: a direction flip must
+    still *match* so RPR012 can report the mismatch instead of RPR011
+    reporting an unknown comparison.
+    """
+    for entry in LEMMA_TABLE:
+        if entry.is_call_entry:
+            continue
+        if (
+            entry.qualname == site.qualname
+            and entry.left == site.left
+            and entry.right == site.right
+        ):
+            return entry
+    return None
+
+
+def _in_self_check_scope(qualname: str) -> bool:
+    return any(
+        qualname == scope or qualname.startswith(scope + ".")
+        for scope in SELF_CHECK_SCOPES
+    )
+
+
+# ----------------------------------------------------------------------
+# rule front ends
+# ----------------------------------------------------------------------
+def _strict_modules(project: Project) -> Iterator[ProjectModule]:
+    for name in config.STRICT_FLOAT_MODULES:
+        module = project.modules.get(name)
+        if module is not None:
+            yield module
+
+
+def float_comparison_violations(
+    project: Project,
+) -> Iterator[Tuple[ComparisonSite, str]]:
+    """RPR011: raw distance comparisons bypassing the tolerance layer."""
+    for module in _strict_modules(project):
+        for site in collect_comparison_sites(module):
+            if site.tolerance_routed or site.zero_guard:
+                continue
+            entry = match_lemma_entry(site)
+            if entry is not None and entry.op == site.op:
+                continue
+            if entry is not None:
+                # Direction mismatch is RPR012's finding; avoid double
+                # reporting the same line.
+                continue
+            yield (
+                site,
+                f"raw `{_op_symbol(site.op)}` on distance-valued expression "
+                f"`{site.left} {_op_symbol(site.op)} {site.right}`; route it "
+                "through repro.geometry.tolerance, add a LEMMA_TABLE entry, "
+                "or justify with `# repro: noqa(RPR011)`",
+            )
+
+
+def lemma_conformance_violations(
+    project: Project,
+) -> Iterator[Tuple[str, int, str]]:
+    """RPR012: (module_name, lineno, message) per conformance breach."""
+    sites_by_module: Dict[str, List[ComparisonSite]] = {}
+    for module in _strict_modules(project):
+        sites_by_module[module.name] = collect_comparison_sites(module)
+
+    matched_entries: Set[LemmaEntry] = set()
+    for sites in sites_by_module.values():
+        for site in sites:
+            entry = match_lemma_entry(site)
+            if entry is None:
+                if _in_self_check_scope(site.qualname):
+                    yield (
+                        site.module,
+                        site.lineno,
+                        f"comparison `{site.left} {_op_symbol(site.op)} "
+                        f"{site.right}` in {site.qualname} is not covered by "
+                        "the lemma table; every verifier/heap comparison "
+                        "must cite its lemma (repro.analysis.floatcheck."
+                        "LEMMA_TABLE)",
+                    )
+                continue
+            matched_entries.add(entry)
+            if entry.op != site.op:
+                yield (
+                    site.module,
+                    site.lineno,
+                    f"comparison direction violates {entry.lemma}: "
+                    f"`{site.left} {_op_symbol(site.op)} {site.right}` but "
+                    f"the lemma requires `{_op_symbol(entry.op)}` "
+                    f"({entry.rationale})",
+                )
+
+    module_names = list(sites_by_module)
+    for entry in LEMMA_TABLE:
+        entry_module = entry.module_of(module_names)
+        if entry_module is None:
+            continue  # module not analyzed in this (partial) run
+        if entry.is_call_entry:
+            if not _function_calls(project, entry.qualname, entry.requires_call):
+                yield (
+                    entry_module,
+                    1,
+                    f"{entry.qualname} no longer calls "
+                    f"`{entry.requires_call}` required by {entry.lemma} "
+                    f"({entry.rationale})",
+                )
+        elif entry not in matched_entries:
+            yield (
+                entry_module,
+                1,
+                f"stale lemma table entry: no comparison "
+                f"`{entry.left} ... {entry.right}` found in "
+                f"{entry.qualname}; update LEMMA_TABLE alongside the code",
+            )
+
+
+def _function_calls(project: Project, qualname: str, call_name: str) -> bool:
+    """Does the named function contain a call to ``call_name``?"""
+    module_name, func = qualname.rsplit(".", 1)
+    module = project.modules.get(module_name)
+    if module is None:
+        # Method qualname: module.Class.method
+        module_name, cls = module_name.rsplit(".", 1)
+        module = project.modules.get(module_name)
+        if module is None:
+            return False
+        func = f"{cls}.{func}"
+    for fn_qualname, node in _top_level_functions(module):
+        if fn_qualname != f"{module_name}.{func}":
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                target = sub.func
+                name = target.attr if isinstance(target, ast.Attribute) else (
+                    target.id if isinstance(target, ast.Name) else ""
+                )
+                if name == call_name:
+                    return True
+    return False
+
+
+_OP_SYMBOLS: Dict[str, str] = {
+    "Lt": "<",
+    "LtE": "<=",
+    "Gt": ">",
+    "GtE": ">=",
+    "Eq": "==",
+    "NotEq": "!=",
+}
+
+
+def _op_symbol(op: str) -> str:
+    return _OP_SYMBOLS.get(op, op)
+
+
+def lemma_table_lines() -> List[str]:
+    """The table rendered for ``--explain`` output and the docs."""
+    lines: List[str] = []
+    for entry in LEMMA_TABLE:
+        if entry.is_call_entry:
+            lines.append(
+                f"{entry.qualname}: must call `{entry.requires_call}` "
+                f"[{entry.lemma}]"
+            )
+        else:
+            lines.append(
+                f"{entry.qualname}: `{entry.left} {_op_symbol(entry.op)} "
+                f"{entry.right}` [{entry.lemma}]"
+            )
+    return lines

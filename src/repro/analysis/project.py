@@ -1,0 +1,174 @@
+"""Whole-program view of the ``repro`` source tree.
+
+The deep analysis passes (:mod:`repro.analysis.callgraph`,
+:mod:`repro.analysis.purity`, :mod:`repro.analysis.floatcheck`,
+:mod:`repro.analysis.layers`) all need the same raw material: every
+module of the project parsed once, keyed by dotted module name.  This
+module provides that loader and nothing else, so the passes stay
+decoupled from file-system layout.
+
+A :class:`Project` can be built from directories (the normal case) or
+from in-memory sources (used by the fault-injection regression tests,
+which re-run the passes over a mutated copy of a single module).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.lint import _module_name
+
+__all__ = ["Project", "ProjectModule", "load_project", "project_from_sources"]
+
+
+@dataclass
+class ProjectModule:
+    """One parsed module of the project."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def package(self) -> str:
+        """The containing package (``repro.core`` for ``repro.core.heap``)."""
+        if self.is_package:
+            return self.name
+        return self.name.rsplit(".", 1)[0] if "." in self.name else self.name
+
+    @property
+    def is_package(self) -> bool:
+        return Path(self.path).stem == "__init__"
+
+
+@dataclass
+class Project:
+    """All parsed modules, keyed by dotted name.
+
+    ``modules`` holds the analyzed project proper (normally ``src/repro``);
+    ``reference_modules`` holds read-only liveness roots (tests, benchmarks,
+    examples) whose *references* count but whose definitions are not
+    themselves analyzed for dead code or contracts.
+    """
+
+    modules: Dict[str, ProjectModule] = field(default_factory=dict)
+    reference_modules: Dict[str, ProjectModule] = field(default_factory=dict)
+    #: Files that could not be parsed: (path, message).
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    def all_modules(self) -> Iterator[ProjectModule]:
+        yield from self.modules.values()
+        yield from self.reference_modules.values()
+
+    def get(self, name: str) -> Optional[ProjectModule]:
+        module = self.modules.get(name)
+        if module is None:
+            module = self.reference_modules.get(name)
+        return module
+
+    def resolve_import(self, name: str) -> Optional[str]:
+        """Map an imported dotted name onto a project module, if any.
+
+        ``repro.core.heap`` resolves to itself; ``repro.core.heap.Foo``
+        resolves to ``repro.core.heap``; ``repro.core`` resolves to the
+        package ``__init__``.
+        """
+        candidate = name
+        while candidate:
+            if candidate in self.modules or candidate in self.reference_modules:
+                return candidate
+            if "." not in candidate:
+                return None
+            candidate = candidate.rsplit(".", 1)[0]
+        return None
+
+    def replace_source(self, name: str, source: str) -> "Project":
+        """A copy of the project with one module's source swapped out.
+
+        Used by regression tests to verify that a seeded mutation is
+        caught statically; raises ``KeyError`` for unknown modules and
+        propagates ``SyntaxError`` for broken replacements.
+        """
+        module = self.modules[name]
+        tree = ast.parse(source, filename=module.path)
+        replacement = ProjectModule(name=name, path=module.path, source=source, tree=tree)
+        modules = dict(self.modules)
+        modules[name] = replacement
+        return Project(
+            modules=modules,
+            reference_modules=dict(self.reference_modules),
+            errors=list(self.errors),
+        )
+
+
+def load_project(
+    roots: Sequence[Path],
+    reference_roots: Sequence[Path] = (),
+) -> Project:
+    """Parse every ``*.py`` under ``roots`` (and ``reference_roots``)."""
+    project = Project()
+    _load_into(project.modules, roots, project.errors)
+    _load_into(project.reference_modules, reference_roots, project.errors)
+    # A module present in both views is analyzed, not merely referenced.
+    for name in list(project.reference_modules):
+        if name in project.modules:
+            del project.reference_modules[name]
+    return project
+
+
+def project_from_sources(sources: Mapping[str, str]) -> Project:
+    """Build a project from ``{dotted_name: source}`` (tests/fixtures)."""
+    project = Project()
+    for name, source in sources.items():
+        path = name.replace(".", "/") + ".py"
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            project.errors.append((path, str(exc)))
+            continue
+        project.modules[name] = ProjectModule(
+            name=name, path=path, source=source, tree=tree
+        )
+    return project
+
+
+def _load_into(
+    target: Dict[str, ProjectModule],
+    roots: Sequence[Path],
+    errors: List[Tuple[str, str]],
+) -> None:
+    for root in roots:
+        if root.is_file():
+            files: Tuple[Path, ...] = (root,)
+        else:
+            files = tuple(sorted(root.rglob("*.py")))
+        for file_path in files:
+            if _skip(file_path):
+                continue
+            try:
+                source = file_path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(file_path))
+            except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+                errors.append((str(file_path), str(exc)))
+                continue
+            name = _module_name(str(file_path))
+            target[name] = ProjectModule(
+                name=name, path=str(file_path), source=source, tree=tree
+            )
+
+
+def _skip(path: Path) -> bool:
+    parts = set(path.parts)
+    return bool(
+        parts & {"__pycache__", ".git", "build", "dist"}
+        or any(part.endswith(".egg-info") for part in path.parts)
+    )

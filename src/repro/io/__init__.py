@@ -8,16 +8,17 @@ re-running the generators.
 - :mod:`repro.io.networks` -- road-network save/load;
 - :mod:`repro.io.pois` -- POI-set save/load;
 - :mod:`repro.io.figures` -- FigureResult save/load plus CSV export.
+
+The figure helpers are resolved lazily (PEP 562): :mod:`repro.io.
+figures` deserializes ``experiments.runner.FigureResult`` and therefore
+sits one layer above the rest of the package, so importing it eagerly
+here would pull the experiment layer into every ``import repro.io``.
 """
 
-from repro.io.figures import (
-    figure_from_dict,
-    figure_to_csv_rows,
-    figure_to_dict,
-    load_figure,
-    save_figure,
-    write_figure_csv,
-)
+from __future__ import annotations
+
+from typing import List
+
 from repro.io.networks import (
     load_network,
     network_from_dict,
@@ -42,3 +43,24 @@ __all__ = [
     "save_pois",
     "write_figure_csv",
 ]
+
+_FIGURE_EXPORTS = {
+    "figure_from_dict",
+    "figure_to_csv_rows",
+    "figure_to_dict",
+    "load_figure",
+    "save_figure",
+    "write_figure_csv",
+}
+
+
+def __getattr__(name: str) -> object:
+    if name in _FIGURE_EXPORTS:
+        from repro.io import figures
+
+        return getattr(figures, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> List[str]:
+    return sorted(__all__)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TextIO
 
 from repro.testing.difftest import (
     DiffReport,
@@ -83,7 +83,7 @@ def run_difftest(
     start: int = 0,
     shrink: bool = True,
     max_failures: int = 5,
-    out=None,
+    out: Optional[TextIO] = None,
     quiet: bool = False,
 ) -> DiffReport:
     """Run ``budget`` scenarios; shrink and report failures as they appear."""

@@ -58,7 +58,7 @@ from repro.core.verification import (
     verify_multi_peer,
     verify_single_peer,
 )
-from repro.testing import oracles
+import repro.testing.oracles as oracles
 from repro.testing.scenarios import Scenario, encode_scenario
 
 __all__ = [
@@ -104,6 +104,7 @@ class DiffReport:
     failures: List[Tuple[int, Scenario, List[CheckFailure]]] = field(
         default_factory=list
     )
+    log: str = ""
 
     @property
     def ok(self) -> bool:
@@ -619,7 +620,7 @@ def _shrink_candidates(scenario: Scenario) -> List[Scenario]:
     """Strictly-simpler variants, most aggressive first."""
     out: List[Scenario] = []
 
-    def attempt(**changes) -> None:
+    def attempt(**changes: object) -> None:
         try:
             out.append(replace(scenario, **changes))
         except ValueError:

@@ -15,8 +15,12 @@ included), so the smoke test stays a one-liner.
 from __future__ import annotations
 
 import io
+from typing import TYPE_CHECKING
 
 import pytest
+
+if TYPE_CHECKING:
+    from repro.testing.difftest import DiffReport
 
 __all__ = [
     "difftest_budget",
@@ -53,7 +57,7 @@ def difftest_seed(request: pytest.FixtureRequest) -> int:
 
 
 @pytest.fixture(scope="session")
-def difftest_report(difftest_budget: int, difftest_seed: int):
+def difftest_report(difftest_budget: int, difftest_seed: int) -> "DiffReport":
     """Run the configured budget once and yield the report."""
     if difftest_budget <= 0:
         pytest.skip("differential smoke test disabled (--difftest-budget 0)")
@@ -63,5 +67,5 @@ def difftest_report(difftest_budget: int, difftest_seed: int):
     report = run_difftest(
         budget=difftest_budget, seed=difftest_seed, out=out, quiet=True
     )
-    report.log = out.getvalue()  # type: ignore[attr-defined]
+    report.log = out.getvalue()
     return report

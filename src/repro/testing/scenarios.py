@@ -27,7 +27,7 @@ from __future__ import annotations
 import random
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "PeerSpec",
@@ -231,7 +231,9 @@ class ScenarioGen:
         }
 
     @staticmethod
-    def _peers(rng: random.Random, count: int, coord) -> Tuple[PeerSpec, ...]:
+    def _peers(
+        rng: random.Random, count: int, coord: Callable[[random.Random], float]
+    ) -> Tuple[PeerSpec, ...]:
         return tuple(
             PeerSpec(coord(rng), coord(rng), rng.randint(0, 6)) for _ in range(count)
         )

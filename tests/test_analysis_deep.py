@@ -1,0 +1,706 @@
+"""Acceptance tests for ``repro-lint --deep`` (rules RPR008-RPR013).
+
+Two layers of coverage:
+
+- fixture projects built with ``project_from_sources`` exercise each
+  pass in isolation (positive and negative cases per rule);
+- the real tree is analyzed once per module and must be clean at HEAD,
+  and seeded soundness mutations (the Lemma 3.2 ``<=`` -> ``<`` flip,
+  dropping the Lemma 3.8 ``covers_disk`` call) must surface as RPR012
+  findings *statically* -- no test execution of the mutated code.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import deep
+from repro.analysis.callgraph import build_call_graph, build_import_graph
+from repro.analysis.floatcheck import (
+    LEMMA_TABLE,
+    SELF_CHECK_SCOPES,
+    collect_comparison_sites,
+    float_comparison_violations,
+    lemma_conformance_violations,
+    lemma_table_lines,
+)
+from repro.analysis.layers import cycle_violations, layer_violations
+from repro.analysis.lint import Violation
+from repro.analysis.project import project_from_sources
+from repro.analysis.purity import (
+    Effect,
+    determinism_violations,
+    infer_effects,
+    purity_violations,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def head_analysis():
+    """One full deep run over the real tree, shared by this module."""
+    return deep.run_deep([SRC_ROOT], deep.default_reference_roots(REPO_ROOT))
+
+
+def violations_of(analysis, code):
+    return [v for v in analysis.violations if v.code == code]
+
+
+# ----------------------------------------------------------------------
+# RPR008: dead code
+# ----------------------------------------------------------------------
+DEAD_CODE_SOURCES = {
+    "repro.core.alpha": (
+        '__all__ = ["used"]\n'
+        "\n"
+        "\n"
+        "def helper():\n"
+        "    return 1\n"
+        "\n"
+        "\n"
+        "def used():\n"
+        "    return helper()\n"
+        "\n"
+        "\n"
+        "def abandoned():\n"
+        "    return 2\n"
+    ),
+}
+
+
+class TestDeadCode:
+    def test_unreferenced_function_is_flagged(self):
+        analysis = deep.analyze_project(project_from_sources(DEAD_CODE_SOURCES))
+        flagged = violations_of(analysis, "RPR008")
+        assert len(flagged) == 1
+        assert "`repro.core.alpha.abandoned`" in flagged[0].message
+
+    def test_transitive_callee_of_export_is_live(self):
+        analysis = deep.analyze_project(project_from_sources(DEAD_CODE_SOURCES))
+        messages = " ".join(v.message for v in violations_of(analysis, "RPR008"))
+        assert "helper" not in messages
+        assert "used" not in messages
+
+    def test_head_dead_code_report_is_empty(self, head_analysis):
+        assert list(head_analysis.graph.dead()) == []
+
+
+# ----------------------------------------------------------------------
+# RPR009: purity zones
+# ----------------------------------------------------------------------
+class TestPurityZones:
+    def test_argument_mutation_in_oracle_zone(self):
+        project = project_from_sources(
+            {
+                "repro.testing.oracles": (
+                    "def sneaky(items):\n"
+                    "    items.append(1)\n"
+                    "    return items\n"
+                )
+            }
+        )
+        analysis = deep.analyze_project(project)
+        flagged = violations_of(analysis, "RPR009")
+        assert len(flagged) == 1
+        assert "sneaky" in flagged[0].message
+        assert flagged[0].line == 2
+
+    def test_mutation_reaches_zone_through_call_chain(self):
+        project = project_from_sources(
+            {
+                "repro.testing.oracles": (
+                    "def outer(acc):\n"
+                    "    fill(acc)\n"
+                    "\n"
+                    "\n"
+                    "def fill(acc):\n"
+                    "    acc.append(1)\n"
+                )
+            }
+        )
+        analysis = deep.analyze_project(project)
+        assert {"outer", "fill"} <= {
+            v.message.split("`")[1].rsplit(".", 1)[-1]
+            for v in violations_of(analysis, "RPR009")
+        }
+
+    def test_geometry_self_mutation_is_allowed(self):
+        project = project_from_sources(
+            {
+                "repro.geometry.builder": (
+                    "class RegionBuilder:\n"
+                    "    def __init__(self):\n"
+                    "        self.circles = []\n"
+                    "\n"
+                    "    def add_circle(self, circle):\n"
+                    "        self.circles.append(circle)\n"
+                    "        return self\n"
+                )
+            }
+        )
+        analysis = deep.analyze_project(project)
+        assert violations_of(analysis, "RPR009") == []
+
+    def test_local_mutation_is_not_an_effect(self):
+        project = project_from_sources(
+            {
+                "repro.testing.oracles": (
+                    "def collect(count):\n"
+                    "    out = []\n"
+                    "    for i in range(count):\n"
+                    "        out.append(i)\n"
+                    "    return out\n"
+                )
+            }
+        )
+        analysis = deep.analyze_project(project)
+        assert violations_of(analysis, "RPR009") == []
+
+    def test_origin_noqa_kills_propagated_chain(self):
+        project = project_from_sources(
+            {
+                "repro.testing.oracles": (
+                    "def outer(acc):\n"
+                    "    fill(acc)\n"
+                    "\n"
+                    "\n"
+                    "def fill(acc):\n"
+                    "    acc.append(1)  # repro: noqa(RPR009)\n"
+                )
+            }
+        )
+        analysis = deep.analyze_project(project)
+        assert violations_of(analysis, "RPR009") == []
+
+
+# ----------------------------------------------------------------------
+# RPR010: determinism zones
+# ----------------------------------------------------------------------
+class TestDeterminismZones:
+    def test_wall_clock_read_and_propagation(self):
+        project = project_from_sources(
+            {
+                "repro.core.clockwork": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                    "\n"
+                    "\n"
+                    "def caller():\n"
+                    "    return stamp()\n"
+                )
+            }
+        )
+        analysis = deep.analyze_project(project)
+        flagged = violations_of(analysis, "RPR010")
+        assert {"stamp", "caller"} <= {
+            v.message.split("`")[1].rsplit(".", 1)[-1] for v in flagged
+        }
+        chained = next(v for v in flagged if "caller" in v.message)
+        assert "calls repro.core.clockwork.stamp" in chained.message
+
+    def test_set_iteration_is_nondeterministic(self):
+        project = project_from_sources(
+            {
+                "repro.core.setwalk": (
+                    "def drain(pending):\n"
+                    "    bag = {1, 2, 3}\n"
+                    "    return [item for item in bag]\n"
+                )
+            }
+        )
+        analysis = deep.analyze_project(project)
+        flagged = violations_of(analysis, "RPR010")
+        assert len(flagged) == 1
+        assert "hash order" in flagged[0].message
+
+    def test_sorted_set_is_deterministic(self):
+        project = project_from_sources(
+            {
+                "repro.core.setwalk": (
+                    "def drain():\n"
+                    "    bag = {1, 2, 3}\n"
+                    "    return sorted(bag)\n"
+                )
+            }
+        )
+        analysis = deep.analyze_project(project)
+        assert violations_of(analysis, "RPR010") == []
+
+    def test_origin_noqa_kills_propagated_chain(self):
+        project = project_from_sources(
+            {
+                "repro.core.clockwork": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def stamp():\n"
+                    "    return time.time()  # repro: noqa(RPR010)\n"
+                    "\n"
+                    "\n"
+                    "def caller():\n"
+                    "    return stamp()\n"
+                )
+            }
+        )
+        analysis = deep.analyze_project(project)
+        assert violations_of(analysis, "RPR010") == []
+
+    def test_outside_zone_is_not_reported(self):
+        project = project_from_sources(
+            {
+                "repro.experiments.timing": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                )
+            }
+        )
+        analysis = deep.analyze_project(project)
+        assert violations_of(analysis, "RPR010") == []
+
+
+# ----------------------------------------------------------------------
+# RPR011: float-comparison dataflow
+# ----------------------------------------------------------------------
+class TestFloatComparisons:
+    # ``repro.core.bounds`` is in STRICT_FLOAT_MODULES and carries no
+    # lemma-table entries, so it makes a clean fixture namespace.
+    def fixture(self, body):
+        return project_from_sources({"repro.core.bounds": body})
+
+    def test_raw_comparison_is_flagged(self):
+        project = self.fixture(
+            "def check(distance, limit):\n"
+            "    return distance < limit\n"
+        )
+        found = list(float_comparison_violations(project))
+        assert len(found) == 1
+        site, message = found[0]
+        assert site.lineno == 2
+        assert "raw `<`" in message
+
+    def test_tolerance_routed_comparison_is_exempt(self):
+        project = self.fixture(
+            "def check(distance, limit, tol):\n"
+            "    return distance <= limit + tol\n"
+        )
+        assert list(float_comparison_violations(project)) == []
+
+    def test_zero_sign_guard_is_exempt(self):
+        project = self.fixture(
+            "def check(distance):\n"
+            "    return distance > 0.0\n"
+        )
+        assert list(float_comparison_violations(project)) == []
+
+    def test_equality_against_zero_is_not_a_sign_guard(self):
+        project = self.fixture(
+            "def check(distance):\n"
+            "    return distance == 0.0\n"
+        )
+        assert len(list(float_comparison_violations(project))) == 1
+
+    def test_taint_flows_through_assignment(self):
+        project = self.fixture(
+            "def check(query, poi, limit):\n"
+            "    gap = query.distance_to(poi)\n"
+            "    doubled = gap * 2.0\n"
+            "    return doubled < limit\n"
+        )
+        found = list(float_comparison_violations(project))
+        assert len(found) == 1
+        assert found[0][0].lineno == 4
+
+    def test_untainted_comparison_is_ignored(self):
+        project = self.fixture(
+            "def check(count, limit):\n"
+            "    return count < limit\n"
+        )
+        assert list(float_comparison_violations(project)) == []
+
+    def test_noqa_suppresses_through_the_driver(self):
+        project = self.fixture(
+            "def check(distance, limit):\n"
+            "    return distance < limit  # repro: noqa(RPR011)\n"
+        )
+        analysis = deep.analyze_project(project)
+        assert violations_of(analysis, "RPR011") == []
+
+    def test_head_tree_is_clean(self, head_analysis):
+        assert violations_of(head_analysis, "RPR011") == []
+
+
+# ----------------------------------------------------------------------
+# RPR012: lemma conformance
+# ----------------------------------------------------------------------
+class TestLemmaConformance:
+    def test_head_tree_conforms(self, head_analysis):
+        assert list(lemma_conformance_violations(head_analysis.project)) == []
+
+    def test_self_check_scopes_are_not_vacuous(self, head_analysis):
+        """Taint rot would silently hollow out the self-check; guard it.
+
+        Each scope must be pinned by real evidence: collected comparison
+        sites, or (for the multi-peer verifier, which certifies through
+        a delegated call instead of a comparison) a call entry in the
+        lemma table.
+        """
+        sites = []
+        for module in head_analysis.project.modules.values():
+            sites.extend(collect_comparison_sites(module))
+        for scope in SELF_CHECK_SCOPES:
+            has_site = any(
+                site.qualname == scope or site.qualname.startswith(scope + ".")
+                for site in sites
+            )
+            has_call_entry = any(
+                entry.is_call_entry and entry.qualname == scope
+                for entry in LEMMA_TABLE
+            )
+            assert has_site or has_call_entry, f"nothing pins {scope}"
+
+    def test_lemma_32_direction_flip_is_caught_statically(self, head_analysis):
+        """The acceptance mutation: ``<=`` -> ``<`` in _verify_single_peer."""
+        source = head_analysis.project.get("repro.core.verification").source
+        assert "distance + delta <= certain_radius" in source
+        mutated = head_analysis.project.replace_source(
+            "repro.core.verification",
+            source.replace(
+                "distance + delta <= certain_radius",
+                "distance + delta < certain_radius",
+            ),
+        )
+        findings = [
+            message
+            for _, _, message in lemma_conformance_violations(mutated)
+            if "Lemma 3.2" in message
+        ]
+        assert len(findings) == 1
+        assert "direction violates" in findings[0]
+        assert "requires `<=`" in findings[0]
+
+    def test_direction_flip_surfaces_through_full_driver(self, head_analysis):
+        source = head_analysis.project.get("repro.core.verification").source
+        mutated = head_analysis.project.replace_source(
+            "repro.core.verification",
+            source.replace(
+                "distance + delta <= certain_radius",
+                "distance + delta < certain_radius",
+            ),
+        )
+        analysis = deep.analyze_project(mutated, cached=head_analysis.graph)
+        flagged = violations_of(analysis, "RPR012")
+        assert any("Lemma 3.2" in v.message for v in flagged)
+        # The flip must not double-report as a raw comparison.
+        assert violations_of(analysis, "RPR011") == []
+
+    def test_dropping_covers_disk_is_caught(self, head_analysis):
+        source = head_analysis.project.get("repro.core.verification").source
+        assert "region.covers_disk(target)" in source
+        mutated = head_analysis.project.replace_source(
+            "repro.core.verification",
+            source.replace("region.covers_disk(target)", "True"),
+        )
+        findings = [
+            message
+            for _, _, message in lemma_conformance_violations(mutated)
+            if "covers_disk" in message
+        ]
+        assert len(findings) == 1
+        assert "Lemma 3.8" in findings[0]
+
+    def test_deleting_a_pinned_comparison_reports_stale_entry(self, head_analysis):
+        source = head_analysis.project.get("repro.core.heap").source
+        mutated = head_analysis.project.replace_source(
+            "repro.core.heap",
+            source.replace(
+                "entry.distance < worst.distance", "bool(entry.distance)"
+            ),
+        )
+        findings = [
+            message
+            for _, _, message in lemma_conformance_violations(mutated)
+            if "stale lemma table entry" in message
+        ]
+        assert len(findings) == 1
+        assert "CandidateHeap._insert" in findings[0]
+
+    def test_uncovered_comparison_in_scope_is_reported(self, head_analysis):
+        source = head_analysis.project.get("repro.core.heap").source
+        mutated = head_analysis.project.replace_source(
+            "repro.core.heap",
+            source.replace(
+                "entry.distance < worst.distance",
+                "entry.distance < worst.distance + 1e-12",
+            ),
+        )
+        findings = [
+            message
+            for _, _, message in lemma_conformance_violations(mutated)
+            if "not covered by the lemma table" in message
+        ]
+        assert len(findings) == 1
+
+    def test_table_and_rendering_cover_both_entry_kinds(self):
+        lines = lemma_table_lines()
+        assert len(lines) == len(LEMMA_TABLE)
+        assert any("must call `covers_disk`" in line for line in lines)
+        assert any("Lemma 3.2" in line for line in lines)
+
+
+# ----------------------------------------------------------------------
+# RPR013: layering contracts
+# ----------------------------------------------------------------------
+class TestLayering:
+    def test_upward_import_is_flagged_once_per_line(self):
+        project = project_from_sources(
+            {
+                "repro.geometry.gadget": (
+                    "from repro.core.heap import alpha, beta, gamma\n"
+                ),
+                "repro.core.heap": "alpha = beta = gamma = 1\n",
+            }
+        )
+        found = list(layer_violations(build_import_graph(project)))
+        assert len(found) == 1
+        record, message = found[0]
+        assert record.source == "repro.geometry.gadget"
+        assert "layer" in message
+
+    def test_deferred_import_is_sanctioned(self):
+        project = project_from_sources(
+            {
+                "repro.geometry.gadget": (
+                    "def lazy():\n"
+                    "    from repro.core.heap import alpha\n"
+                    "    return alpha\n"
+                ),
+                "repro.core.heap": "alpha = 1\n",
+            }
+        )
+        assert list(layer_violations(build_import_graph(project))) == []
+
+    def test_static_analysis_zone_may_not_import_product_code(self):
+        project = project_from_sources(
+            {
+                "repro.analysis.callgraph": "import repro.core.heap\n",
+                "repro.core.heap": "alpha = 1\n",
+            }
+        )
+        found = list(layer_violations(build_import_graph(project)))
+        assert len(found) == 1
+        assert "must run on broken trees" in found[0][1]
+
+    def test_top_level_cycle_is_reported(self):
+        project = project_from_sources(
+            {
+                "repro.core.ping": "import repro.core.pong\n",
+                "repro.core.pong": "import repro.core.ping\n",
+            }
+        )
+        found = list(cycle_violations(build_import_graph(project)))
+        assert len(found) == 1
+        assert "import cycle" in found[0][1]
+
+    def test_head_tree_has_no_layer_violations(self, head_analysis):
+        assert violations_of(head_analysis, "RPR013") == []
+
+    def test_importing_repro_io_does_not_load_experiments(self):
+        """The lazy figures export keeps repro.io at its declared layer."""
+        code = (
+            "import sys\n"
+            "import repro.io\n"
+            "assert 'repro.experiments' not in sys.modules\n"
+            "from repro.io import save_figure\n"
+            "assert callable(save_figure)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+# ----------------------------------------------------------------------
+# effects engine details (unit level)
+# ----------------------------------------------------------------------
+class TestEffectInference:
+    def effects_for(self, sources):
+        project = project_from_sources(sources)
+        graph = build_call_graph(project)
+        return infer_effects(
+            project, graph, import_graph=build_import_graph(project)
+        )
+
+    def test_mutation_propagates_only_through_mutated_parameter(self):
+        effects = self.effects_for(
+            {
+                "repro.testing.oracles": (
+                    "def probe(region, point):\n"
+                    "    return region.classify(point)\n"
+                    "\n"
+                    "\n"
+                    "class Region:\n"
+                    "    def classify(self, point):\n"
+                    "        self.cache = {}\n"
+                    "        return point\n"
+                )
+            }
+        )
+        probe = effects["repro.testing.oracles.probe"]
+        assert probe.has(Effect.MUTATES_ARG)
+        # Only the receiver is tainted: ``point`` lands on an unmutated
+        # parameter of ``classify``.
+        assert probe.mutated_params == {"region"}
+
+    def test_name_match_requires_import_reachability(self):
+        effects = self.effects_for(
+            {
+                # Same method name as the mutator below, but the module
+                # never imports it, so the call cannot dispatch there.
+                "repro.geometry.shapes": (
+                    "def collect(result, value):\n"
+                    "    result.add(value)\n"
+                    "    return result\n"
+                ),
+                "repro.core.heap": (
+                    "class CandidateHeap:\n"
+                    "    def add(self, entry):\n"
+                    "        self.entries += [entry]\n"
+                ),
+            }
+        )
+        collect = effects["repro.geometry.shapes.collect"]
+        # ``result.add`` matches the builtin set/list mutator catalogue,
+        # so the direct effect stays; the point is that the *chain* must
+        # not cite the unreachable CandidateHeap.
+        witness = collect.effects[Effect.MUTATES_ARG]
+        assert "CandidateHeap" not in witness.description
+
+    def test_purity_and_determinism_front_ends_agree_with_driver(self):
+        sources = {
+            "repro.testing.oracles": (
+                "def sneaky(items):\n"
+                "    items.append(1)\n"
+            ),
+            "repro.core.clockwork": (
+                "import time\n"
+                "\n"
+                "\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+        }
+        project = project_from_sources(sources)
+        graph = build_call_graph(project)
+        effects = infer_effects(
+            project, graph, import_graph=build_import_graph(project)
+        )
+        impure = [info.qualname for info, _, _ in purity_violations(graph, effects)]
+        nondet = [info.qualname for info, _ in determinism_violations(graph, effects)]
+        assert impure == ["repro.testing.oracles.sneaky"]
+        assert nondet == ["repro.core.clockwork.stamp"]
+
+
+# ----------------------------------------------------------------------
+# baseline ratchet and facts cache
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def make(self, path, line, code, message):
+        return Violation(path, line, 0, code, message)
+
+    def test_key_is_line_number_free(self):
+        a = self.make("src/x.py", 3, "RPR008", "dead")
+        b = self.make("src/x.py", 99, "RPR008", "dead")
+        assert deep.baseline_key(a) == deep.baseline_key(b)
+
+    def test_partition_new_baselined_stale(self):
+        known = self.make("src/x.py", 1, "RPR008", "known finding")
+        fresh = self.make("src/y.py", 2, "RPR011", "fresh finding")
+        baseline = [deep.baseline_key(known), "src/gone.py: RPR009 vanished"]
+        new, baselined, stale = deep.partition_violations([known, fresh], baseline)
+        assert new == [fresh]
+        assert baselined == [known]
+        assert stale == ["src/gone.py: RPR009 vanished"]
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.txt"
+        violations = [self.make("src/x.py", 5, "RPR010", "probe")]
+        deep.save_baseline(path, violations)
+        assert deep.load_baseline(path) == [deep.baseline_key(violations[0])]
+        # Comment header lines are skipped on load.
+        assert path.read_text().startswith("#")
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert deep.load_baseline(tmp_path / "absent.txt") == []
+
+
+class TestFactsCache:
+    def test_round_trip_preserves_liveness(self, head_analysis):
+        from repro.analysis.callgraph import CallGraph
+
+        restored = CallGraph.facts_from_json(head_analysis.graph.facts_to_json())
+        rebuilt = build_call_graph(head_analysis.project, restored)
+        assert {i.qualname for i in rebuilt.dead()} == {
+            i.qualname for i in head_analysis.graph.dead()
+        }
+
+    def test_stale_cache_degrades_to_rebuild(self, head_analysis):
+        source = head_analysis.project.get("repro.core.heap").source
+        mutated = head_analysis.project.replace_source(
+            "repro.core.heap", source + "\n\ndef freshly_dead():\n    return 0\n"
+        )
+        rebuilt = build_call_graph(mutated, head_analysis.graph)
+        assert "repro.core.heap.freshly_dead" in {
+            i.qualname for i in rebuilt.dead()
+        }
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        assert deep.load_cached_graph(path) is None
+
+
+# ----------------------------------------------------------------------
+# CLI end to end
+# ----------------------------------------------------------------------
+class TestDeepCli:
+    def run_cli(self, *args, cwd=None):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis.cli", *args],
+            cwd=cwd or REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_list_rules_includes_deep_catalogue(self):
+        proc = self.run_cli("--list-rules", "--deep")
+        assert proc.returncode == 0
+        for code in ("RPR008", "RPR011", "RPR013"):
+            assert code in proc.stdout
+
+    def test_head_is_clean_and_stale_entries_fail(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        clean = self.run_cli("--deep", "--quiet", "--baseline", str(baseline))
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        baseline.write_text("src/repro/core/heap.py: RPR008 long gone\n")
+        stale = self.run_cli("--deep", "--baseline", str(baseline))
+        assert stale.returncode == 1
+        assert "stale baseline entry" in stale.stderr
+
+    def test_deep_outside_repo_root_is_a_usage_error(self, tmp_path):
+        proc = self.run_cli("--deep", cwd=tmp_path)
+        assert proc.returncode == 2
+        assert "src/repro not found" in proc.stderr
