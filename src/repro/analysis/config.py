@@ -15,8 +15,10 @@ from typing import Dict, FrozenSet, Mapping, Tuple
 __all__ = [
     "DEFAULT_BASELINE_NAME",
     "DETERMINISM_ZONES",
+    "DOCSTRING_REQUIRED_PREFIXES",
     "ENTRY_POINTS",
     "FRAMEWORK_METHOD_PREFIXES",
+    "KNOWN_PAPER_LEMMAS",
     "LAYER_RANKS",
     "LIVENESS_REFERENCE_ROOTS",
     "PURITY_ZONES",
@@ -40,6 +42,7 @@ ENTRY_POINTS: FrozenSet[str] = frozenset(
         "repro.cli.main",
         "repro.analysis.cli.main",
         "repro.testing.cli.main",
+        "repro.obs.bench.main",
     }
 )
 
@@ -108,6 +111,29 @@ STRICT_FLOAT_MODULES: Tuple[str, ...] = (
 )
 
 # ----------------------------------------------------------------------
+# Docs hygiene (RPR014)
+# ----------------------------------------------------------------------
+
+#: Module prefixes whose public functions, classes and methods must carry
+#: docstrings.  Scoped to the packages ``docs/architecture.md`` documents
+#: as the algorithmic core -- the lemma citations in these docstrings are
+#: the cross-reference surface between code and paper.
+DOCSTRING_REQUIRED_PREFIXES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.index",
+    "repro.obs",
+)
+
+#: Lemma numbers the source paper actually defines (Section 3).  A
+#: citation of a lemma number outside this set is a typo or a drifted
+#: reference; RPR014 flags it.  The numbers pinned in
+#: ``floatcheck.LEMMA_TABLE`` are a subset of these (only
+#: comparison-bearing lemmas are pinned there).
+KNOWN_PAPER_LEMMAS: FrozenSet[str] = frozenset(
+    {"3.1", "3.2", "3.3", "3.4", "3.5", "3.6", "3.7", "3.8"}
+)
+
+# ----------------------------------------------------------------------
 # Layering (RPR013)
 # ----------------------------------------------------------------------
 
@@ -122,6 +148,8 @@ LAYER_RANKS: Dict[str, int] = {
     "repro.version": 0,
     "repro.geometry": 0,
     "repro.analysis.runtime": 0,
+    "repro.obs": 0,  # instrumentation facade, imported by index/core/sim
+    "repro.obs.bench": 5,  # the repro-bench CLI drives core+sim like repro.cli
     "repro.index": 1,
     "repro.network": 1,
     "repro.core": 2,

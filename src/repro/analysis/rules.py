@@ -1,4 +1,4 @@
-"""The project-specific lint rules (``RPR001`` .. ``RPR007``).
+"""The project-specific lint rules (``RPR001`` .. ``RPR007``, ``RPR014``).
 
 Each rule encodes one correctness convention of the SENN/SNNN stack;
 ``docs/static_analysis.md`` documents the rationale and the sanctioned
@@ -9,6 +9,7 @@ code -- so the linter can run on broken trees.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator, List, Optional, Set
 
 from repro.analysis.lint import ModuleContext, Violation, register_rule
@@ -445,3 +446,110 @@ def rule_oracle_independence(context: ModuleContext) -> Iterator[Violation]:
                 "independent of the code under test (only "
                 f"{', '.join(_ORACLE_ALLOWED_IMPORTS)} is shared)",
             )
+
+
+# ----------------------------------------------------------------------
+# RPR014: docs hygiene (docstrings + canonical lemma citations)
+# ----------------------------------------------------------------------
+#: Candidate paper citations: any spelling/casing of lemma/section/sec
+#: followed by a number.  Each candidate is then tested against
+#: :data:`_CANONICAL_CITATION` -- matching loosely and validating
+#: strictly is what catches "lemma" in lowercase or "Sec. X.Y" drift.
+_CITATION_CANDIDATE = re.compile(
+    r"\b(?:lemma|section|sec)s?\.?[ \t]*\d+(?:\.\d+)*", re.IGNORECASE
+)
+
+#: The canonical citation forms used throughout the repo and docs.
+_CANONICAL_CITATION = re.compile(r"(?:Lemma|Section)s? \d+(?:\.\d+)*$")
+
+_LEMMA_NUMBER = re.compile(r"Lemmas? (\d+(?:\.\d+)*)")
+
+
+def _known_lemma_numbers() -> Set[str]:
+    """Paper lemma numbers: the config set plus everything pinned in
+    ``floatcheck.LEMMA_TABLE`` (imported lazily; the table lives in the
+    same static-analysis layer, so this cannot pull in checked code)."""
+    from repro.analysis.config import KNOWN_PAPER_LEMMAS
+    from repro.analysis.floatcheck import LEMMA_TABLE
+
+    known = set(KNOWN_PAPER_LEMMAS)
+    for entry in LEMMA_TABLE:
+        known.update(_LEMMA_NUMBER.findall(entry.lemma))
+    return known
+
+
+def _is_public_def(node: ast.AST) -> bool:
+    return isinstance(
+        node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ) and not node.name.startswith("_")
+
+
+@register_rule(
+    "RPR014",
+    "docs-hygiene",
+    "missing docstrings on the documented-core public API, or paper "
+    "citations that are non-canonical or cite a nonexistent lemma",
+)
+def rule_docs_hygiene(context: ModuleContext) -> Iterator[Violation]:
+    from repro.analysis.config import DOCSTRING_REQUIRED_PREFIXES
+
+    # -- docstring presence on the documented core's public surface -----
+    if any(
+        context.module == prefix or context.module.startswith(prefix + ".")
+        for prefix in DOCSTRING_REQUIRED_PREFIXES
+    ):
+        public_defs: List[ast.AST] = [
+            node for node in context.tree.body if _is_public_def(node)
+        ]
+        for node in list(public_defs):
+            if isinstance(node, ast.ClassDef):
+                public_defs.extend(
+                    child for child in node.body if _is_public_def(child)
+                )
+        for node in public_defs:
+            assert isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+            if ast.get_docstring(node) is None:
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                yield context.violation(
+                    node,
+                    "RPR014",
+                    f"public {kind} `{node.name}` has no docstring; the "
+                    "documented core (repro.core/index/obs) is the paper "
+                    "cross-reference surface -- cite the lemma or section "
+                    "it implements where one applies",
+                )
+
+    # -- canonical citation form + lemma existence ----------------------
+    known_lemmas: Optional[Set[str]] = None
+    for lineno, line in enumerate(context.lines, start=1):
+        for match in _CITATION_CANDIDATE.finditer(line):
+            cited = match.group(0)
+            if not _CANONICAL_CITATION.match(cited):
+                yield Violation(
+                    context.path,
+                    lineno,
+                    match.start(),
+                    "RPR014",
+                    f"non-canonical paper citation `{cited}`; write "
+                    "`Lemma X.Y` / `Section X.Y` so citations can be "
+                    "cross-checked against the lemma table",
+                )
+                continue
+            lemma_match = _LEMMA_NUMBER.match(cited)
+            if lemma_match is None:
+                continue  # a Section citation; form is all we check
+            if known_lemmas is None:
+                known_lemmas = _known_lemma_numbers()
+            number = lemma_match.group(1)
+            if number not in known_lemmas:
+                yield Violation(
+                    context.path,
+                    lineno,
+                    match.start(),
+                    "RPR014",
+                    f"citation of `{cited}` but the paper defines no such "
+                    "lemma (see analysis.config.KNOWN_PAPER_LEMMAS); fix "
+                    "the number or extend the known set",
+                )

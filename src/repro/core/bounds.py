@@ -27,6 +27,7 @@ import math
 
 from repro.core.heap import CandidateHeap, HeapState
 from repro.index.knn import PruningBounds
+from repro.obs import OBS
 
 __all__ = ["derive_pruning_bounds"]
 
@@ -53,4 +54,6 @@ def derive_pruning_bounds(heap: CandidateHeap) -> PruningBounds:
         last_certain = heap.last_certain_distance()
         if last_certain is not None:
             lower = last_certain
+    if OBS.enabled:
+        OBS.registry.counter("bounds.derived", state=state.value).inc()
     return PruningBounds(lower=lower, upper=upper)

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.index.knn import NeighborResult
+from repro.obs import OBS
 
 __all__ = ["CachedQueryResult", "QueryCache"]
 
@@ -60,6 +61,7 @@ class CachedQueryResult:
 
     @property
     def k(self) -> int:
+        """Number of cached neighbors (the k of the original query)."""
         return len(self.neighbors)
 
     def is_empty(self) -> bool:
@@ -123,20 +125,31 @@ class QueryCache:
         if len(self._entries) > self.history:
             self._entries.pop(0)
         self.store_count += 1
+        if OBS.enabled:
+            OBS.registry.counter(
+                "cache.stores", truncated="true" if truncated else "false"
+            ).inc()
         return entry
 
     def get(self) -> Optional[CachedQueryResult]:
         """The most recent cached result, or ``None`` when cold."""
-        return self._entries[-1] if self._entries else None
+        entry = self._entries[-1] if self._entries else None
+        if OBS.enabled:
+            OBS.registry.counter(
+                "cache.lookups", outcome="hit" if entry is not None else "miss"
+            ).inc()
+        return entry
 
     def snapshots(self) -> List[CachedQueryResult]:
         """All retained results, newest first (what peers receive)."""
         return list(reversed(self._entries))
 
     def clear(self) -> None:
+        """Drop every retained result (e.g. on cache invalidation)."""
         self._entries.clear()
 
     def is_empty(self) -> bool:
+        """True when no retained result holds any neighbor tuples."""
         return all(entry.is_empty() for entry in self._entries) if self._entries else True
 
     def tuple_count(self) -> int:

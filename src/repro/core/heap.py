@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.runtime import SANITIZER
 from repro.geometry.point import Point
+from repro.obs import OBS
 
 __all__ = ["CandidateHeap", "HeapEntry", "HeapState"]
 
@@ -58,6 +59,7 @@ class HeapEntry:
     certain: bool
 
     def key(self) -> Tuple[float, float, Any]:
+        """Dedup identity of the candidate: coordinates plus payload."""
         return (self.point.x, self.point.y, _hashable(self.payload))
 
 
@@ -87,10 +89,17 @@ class CandidateHeap:
         uncertain is a no-op.
         """
         if not SANITIZER.enabled:
-            return self._add(point, payload, distance, certain)
-        before = self.state()
-        stored = self._add(point, payload, distance, certain)
-        SANITIZER.after_heap_add(self, before)
+            stored = self._add(point, payload, distance, certain)
+        else:
+            before = self.state()
+            stored = self._add(point, payload, distance, certain)
+            SANITIZER.after_heap_add(self, before)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "heap.offers",
+                certain="true" if certain else "false",
+                outcome="stored" if stored else "rejected",
+            ).inc()
         return stored
 
     def _add(self, point: Point, payload: Any, distance: float, certain: bool) -> bool:
@@ -157,14 +166,17 @@ class CandidateHeap:
 
     @property
     def certain_count(self) -> int:
+        """Number of entries certified by Lemma 3.2 / Lemma 3.8."""
         return len(self._certain)
 
     @property
     def uncertain_count(self) -> int:
+        """Number of entries held but not yet certified."""
         return len(self._uncertain)
 
     @property
     def is_full(self) -> bool:
+        """True when the heap holds its full capacity of k candidates."""
         return len(self) >= self.capacity
 
     def is_complete(self) -> bool:

@@ -105,10 +105,12 @@ class AccuracyReport:
 
     @property
     def exact_ratio(self) -> float:
+        """Fraction of answer sets that matched the exact kNN result."""
         return self.exact_sets / self.total if self.total else 1.0
 
     @property
     def mean_distance_error(self) -> float:
+        """Mean relative error of the k-th neighbor distance."""
         return self.distance_error_sum / self.total if self.total else 0.0
 
 

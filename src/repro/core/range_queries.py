@@ -50,6 +50,7 @@ class RangeQueryResult:
 
     @property
     def answered_by_peers(self) -> bool:
+        """True when the range query never reached the server."""
         return self.tier in (
             ResolutionTier.LOCAL_CACHE,
             ResolutionTier.SINGLE_PEER,

@@ -32,6 +32,7 @@ from repro.core.cache import CachedQueryResult
 from repro.core.heap import CandidateHeap
 from repro.core.server import SpatialDatabaseServer
 from repro.core.verification import verify_multi_peer, verify_single_peer
+from repro.obs import OBS
 
 __all__ = ["ResolutionTier", "SennConfig", "SennResult", "senn_query"]
 
@@ -99,6 +100,7 @@ class SennResult:
 
     @property
     def answered_by_peers(self) -> bool:
+        """True when sharing alone resolved the query (no server visit)."""
         return self.tier in (
             ResolutionTier.LOCAL_CACHE,
             ResolutionTier.SINGLE_PEER,
@@ -177,6 +179,10 @@ def senn_query(
         for entry in heap.certain_entries()
     ]
     if server is None:
+        if OBS.enabled:
+            OBS.registry.counter(
+                "senn.queries", tier=ResolutionTier.SERVER.value
+            ).inc()
         return SennResult(certain, ResolutionTier.SERVER, heap, bounds, consulted)
 
     effective_k = k if server_k is None else max(k, server_k)
@@ -186,6 +192,10 @@ def senn_query(
         bounds = PruningBounds(lower=bounds.lower)
     results = server.knn_query(query, effective_k, bounds, certain)
     pages = server.last_query_breakdown()
+    if OBS.enabled:
+        OBS.registry.counter(
+            "senn.queries", tier=ResolutionTier.SERVER.value
+        ).inc()
     return SennResult(
         results,
         ResolutionTier.SERVER,
@@ -199,6 +209,8 @@ def senn_query(
 def _finish(
     heap: CandidateHeap, tier: ResolutionTier, peers_consulted: int
 ) -> SennResult:
+    if OBS.enabled:
+        OBS.registry.counter("senn.queries", tier=tier.value).inc()
     entries = heap.entries() if tier is ResolutionTier.UNCERTAIN else heap.certain_entries()
     neighbors = [
         NeighborResult(entry.point, entry.payload, entry.distance)

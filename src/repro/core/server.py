@@ -29,6 +29,7 @@ from repro.index.knn import (
 )
 from repro.index.pagestats import AccessBreakdown, BufferPool, PageAccessCounter
 from repro.index.rtree import RTree, RTreeConfig
+from repro.obs import DEFAULT_COUNT_BUCKETS, OBS
 
 __all__ = ["ServerAlgorithm", "SpatialDatabaseServer"]
 
@@ -87,6 +88,7 @@ class SpatialDatabaseServer:
 
     @property
     def poi_count(self) -> int:
+        """Number of POIs in the server's R*-tree."""
         return len(self.tree)
 
     # ------------------------------------------------------------------
@@ -118,8 +120,17 @@ class SpatialDatabaseServer:
         else:
             results = k_nearest_depth_first(self.tree, query, k, self.counter)
         self._record_shipped_objects(chosen, results, known_certain)
-        self.counter.finish_query()
+        breakdown = self.counter.finish_query()
         self.queries_served += 1
+        if OBS.enabled:
+            OBS.registry.counter(
+                "server.knn_queries", algorithm=chosen.value
+            ).inc()
+            OBS.registry.histogram(
+                "server.pages_per_query",
+                boundaries=DEFAULT_COUNT_BUCKETS,
+                algorithm=chosen.value,
+            ).observe(float(breakdown.total))
         return results
 
     def _record_shipped_objects(
@@ -142,10 +153,17 @@ class SpatialDatabaseServer:
             }
         else:
             skip = set()
+        shipped = 0
         for result in results:
             key = (result.point.x, result.point.y, _payload_key(result.payload))
             if key not in skip:
                 self.counter.record_object(key)
+                shipped += 1
+        if OBS.enabled:
+            OBS.registry.counter("server.objects", outcome="shipped").inc(shipped)
+            OBS.registry.counter("server.objects", outcome="skipped").inc(
+                len(results) - shipped
+            )
 
     def range_query(self, center: Point, radius: float) -> List[NeighborResult]:
         """All POIs within ``radius`` of ``center``, ascending by distance.
@@ -166,8 +184,15 @@ class SpatialDatabaseServer:
             self.counter.record_object(
                 (result.point.x, result.point.y, _payload_key(result.payload))
             )
-        self.counter.finish_query()
+        breakdown = self.counter.finish_query()
         self.queries_served += 1
+        if OBS.enabled:
+            OBS.registry.counter("server.range_queries").inc()
+            OBS.registry.histogram(
+                "server.pages_per_query",
+                boundaries=DEFAULT_COUNT_BUCKETS,
+                algorithm="range",
+            ).observe(float(breakdown.total))
         return results
 
     def incremental_query(
@@ -185,12 +210,15 @@ class SpatialDatabaseServer:
     # statistics
     # ------------------------------------------------------------------
     def last_query_breakdown(self) -> Optional[AccessBreakdown]:
+        """Page-access breakdown of the most recent query, if any."""
         return self.counter.history[-1] if self.counter.history else None
 
     def mean_page_accesses(self) -> float:
+        """Mean page accesses per query (the PAR metric of Section 4)."""
         return self.counter.mean_per_query()
 
     def reset_statistics(self) -> None:
+        """Zero the page counter and query tally (end of warm-up)."""
         self.counter.reset()
         self.queries_served = 0
 

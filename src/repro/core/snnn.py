@@ -31,6 +31,7 @@ from repro.network.ier import NetworkNeighbor, incremental_euclidean_restriction
 from repro.core.cache import CachedQueryResult
 from repro.core.senn import ResolutionTier, SennConfig, SennResult, senn_query
 from repro.core.server import SpatialDatabaseServer
+from repro.obs import OBS
 
 __all__ = ["SnnnResult", "snnn_query"]
 
@@ -46,6 +47,7 @@ class SnnnResult:
 
     @property
     def used_server(self) -> bool:
+        """True when any part of the answer required the server."""
         return (
             self.senn_result.tier is ResolutionTier.SERVER
             or self.candidates_from_server > 0
@@ -118,6 +120,12 @@ def snnn_query(
     neighbors = incremental_euclidean_restriction(
         euclidean_stream(), network_distance_of, k
     )
+    if OBS.enabled:
+        OBS.registry.counter("snnn.queries").inc()
+        OBS.registry.counter("snnn.candidates", source="peers").inc(stats["peers"])
+        OBS.registry.counter("snnn.candidates", source="server").inc(
+            stats["server"]
+        )
     return SnnnResult(
         neighbors,
         senn_result,

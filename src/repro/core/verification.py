@@ -32,6 +32,7 @@ from repro.geometry.coverage import CertainRegion, CoverageMethod
 from repro.geometry.point import Point
 from repro.core.cache import CachedQueryResult
 from repro.core.heap import CandidateHeap
+from repro.obs import OBS
 
 __all__ = ["verify_single_peer", "verify_multi_peer", "collect_candidates"]
 
@@ -74,6 +75,13 @@ def _verify_single_peer(
         if certain:
             certified += 1
         heap.add(neighbor.point, neighbor.payload, distance, certain)
+    if OBS.enabled:
+        OBS.registry.counter(
+            "verify.candidates", lemma="3.2", outcome="certain"
+        ).inc(certified)
+        OBS.registry.counter(
+            "verify.candidates", lemma="3.2", outcome="uncertain"
+        ).inc(len(candidates) - certified)
     return certified
 
 
@@ -125,11 +133,19 @@ def _verify_multi_peer(
         if region.covers_disk(target):
             heap.add(point, payload, distance, certain=True)
             certified += 1
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "verify.candidates", lemma="3.8", outcome="certain"
+                ).inc()
         else:
             # Monotonicity: a larger disk cannot be covered either.  The
             # remaining candidates stay uncertain; make sure the heap has
             # seen them at least once.
             heap.add(point, payload, distance, certain=False)
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "verify.candidates", lemma="3.8", outcome="uncertain"
+                ).inc()
             break
     return certified
 

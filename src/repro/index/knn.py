@@ -42,6 +42,7 @@ from repro.geometry.point import Point
 from repro.index.node import LeafEntry, Node
 from repro.index.pagestats import PageAccessCounter
 from repro.index.rtree import RTree
+from repro.obs import OBS
 
 __all__ = [
     "NeighborResult",
@@ -111,10 +112,12 @@ class PruningBounds:
 
     @property
     def has_lower(self) -> bool:
+        """True when the client supplied a non-trivial lower bound."""
         return self.lower > 0.0
 
     @property
     def has_upper(self) -> bool:
+        """True when the client supplied a finite upper bound."""
         return math.isfinite(self.upper)
 
 
@@ -303,10 +306,14 @@ def _expand_einn(
         mindist = entry.bbox.mindist(query)
         # Upward pruning: nothing in this MBR can enter the result.
         if (mindist, _NODE_TIE) > current_kth:
+            if OBS.enabled:
+                OBS.registry.counter("einn.pruned_mbrs", rule="upward").inc()
             continue
         # Downward pruning: the MBR is fully inside the certain circle;
         # every object in it is already known to the client.
         if bounds.has_lower and entry.bbox.maxdist(query) < bounds.lower:
+            if OBS.enabled:
+                OBS.registry.counter("einn.pruned_mbrs", rule="downward").inc()
             continue
         heapq.heappush(heap, (mindist, _NODE_TIE, next(tiebreak), entry.child))  # type: ignore[union-attr]
 

@@ -30,6 +30,7 @@ class LeafEntry:
 
     @property
     def bbox(self) -> BoundingBox:
+        """Degenerate box at the point (uniform entry interface)."""
         return BoundingBox.from_point(self.point)
 
 
@@ -65,6 +66,7 @@ class Node:
 
     @property
     def is_leaf(self) -> bool:
+        """True for level-0 nodes (their entries hold data points)."""
         return self.level == 0
 
     def __len__(self) -> int:

@@ -167,6 +167,7 @@ class BufferPool:
 
     @property
     def resident_pages(self) -> int:
+        """Number of pages currently held by the buffer."""
         return len(self._pages)
 
     def hit_ratio(self) -> float:

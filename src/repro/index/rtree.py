@@ -29,6 +29,7 @@ from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import Point
 from repro.index.node import ChildEntry, Entry, LeafEntry, Node
 from repro.index.pagestats import PageAccessCounter
+from repro.obs import OBS
 
 __all__ = ["RTree", "RTreeConfig", "SplitPolicy"]
 
@@ -64,6 +65,7 @@ class RTreeConfig:
 
     @property
     def min_entries(self) -> int:
+        """Minimum fanout derived from ``min_fill`` (never below 2)."""
         return max(2, int(self.max_entries * self.min_fill))
 
 
@@ -91,11 +93,22 @@ class RTree:
     # ------------------------------------------------------------------
     @property
     def root(self) -> Node:
+        """The root node (read-only; the tree rebinds it on growth)."""
         return self._root
 
     @staticmethod
     def read_node(node: Node, counter: Optional[PageAccessCounter]) -> Node:
-        """Account one page access and hand the node back."""
+        """Account one page access and hand the node back.
+
+        This is the single chokepoint every traversal (window, circle,
+        INN, EINN, depth-first) reads nodes through, so the global
+        ``rtree.node_reads`` counter here sees every simulated page
+        access, with or without a per-query ``PageAccessCounter``.
+        """
+        if OBS.enabled:
+            OBS.registry.counter(
+                "rtree.node_reads", kind="leaf" if node.is_leaf else "index"
+            ).inc()
         if counter is not None:
             counter.record(node.page_id, node.is_leaf)
         return node
@@ -372,6 +385,10 @@ class RTree:
                     return
                 new_node = self._split_node(node)
                 self.split_count += 1
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "rtree.splits", policy=self.config.split_policy.value
+                    ).inc()
                 if parent is None:
                     self._grow_root(node, new_node)
                     return
@@ -412,6 +429,8 @@ class RTree:
         orphans = ordered[len(ordered) - evict_count :]
         node.entries = list(keep)
         self.reinsert_count += 1
+        if OBS.enabled:
+            OBS.registry.counter("rtree.reinserts").inc()
         # Ancestor MBRs must reflect the eviction before reinserting.
         for i in range(depth, 0, -1):
             self._refresh_child_entry(path[i - 1], path[i])

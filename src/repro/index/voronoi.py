@@ -99,6 +99,7 @@ class VoronoiCacheStats:
 
     @property
     def server_share(self) -> float:
+        """Fraction of NN lookups that missed the cached cells."""
         return self.server_fetches / self.queries if self.queries else 0.0
 
 
@@ -156,4 +157,5 @@ class VoronoiSemanticCache:
 
     @property
     def cached_cells(self) -> int:
+        """Number of Voronoi cells currently cached."""
         return len(self._cells)

@@ -1,0 +1,51 @@
+"""``repro.obs`` — the zero-dependency observability layer.
+
+Three small pieces, re-exported here:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges and fixed-boundary histograms; deterministic snapshots.
+* :mod:`repro.obs.tracing` — :class:`Tracer` spans/events with JSONL
+  export and an injectable (deterministic-by-default) clock.
+* :mod:`repro.obs.profiling` — the :data:`OBS` switchboard plus the
+  :func:`span` / :func:`timed` wall-time hooks for the outer layers.
+
+``repro.obs`` sits at rank 0 of the layering DAG (like
+``repro.analysis.runtime``) so the engine's hot paths — R\\*-tree node
+reads, EINN pruning, verification outcomes, cache hits — can increment
+counters without an upward import. The ``repro-bench`` CLI lives in
+:mod:`repro.obs.bench` at rank 5 and is deliberately **not** imported
+here, so importing the instrumentation facade never drags in the
+benchmark suite (or its ``repro.core``/``repro.sim`` dependencies).
+
+Set ``REPRO_OBS=0`` to disable every hook; see
+``docs/observability.md`` for the metric catalog and usage.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profiling import OBS, Obs, observed, span, timed
+from repro.obs.tracing import LogicalClock, TraceRecord, Tracer, records_from_jsonl
+
+__all__ = [
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "LogicalClock",
+    "MetricsRegistry",
+    "OBS",
+    "Obs",
+    "TraceRecord",
+    "Tracer",
+    "observed",
+    "records_from_jsonl",
+    "span",
+    "timed",
+]

@@ -1,0 +1,652 @@
+"""``repro-bench``: the pinned micro/macro performance suite.
+
+Runs a fixed, seeded benchmark suite over the engine's hot paths and
+emits ``BENCH_baseline.json`` — the committed first point on the repo's
+performance trajectory and the regression gate future perf PRs diff
+against (``repro-bench --fast --check``).
+
+Four sections, every one driven through the instrumentation this layer
+added rather than ad-hoc counters in the benchmark script:
+
+* ``tree_build`` — STR bulk load at the Table-4 LA POI count plus a
+  dynamic R\\* insertion run (splits / forced reinserts).
+* ``inn_vs_einn`` — the Figure 17 experiment: mean pages per query for
+  EINN (with client pruning bounds) vs plain INN over the 30×30-mile
+  parameter sets; the suite *requires* the paper's EINN ≤ INN ordering.
+* ``verification`` — Lemma 3.2 single-peer and Lemma 3.8 multi-peer
+  certification rates on synthesized peer constellations.
+* ``sim_window`` — one FAST-quality LA 2×2 simulation window; SQRR
+  shares, per-tier counts and the global counter snapshot.
+
+The output separates ``deterministic`` results (seeded, bit-stable
+across runs on one machine; compared by ``--check`` with a tolerance
+that absorbs cross-platform libm drift) from ``timings_s``
+(informational wall-clock, never compared).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.index.rtree import RTree, RTreeConfig
+from repro.core.heap import CandidateHeap
+from repro.core.server import ServerAlgorithm, SpatialDatabaseServer
+from repro.core.verification import verify_multi_peer, verify_single_peer
+from repro.obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
+from repro.obs.profiling import OBS, observed
+from repro.obs.tracing import Tracer, records_from_jsonl
+from repro.sim.config import (
+    PARAMETER_SETS_2X2,
+    PARAMETER_SETS_30X30,
+    MovementMode,
+    SimulationConfig,
+)
+from repro.sim.simulation import Simulation
+from repro.experiments.figures import _client_partial_knowledge, _true_knn_cache
+
+__all__ = [
+    "BenchProfile",
+    "PROFILES",
+    "SCHEMA_VERSION",
+    "compare_to_baseline",
+    "main",
+    "run_suite",
+    "validate_baseline",
+]
+
+#: Bumped whenever the result layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """One pinned suite configuration (``smoke`` / ``fast`` / ``full``)."""
+
+    name: str
+    dynamic_inserts: int
+    knn_regions: Tuple[str, ...]
+    knn_ks: Tuple[int, ...]
+    knn_queries: int
+    verify_trials: int
+    sim_region: str
+    sim_duration_s: float
+    sim_movement: MovementMode
+
+
+PROFILES: Dict[str, BenchProfile] = {
+    "smoke": BenchProfile(
+        name="smoke",
+        dynamic_inserts=150,
+        knn_regions=("LA",),
+        knn_ks=(4, 8),
+        knn_queries=8,
+        verify_trials=40,
+        sim_region="LA",
+        sim_duration_s=40.0,
+        sim_movement=MovementMode.FREE,
+    ),
+    "fast": BenchProfile(
+        name="fast",
+        dynamic_inserts=500,
+        knn_regions=("LA", "RV"),
+        knn_ks=(4, 8, 14),
+        knn_queries=25,
+        verify_trials=200,
+        sim_region="LA",
+        sim_duration_s=240.0,
+        sim_movement=MovementMode.ROAD_NETWORK,
+    ),
+    "full": BenchProfile(
+        name="full",
+        dynamic_inserts=1000,
+        knn_regions=("LA", "SYN", "RV"),
+        knn_ks=(4, 6, 8, 10, 12, 14),
+        knn_queries=100,
+        verify_trials=1000,
+        sim_region="LA",
+        sim_duration_s=900.0,
+        sim_movement=MovementMode.ROAD_NETWORK,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# suite sections
+# ----------------------------------------------------------------------
+def _bench_tree_build(
+    profile: BenchProfile, seed: int, timings: Dict[str, float]
+) -> Dict[str, Any]:
+    """STR bulk load + dynamic R\\* inserts at the Table-4 LA POI count."""
+    params = PARAMETER_SETS_30X30["LA"]()
+    rng = np.random.default_rng(seed + 11)
+    coords = rng.uniform(0.0, 30.0, size=(params.poi_number, 2))
+    pois = [(Point(float(x), float(y)), i) for i, (x, y) in enumerate(coords)]
+
+    start = time.perf_counter()
+    bulk_tree = RTree.bulk_load(list(pois), RTreeConfig())
+    timings["tree_build.bulk_s"] = time.perf_counter() - start
+
+    dynamic_tree = RTree(RTreeConfig())
+    subset = pois[: profile.dynamic_inserts]
+    start = time.perf_counter()
+    for point, payload in subset:
+        dynamic_tree.insert(point, payload)
+    timings["tree_build.insert_s"] = time.perf_counter() - start
+
+    return {
+        "pois": len(bulk_tree),
+        "bulk_height": bulk_tree.height,
+        "dynamic_inserts": len(dynamic_tree),
+        "dynamic_height": dynamic_tree.height,
+        "dynamic_splits": dynamic_tree.split_count,
+        "dynamic_reinserts": dynamic_tree.reinsert_count,
+    }
+
+
+def _bench_inn_vs_einn(
+    profile: BenchProfile, seed: int, timings: Dict[str, float]
+) -> Dict[str, Any]:
+    """The Figure 17 experiment: mean pages per query, EINN vs INN.
+
+    Page counts are read back from the ``server.pages_per_query``
+    histograms in the global registry — the instrumentation is the
+    measurement, the benchmark script only orchestrates.
+    """
+    out: Dict[str, Any] = {}
+    start = time.perf_counter()
+    # Seed offset by region position (as fig17 does post-PR-5): stable
+    # across processes, distinct per region.
+    for offset, region in enumerate(profile.knn_regions):
+        params = PARAMETER_SETS_30X30[region]()
+        rng = np.random.default_rng(seed + 1000 * (offset + 1))
+        area = 30.0
+        coords = rng.uniform(0.0, area, size=(params.poi_number, 2))
+        pois = [
+            (Point(float(x), float(y)), i) for i, (x, y) in enumerate(coords)
+        ]
+        tree = RTree.bulk_load(list(pois), RTreeConfig(max_entries=30))
+        einn_server = SpatialDatabaseServer(tree, ServerAlgorithm.EINN)
+        inn_server = SpatialDatabaseServer(tree, ServerAlgorithm.INN)
+        einn_series: List[float] = []
+        inn_series: List[float] = []
+        for k in profile.knn_ks:
+            einn_pages = OBS.registry.histogram(
+                "server.pages_per_query",
+                boundaries=DEFAULT_COUNT_BUCKETS,
+                algorithm="einn",
+            )
+            inn_pages = OBS.registry.histogram(
+                "server.pages_per_query",
+                boundaries=DEFAULT_COUNT_BUCKETS,
+                algorithm="inn",
+            )
+            base = (einn_pages.sum, einn_pages.count, inn_pages.sum, inn_pages.count)
+            issued = 0
+            attempts = 0
+            while issued < profile.knn_queries and attempts < profile.knn_queries * 50:
+                attempts += 1
+                q = Point(float(rng.uniform(0, area)), float(rng.uniform(0, area)))
+                bounds, known = _client_partial_knowledge(q, k, coords, params, rng)
+                if len(known) >= k:
+                    continue  # answered by peers; never reaches the server
+                issued += 1
+                einn_server.knn_query(q, k, bounds, known)
+                inn_server.knn_query(q, k)
+            einn_delta = (einn_pages.sum - base[0], einn_pages.count - base[1])
+            inn_delta = (inn_pages.sum - base[2], inn_pages.count - base[3])
+            einn_series.append(einn_delta[0] / max(einn_delta[1], 1))
+            inn_series.append(inn_delta[0] / max(inn_delta[1], 1))
+        out[region] = {
+            "ks": list(profile.knn_ks),
+            "einn_pages": einn_series,
+            "inn_pages": inn_series,
+        }
+    timings["inn_vs_einn.total_s"] = time.perf_counter() - start
+    return out
+
+
+def _bench_verification(
+    profile: BenchProfile, seed: int, timings: Dict[str, float]
+) -> Dict[str, Any]:
+    """Lemma 3.2 / Lemma 3.8 certification rates on synthesized peers."""
+    rng = np.random.default_rng(seed + 17)
+    area = 2.0
+    tx_range = 0.124
+    coords = rng.uniform(0.0, area, size=(400, 2))
+    k = 4
+
+    def random_peer(center: Point) -> Point:
+        angle = float(rng.uniform(0.0, 2.0 * np.pi))
+        radius = float(rng.uniform(0.0, tx_range))
+        return Point(
+            center.x + radius * float(np.cos(angle)),
+            center.y + radius * float(np.sin(angle)),
+        )
+
+    single_certified = 0
+    start = time.perf_counter()
+    for _ in range(profile.verify_trials):
+        query = Point(float(rng.uniform(0, area)), float(rng.uniform(0, area)))
+        cache = _true_knn_cache(random_peer(query), 10, coords)
+        heap = CandidateHeap(k)
+        single_certified += verify_single_peer(query, cache, heap)
+    timings["verification.single_s"] = time.perf_counter() - start
+
+    multi_certified = 0
+    multi_complete = 0
+    start = time.perf_counter()
+    for _ in range(profile.verify_trials):
+        query = Point(float(rng.uniform(0, area)), float(rng.uniform(0, area)))
+        caches = [
+            _true_knn_cache(random_peer(query), 10, coords) for _ in range(3)
+        ]
+        heap = CandidateHeap(k)
+        for cache in caches:
+            verify_single_peer(query, cache, heap)
+        multi_certified += verify_multi_peer(query, caches, heap)
+        if heap.is_complete():
+            multi_complete += 1
+    timings["verification.multi_s"] = time.perf_counter() - start
+
+    return {
+        "trials": profile.verify_trials,
+        "k": k,
+        "single_certified": single_certified,
+        "multi_newly_certified": multi_certified,
+        "multi_complete": multi_complete,
+    }
+
+
+def _bench_sim_window(
+    profile: BenchProfile,
+    seed: int,
+    timings: Dict[str, float],
+    tracer: Optional[Tracer],
+) -> Dict[str, Any]:
+    """One FAST-quality simulation window; SQRR re-derived from metrics."""
+    config = SimulationConfig(
+        parameters=PARAMETER_SETS_2X2[profile.sim_region](),
+        movement_mode=profile.sim_movement,
+        seed=seed,
+        t_execution_s=profile.sim_duration_s,
+    )
+    if tracer is not None:
+        OBS.tracer = tracer
+    start = time.perf_counter()
+    simulation = Simulation(config)
+    timings["sim_window.setup_s"] = time.perf_counter() - start
+    start = time.perf_counter()
+    metrics = simulation.run()
+    timings["sim_window.run_s"] = time.perf_counter() - start
+    OBS.tracer = None
+
+    for phase in ("advance", "query"):
+        histogram = OBS.registry.histogram(f"sim.phase.{phase}")
+        timings[f"sim_window.phase_{phase}_mean_s"] = histogram.mean
+
+    return {
+        "region": profile.sim_region,
+        "movement": profile.sim_movement.value,
+        "duration_s": profile.sim_duration_s,
+        "queries": metrics.total_queries,
+        "warmup_queries": metrics.warmup_queries,
+        "tier_counts": {
+            tier.value: count for tier, count in metrics.tier_counts.items()
+        },
+        "server_share": metrics.server_share,
+        "single_peer_share": metrics.single_peer_share,
+        "multi_peer_share": metrics.multi_peer_share,
+        "mean_server_pages": metrics.mean_server_pages(),
+        "mean_peer_probes": metrics.mean_peer_probes(),
+        "mean_tuples_received": metrics.mean_tuples_received(),
+        "mean_latency_ms": metrics.mean_latency_ms(),
+    }
+
+
+def _measure_guard_overhead_ns(loops: int = 200_000) -> float:
+    """Per-event cost of a *disabled* instrumentation guard, in ns.
+
+    Times ``if OBS.enabled: ...`` with the switchboard off; includes
+    loop overhead, so it over-estimates the true guard cost — which is
+    the conservative direction for the ≤2 % overhead budget.
+    """
+    sink = 0
+    best = float("inf")
+    with observed(enabled=False):
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(loops):
+                if OBS.enabled:
+                    sink += 1
+            best = min(best, time.perf_counter() - start)
+    assert sink == 0
+    return best / loops * 1e9
+
+
+def _counter_snapshot(registry: MetricsRegistry) -> Dict[str, float]:
+    """Counters and gauges only (histograms may hold wall-clock sums)."""
+    return {
+        name: value
+        for name, value in registry.snapshot().items()
+        if isinstance(value, float)
+    }
+
+
+# ----------------------------------------------------------------------
+# suite driver
+# ----------------------------------------------------------------------
+def run_suite(
+    profile_name: str = "fast",
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> Dict[str, Any]:
+    """Run the full pinned suite and return the baseline document.
+
+    Forces the observability switchboard on for the duration (the suite
+    *is* the instrumentation's consumer) and restores the previous
+    global registry afterwards, so callers' metrics are unaffected.
+    """
+    profile = PROFILES[profile_name]
+    timings: Dict[str, float] = {}
+    previous_registry = OBS.registry
+    try:
+        with observed(enabled=True):
+            OBS.registry = MetricsRegistry()
+            tree_build = _bench_tree_build(profile, seed, timings)
+            OBS.registry = MetricsRegistry()
+            inn_vs_einn = _bench_inn_vs_einn(profile, seed, timings)
+            OBS.registry = MetricsRegistry()
+            verification = _bench_verification(profile, seed, timings)
+            OBS.registry = MetricsRegistry()
+            sim_window = _bench_sim_window(profile, seed, timings, tracer)
+            counters = _counter_snapshot(OBS.registry)
+    finally:
+        OBS.registry = previous_registry
+    timings["obs.guard_overhead_ns"] = _measure_guard_overhead_ns()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "profile": profile.name,
+        "seed": seed,
+        "deterministic": {
+            "tree_build": tree_build,
+            "inn_vs_einn": inn_vs_einn,
+            "verification": verification,
+            "sim_window": sim_window,
+            "counters": counters,
+        },
+        "timings_s": timings,
+    }
+
+
+# ----------------------------------------------------------------------
+# validation and regression checking
+# ----------------------------------------------------------------------
+def validate_baseline(data: Any) -> List[str]:
+    """Schema-validate a baseline document; returns problems (empty = ok).
+
+    Beyond structure, enforces the one qualitative invariant the paper
+    pins for the server module: EINN accesses no more pages than INN
+    (Figure 17 / Section 4.4) at every measured ``k``.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return ["baseline must be a JSON object"]
+    if data.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {SCHEMA_VERSION}, got "
+            f"{data.get('schema_version')!r}"
+        )
+    if data.get("profile") not in PROFILES:
+        problems.append(f"unknown profile {data.get('profile')!r}")
+    if not isinstance(data.get("seed"), int):
+        problems.append("seed must be an integer")
+    deterministic = data.get("deterministic")
+    if not isinstance(deterministic, dict):
+        return problems + ["missing 'deterministic' section"]
+    for section in (
+        "tree_build",
+        "inn_vs_einn",
+        "verification",
+        "sim_window",
+        "counters",
+    ):
+        if not isinstance(deterministic.get(section), dict):
+            problems.append(f"missing deterministic section {section!r}")
+    timings = data.get("timings_s")
+    if not isinstance(timings, dict) or not all(
+        isinstance(value, (int, float)) for value in timings.values()
+    ):
+        problems.append("'timings_s' must map names to numbers")
+    for region, series in (deterministic.get("inn_vs_einn") or {}).items():
+        einn = series.get("einn_pages", [])
+        inn = series.get("inn_pages", [])
+        ks = series.get("ks", [])
+        if not (len(einn) == len(inn) == len(ks)) or not ks:
+            problems.append(f"inn_vs_einn[{region!r}]: malformed series")
+            continue
+        for k, einn_pages, inn_pages in zip(ks, einn, inn):
+            if einn_pages > inn_pages + 1e-9:
+                problems.append(
+                    f"inn_vs_einn[{region!r}] k={k}: EINN accessed more "
+                    f"pages than INN ({einn_pages:.2f} > {inn_pages:.2f}) — "
+                    "violates the Figure 17 ordering"
+                )
+    return problems
+
+
+def compare_to_baseline(
+    fresh: Dict[str, Any], baseline: Dict[str, Any], rtol: float = 0.05
+) -> List[str]:
+    """Diff a fresh run against the committed baseline.
+
+    Only the ``deterministic`` tree plus the identity fields are
+    compared; numbers match within ``rtol`` relative tolerance (absorbs
+    1-ulp libm differences across platforms that can flip a borderline
+    certification in a long simulation), everything else exactly.
+    """
+    diffs: List[str] = []
+    for field in ("schema_version", "profile", "seed"):
+        if fresh.get(field) != baseline.get(field):
+            diffs.append(
+                f"{field}: fresh={fresh.get(field)!r} "
+                f"baseline={baseline.get(field)!r}"
+            )
+    _compare_trees(
+        fresh.get("deterministic"),
+        baseline.get("deterministic"),
+        "deterministic",
+        rtol,
+        diffs,
+    )
+    return diffs
+
+
+def _compare_trees(
+    fresh: Any, baseline: Any, path: str, rtol: float, diffs: List[str]
+) -> None:
+    if len(diffs) > 50:
+        return
+    if isinstance(baseline, dict):
+        if not isinstance(fresh, dict):
+            diffs.append(f"{path}: expected object, got {type(fresh).__name__}")
+            return
+        for key in sorted(set(fresh) | set(baseline)):
+            if key not in fresh:
+                diffs.append(f"{path}.{key}: missing from fresh run")
+            elif key not in baseline:
+                diffs.append(f"{path}.{key}: not in baseline (new metric?)")
+            else:
+                _compare_trees(
+                    fresh[key], baseline[key], f"{path}.{key}", rtol, diffs
+                )
+    elif isinstance(baseline, list):
+        if not isinstance(fresh, list) or len(fresh) != len(baseline):
+            diffs.append(f"{path}: list shape changed")
+            return
+        for index, (fresh_item, base_item) in enumerate(zip(fresh, baseline)):
+            _compare_trees(
+                fresh_item, base_item, f"{path}[{index}]", rtol, diffs
+            )
+    elif isinstance(baseline, (int, float)) and not isinstance(baseline, bool):
+        if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
+            diffs.append(f"{path}: expected number, got {type(fresh).__name__}")
+            return
+        tolerance = rtol * max(abs(float(baseline)), 1.0)
+        if abs(float(fresh) - float(baseline)) > tolerance:
+            diffs.append(f"{path}: fresh={fresh} baseline={baseline} (> {rtol:.0%})")
+    elif fresh != baseline:
+        diffs.append(f"{path}: fresh={fresh!r} baseline={baseline!r}")
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run the pinned micro/macro performance suite.",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="fast",
+        help="suite size (default: fast — the committed baseline profile)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_const",
+        const="fast",
+        dest="profile",
+        help="shorthand for --profile fast",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="suite RNG seed")
+    parser.add_argument(
+        "--output",
+        default="BENCH_baseline.json",
+        help="baseline file to write (or compare against with --check)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare a fresh run against --output instead of rewriting it",
+    )
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=0.05,
+        help="relative tolerance for --check numeric comparisons",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record the sim window as a deterministic JSONL trace",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the summary output"
+    )
+    return parser
+
+
+def _print_summary(result: Dict[str, Any]) -> None:
+    deterministic = result["deterministic"]
+    timings = result["timings_s"]
+    tree = deterministic["tree_build"]
+    sim = deterministic["sim_window"]
+    print(
+        f"tree_build: {tree['pois']} POIs bulk in "
+        f"{timings['tree_build.bulk_s']:.3f}s (height {tree['bulk_height']}), "
+        f"{tree['dynamic_inserts']} inserts in "
+        f"{timings['tree_build.insert_s']:.3f}s "
+        f"({tree['dynamic_splits']} splits, {tree['dynamic_reinserts']} reinserts)"
+    )
+    for region, series in deterministic["inn_vs_einn"].items():
+        pairs = ", ".join(
+            f"k={k}: {einn:.1f}/{inn:.1f}"
+            for k, einn, inn in zip(
+                series["ks"], series["einn_pages"], series["inn_pages"]
+            )
+        )
+        print(f"inn_vs_einn[{region}] (EINN/INN mean pages): {pairs}")
+    verify = deterministic["verification"]
+    print(
+        f"verification: {verify['single_certified']} single-peer certs, "
+        f"{verify['multi_newly_certified']} multi-peer certs over "
+        f"{verify['trials']} trials (k={verify['k']})"
+    )
+    print(
+        f"sim_window[{sim['region']}/{sim['movement']}]: "
+        f"{sim['queries']} queries in {timings['sim_window.run_s']:.2f}s, "
+        f"SQRR {100 * sim['server_share']:.1f}%, "
+        f"single {100 * sim['single_peer_share']:.1f}%, "
+        f"multi {100 * sim['multi_peer_share']:.1f}%, "
+        f"{sim['mean_server_pages']:.1f} pages/server-query"
+    )
+    print(
+        f"obs: disabled-guard cost {timings['obs.guard_overhead_ns']:.0f} ns/event"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point for ``repro-bench``."""
+    args = _build_parser().parse_args(argv)
+    tracer = Tracer() if args.trace else None
+    result = run_suite(args.profile, seed=args.seed, tracer=tracer)
+
+    problems = validate_baseline(result)
+    if problems:
+        for problem in problems:
+            print(f"repro-bench: invalid result: {problem}", file=sys.stderr)
+        return 2
+
+    if tracer is not None and args.trace:
+        text = tracer.to_jsonl()
+        with open(args.trace, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        reloaded = records_from_jsonl(text)
+        if len(reloaded) != len(tracer.records):
+            print("repro-bench: trace round-trip mismatch", file=sys.stderr)
+            return 2
+        if not args.quiet:
+            print(f"trace: {len(tracer.records)} records -> {args.trace}")
+
+    if not args.quiet:
+        _print_summary(result)
+
+    if args.check:
+        try:
+            with open(args.output, "r", encoding="utf-8") as stream:
+                baseline = json.load(stream)
+        except (OSError, ValueError) as exc:
+            print(f"repro-bench: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        diffs = compare_to_baseline(result, baseline, rtol=args.rtol)
+        if diffs:
+            print(
+                f"repro-bench: {len(diffs)} regression(s) vs {args.output}:",
+                file=sys.stderr,
+            )
+            for diff in diffs:
+                print(f"  {diff}", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print(f"check: within {args.rtol:.0%} of {args.output}")
+        return 0
+
+    with open(args.output, "w", encoding="utf-8") as stream:
+        json.dump(result, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    if not args.quiet:
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

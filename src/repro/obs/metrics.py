@@ -1,0 +1,341 @@
+"""In-process metrics primitives: counters, gauges and histograms.
+
+The registry is the passive half of the observability layer
+(:mod:`repro.obs`): instrumented call sites in the engine increment
+metrics through the :data:`repro.obs.profiling.OBS` switchboard, and
+readers (``repro-bench``, :class:`repro.sim.stats.SimulationMetrics`,
+tests) pull deterministic snapshots back out.
+
+Design constraints, in order:
+
+* **Zero dependencies.** Pure stdlib; importable from rank-0 of the
+  layering DAG (below ``repro.index`` and ``repro.core``).
+* **Determinism.** Snapshots are sorted by ``(name, labels)``; two runs
+  of the same workload produce byte-identical snapshots. Nothing in
+  this module reads a clock or an RNG.
+* **Cheap.** A labelled lookup is one dict probe on a pre-sorted tuple
+  key; ``inc()`` is one float add. The *disabled* path never reaches
+  this module at all (call sites guard on ``OBS.enabled`` first).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram boundaries for wall-time observations, in seconds.
+#: Spans six decades: 10 microseconds (a guarded counter bump plus loop
+#: overhead) up to 10 seconds (a FULL-quality sim window).
+DEFAULT_TIME_BUCKETS_S: Tuple[float, ...] = (
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+)
+
+#: Default histogram boundaries for count-valued observations (pages per
+#: query, candidates per verification, ...). 1-2-5 ladder up to 1000.
+DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    20.0,
+    50.0,
+    100.0,
+    200.0,
+    500.0,
+    1000.0,
+)
+
+#: Canonical label representation: ``(key, value)`` pairs sorted by key.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    """Normalise a label mapping into the sorted tuple used as dict key."""
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _render_name(name: str, labels: LabelKey) -> str:
+    """Render ``name{k=v,...}`` for snapshots (bare ``name`` if unlabelled)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically non-decreasing count.
+
+    Counters may only go up: ``inc`` rejects negative amounts so that a
+    registry snapshot taken later in a run always dominates an earlier
+    one, which is what makes delta-based accounting (``repro-bench``
+    sections, SQRR shares) sound.
+    """
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        """Create a zero-valued counter. Use the registry, not this."""
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the counter; must be >= 0."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current accumulated count."""
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (e.g. heap size)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        """Create a zero-valued gauge. Use the registry, not this."""
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's current value."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        return self._value
+
+
+class Histogram:
+    """A fixed-boundary histogram with cumulative-friendly semantics.
+
+    Bucket ``i`` counts observations ``v <= boundaries[i]`` that did not
+    fit an earlier bucket (Prometheus ``le`` semantics, stored
+    non-cumulatively); one overflow bucket catches everything above the
+    last boundary. Boundaries are fixed at creation — merging and
+    diffing histograms across runs needs identical buckets, so there is
+    deliberately no dynamic resizing.
+    """
+
+    __slots__ = ("name", "labels", "boundaries", "bucket_counts", "_sum", "_count")
+
+    def __init__(
+        self, name: str, labels: LabelKey, boundaries: Sequence[float]
+    ) -> None:
+        """Create an empty histogram. Use the registry, not this."""
+        if not boundaries:
+            raise ValueError(f"histogram {name!r} needs at least one boundary")
+        ordered = tuple(float(b) for b in boundaries)
+        if any(b >= a for b, a in zip(ordered, ordered[1:])):
+            raise ValueError(
+                f"histogram {name!r} boundaries must be strictly increasing: "
+                f"{ordered}"
+            )
+        self.name = name
+        self.labels = labels
+        self.boundaries = ordered
+        self.bucket_counts: List[int] = [0] * (len(ordered) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation.
+
+        A value exactly equal to a boundary lands in that boundary's
+        bucket (``le`` semantics); values above the last boundary land
+        in the overflow bucket.
+        """
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observations (0.0 when empty)."""
+        if self._count == 0:
+            return 0.0
+        return self._sum / self._count
+
+
+#: Any metric instrument stored in a registry.
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics keyed on ``(name, sorted labels)``.
+
+    One registry instance backs the global :data:`repro.obs.OBS`
+    switchboard; :class:`repro.sim.stats.SimulationMetrics` owns a
+    private always-on registry so per-simulation accounting is isolated
+    from whatever else the process measures.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        """Create an empty registry."""
+        self._metrics: Dict[Tuple[str, LabelKey], Metric] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Return the counter for ``(name, labels)``, creating it at 0."""
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Counter(name, key[1])
+            self._metrics[key] = metric
+        elif not isinstance(metric, Counter):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Return the gauge for ``(name, labels)``, creating it at 0."""
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Gauge(name, key[1])
+            self._metrics[key] = metric
+        elif not isinstance(metric, Gauge):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        """Return the histogram for ``(name, labels)``, creating it empty.
+
+        ``boundaries`` defaults to :data:`DEFAULT_TIME_BUCKETS_S`; when
+        the histogram already exists, a conflicting ``boundaries``
+        argument raises instead of silently rebucketing.
+        """
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            bounds = DEFAULT_TIME_BUCKETS_S if boundaries is None else boundaries
+            metric = Histogram(name, key[1], bounds)
+            self._metrics[key] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        elif boundaries is not None and tuple(
+            float(b) for b in boundaries
+        ) != metric.boundaries:
+            raise ValueError(
+                f"histogram {name!r} already registered with boundaries "
+                f"{metric.boundaries}"
+            )
+        return metric
+
+    def value(self, name: str, **labels: object) -> float:
+        """Value of the counter/gauge at ``(name, labels)``; 0.0 if absent."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a histogram; read .sum/.count")
+        return metric.value
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge family across all of its label sets."""
+        acc = 0.0
+        for (metric_name, _), metric in self._metrics.items():
+            if metric_name == name and not isinstance(metric, Histogram):
+                acc += metric.value
+        return acc
+
+    def label_values(self, name: str, label: str) -> Dict[str, float]:
+        """Per-label-value totals for one counter/gauge family.
+
+        ``label_values("senn.queries", "tier")`` returns e.g.
+        ``{"single_peer": 12.0, "server": 3.0}``; label sets without
+        the requested label key are skipped.
+        """
+        out: Dict[str, float] = {}
+        for (metric_name, labels), metric in self._metrics.items():
+            if metric_name != name or isinstance(metric, Histogram):
+                continue
+            for key, value in labels:
+                if key == label:
+                    out[value] = out.get(value, 0.0) + metric.value
+        return out
+
+    def __iter__(self) -> Iterator[Metric]:
+        """Iterate metrics in deterministic ``(name, labels)`` order."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def __len__(self) -> int:
+        """Number of registered metric instruments."""
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic flat snapshot of every metric.
+
+        Counters and gauges map ``name{k=v}`` to their float value;
+        histograms map to ``{"count", "sum", "boundaries", "buckets"}``.
+        Key order is sorted, so ``json.dumps`` of two identical runs is
+        byte-identical — this is what ``repro-bench`` commits.
+        """
+        out: Dict[str, object] = {}
+        for metric in self:
+            rendered = _render_name(metric.name, metric.labels)
+            if isinstance(metric, Histogram):
+                out[rendered] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "boundaries": list(metric.boundaries),
+                    "buckets": list(metric.bucket_counts),
+                }
+            else:
+                out[rendered] = metric.value
+        return out
+
+    def reset(self) -> None:
+        """Drop every metric (used between bench sections and by tests)."""
+        self._metrics.clear()

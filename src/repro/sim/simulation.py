@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.geometry.point import Point
+from repro.obs import OBS, span
 from repro.core.host import MobileHost
 from repro.core.server import SpatialDatabaseServer
 from repro.network.generator import RoadNetworkSpec, generate_road_network
@@ -90,6 +91,9 @@ class Simulation:
         self.trace: Optional[QueryTrace] = (
             QueryTrace() if config.record_trace else None
         )
+        if OBS.enabled:
+            OBS.registry.gauge("sim.hosts").set(len(self.hosts))
+            OBS.registry.gauge("sim.pois").set(len(self.pois))
 
     # ------------------------------------------------------------------
     # setup helpers
@@ -174,14 +178,16 @@ class Simulation:
         warmup_reset_done = self.config.warmup_fraction == 0.0
         while now < duration:
             tick_end = min(now + tick, duration)
-            self._advance_hosts(tick_end - now)
+            with span("sim.phase.advance"):
+                self._advance_hosts(tick_end - now)
             now = tick_end
             while next_query <= now:
                 if not warmup_reset_done and next_query >= warmup_end:
                     self.server.reset_statistics()
                     warmup_reset_done = True
-                self._issue_query(record=next_query >= warmup_end,
-                                  timestamp=next_query)
+                with span("sim.phase.query"):
+                    self._issue_query(record=next_query >= warmup_end,
+                                      timestamp=next_query)
                 next_query += float(self.rng.exponential(1.0 / rate))
         return self.metrics
 
@@ -249,6 +255,8 @@ class Simulation:
                 tuples_received=tuples,
                 latency_ms=latency,
             )
+        else:
+            self.metrics.warmup_queries += 1
 
     def _choose_k(self) -> int:
         if self.config.k_range is not None:

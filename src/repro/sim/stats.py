@@ -3,39 +3,38 @@
 The paper's mobile-host metric is the *spatial query request rate*
 (SQRR): the share of client queries that must be processed by the remote
 server.  Its figures additionally split the peer-resolved share into
-single-peer and multi-peer buckets.  :class:`SimulationMetrics`
-accumulates tier counts and reports the three percentage series the
-figures plot, plus the server-side page-access statistics.
+single-peer and multi-peer buckets.
+
+:class:`SimulationMetrics` is a thin façade over a private, always-on
+:class:`repro.obs.MetricsRegistry`: :meth:`record` increments labelled
+counters (``sim.queries{tier=...}``, ``sim.server_pages``,
+``sim.latency_ms{tier=...}``, ...) and every derived statistic — SQRR,
+the per-tier shares, the PAR input — is re-derived from the registry on
+read.  The registry is per-instance (not the global ``OBS`` one) so two
+concurrent simulations never mix their accounting, and it ignores the
+``REPRO_OBS`` switch: SQRR is a simulation *result*, not optional
+telemetry.  ``repro-bench`` snapshots :attr:`registry` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.core.senn import ResolutionTier
+from repro.obs import MetricsRegistry
 
 __all__ = ["SimulationMetrics"]
 
 
-@dataclass
 class SimulationMetrics:
-    """Aggregated outcome of one simulation run."""
+    """Aggregated outcome of one simulation run, backed by a registry."""
 
-    tier_counts: Dict[ResolutionTier, int] = field(
-        default_factory=lambda: {tier: 0 for tier in ResolutionTier}
-    )
-    total_server_pages: int = 0
-    server_query_count: int = 0
-    warmup_queries: int = 0
-    # P2P communication overhead (the cost side of the trade-off).
-    total_peer_probes: int = 0
-    total_tuples_received: int = 0
-    # Latency accounting (populated when the simulation has a model).
-    total_latency_ms: float = 0.0
-    latency_by_tier: Dict[ResolutionTier, float] = field(
-        default_factory=lambda: {tier: 0.0 for tier in ResolutionTier}
-    )
+    __slots__ = ("registry", "warmup_queries")
+
+    def __init__(self) -> None:
+        """Create an empty metrics façade with a fresh private registry."""
+        self.registry = MetricsRegistry()
+        self.warmup_queries = 0
 
     def record(
         self,
@@ -45,26 +44,74 @@ class SimulationMetrics:
         tuples_received: int = 0,
         latency_ms: float = 0.0,
     ) -> None:
-        self.tier_counts[tier] += 1
-        self.total_peer_probes += peer_probes
-        self.total_tuples_received += tuples_received
-        self.total_latency_ms += latency_ms
-        self.latency_by_tier[tier] += latency_ms
+        """Account one steady-state query resolved at ``tier``."""
+        registry = self.registry
+        registry.counter("sim.queries", tier=tier.value).inc()
+        registry.counter("sim.peer_probes").inc(peer_probes)
+        registry.counter("sim.tuples_received").inc(tuples_received)
+        registry.counter("sim.latency_ms", tier=tier.value).inc(latency_ms)
         if tier is ResolutionTier.SERVER:
-            self.total_server_pages += server_pages
-            self.server_query_count += 1
+            registry.counter("sim.server_pages").inc(server_pages)
+            registry.counter("sim.server_queries").inc()
+
+    # ------------------------------------------------------------------
+    # registry-derived raw counters (the pre-PR-5 public attributes)
+    # ------------------------------------------------------------------
+    @property
+    def tier_counts(self) -> Dict[ResolutionTier, int]:
+        """Recorded query count per resolution tier (all tiers present)."""
+        return {
+            tier: int(self.registry.value("sim.queries", tier=tier.value))
+            for tier in ResolutionTier
+        }
+
+    @property
+    def total_server_pages(self) -> int:
+        """Total server page accesses over all SERVER-tier queries."""
+        return int(self.registry.value("sim.server_pages"))
+
+    @property
+    def server_query_count(self) -> int:
+        """Number of queries the server had to process."""
+        return int(self.registry.value("sim.server_queries"))
+
+    @property
+    def total_peer_probes(self) -> int:
+        """Total ad-hoc peer probes sent (P2P communication overhead)."""
+        return int(self.registry.value("sim.peer_probes"))
+
+    @property
+    def total_tuples_received(self) -> int:
+        """Total NN tuples transferred over the P2P channel."""
+        return int(self.registry.value("sim.tuples_received"))
+
+    @property
+    def total_latency_ms(self) -> float:
+        """Summed query latency under the simulation's latency model."""
+        return self.registry.total("sim.latency_ms")
+
+    @property
+    def latency_by_tier(self) -> Dict[ResolutionTier, float]:
+        """Summed latency per resolution tier (all tiers present)."""
+        return {
+            tier: self.registry.value("sim.latency_ms", tier=tier.value)
+            for tier in ResolutionTier
+        }
 
     # ------------------------------------------------------------------
     # derived statistics
     # ------------------------------------------------------------------
     @property
     def total_queries(self) -> int:
-        return sum(self.tier_counts.values())
+        """Number of recorded (post-warm-up) queries."""
+        return int(self.registry.total("sim.queries"))
 
     def share(self, tier: ResolutionTier) -> float:
         """Fraction of recorded queries resolved at ``tier`` (0-1)."""
         total = self.total_queries
-        return self.tier_counts[tier] / total if total else 0.0
+        if total == 0:
+            return 0.0
+        return self.registry.value("sim.queries", tier=tier.value) / total
 
     @property
     def server_share(self) -> float:
@@ -81,6 +128,7 @@ class SimulationMetrics:
 
     @property
     def multi_peer_share(self) -> float:
+        """Queries solved by merging several peers' certain circles."""
         return self.share(ResolutionTier.MULTI_PEER)
 
     @property
@@ -90,9 +138,10 @@ class SimulationMetrics:
 
     def mean_server_pages(self) -> float:
         """Mean page accesses per server-processed query (the PAR input)."""
-        if self.server_query_count == 0:
+        count = self.server_query_count
+        if count == 0:
             return 0.0
-        return self.total_server_pages / self.server_query_count
+        return self.total_server_pages / count
 
     def mean_peer_probes(self) -> float:
         """Mean ad-hoc probes sent per query (communication overhead)."""

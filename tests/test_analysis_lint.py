@@ -211,3 +211,78 @@ class TestCli:
         assert proc.returncode == 0
         for code in ALL_RULE_CODES | {"RPR007"}:
             assert code in proc.stdout
+
+
+class TestDocsHygieneRule:
+    """RPR014: docstrings on the documented core + canonical citations."""
+
+    CORE_PATH = "src/repro/core/m.py"
+
+    def test_public_function_without_docstring_flagged_in_core(self):
+        source = '"""Doc."""\n\n\ndef probe():\n    return 1\n'
+        assert "RPR014" in codes_of(lint_source(source, path=self.CORE_PATH))
+
+    def test_docstringed_function_passes(self):
+        source = '"""Doc."""\n\n\ndef probe():\n    """Probe."""\n    return 1\n'
+        assert "RPR014" not in codes_of(lint_source(source, path=self.CORE_PATH))
+
+    def test_public_class_and_method_both_checked(self):
+        source = (
+            '"""Doc."""\n\n\nclass Widget:\n'
+            '    """A widget."""\n\n'
+            "    def turn(self):\n        return 1\n"
+        )
+        violations = [
+            v for v in lint_source(source, path=self.CORE_PATH) if v.code == "RPR014"
+        ]
+        assert len(violations) == 1  # only the method is missing one
+
+    def test_private_and_dunder_defs_exempt(self):
+        source = (
+            '"""Doc."""\n\n\nclass Widget:\n'
+            '    """A widget."""\n\n'
+            "    def __init__(self):\n        self.x = 1\n\n"
+            "    def _spin(self):\n        return 1\n"
+        )
+        assert "RPR014" not in codes_of(lint_source(source, path=self.CORE_PATH))
+
+    def test_docstrings_not_required_outside_documented_core(self):
+        source = '"""Doc."""\n\n\ndef probe():\n    return 1\n'
+        assert "RPR014" not in codes_of(lint_source(source, path="src/repro/sim/m.py"))
+        assert "RPR014" not in codes_of(lint_source(source, path="tests/test_m.py"))
+
+    def test_lowercase_citation_is_non_canonical(self):
+        source = '"""Implements lemma 3.2 for peers."""\n'  # repro: noqa(RPR014)
+        violations = lint_source(source, path="src/repro/sim/m.py")
+        assert any(
+            v.code == "RPR014" and "non-canonical" in v.message for v in violations
+        )
+
+    def test_abbreviated_section_is_non_canonical(self):
+        source = '"""See Sec. 3.3 for bounds."""\n'  # repro: noqa(RPR014)
+        violations = lint_source(source, path="src/repro/sim/m.py")
+        assert any(
+            v.code == "RPR014" and "non-canonical" in v.message for v in violations
+        )
+
+    def test_canonical_citations_pass(self):
+        source = (
+            '"""Lemma 3.2, Lemmas 3.1 and Section 3.2.1 are all canonical."""\n'
+        )
+        assert "RPR014" not in codes_of(lint_source(source, path="src/repro/sim/m.py"))
+
+    def test_unknown_lemma_number_flagged(self):
+        source = '"""Implements Lemma 9.9 exactly."""\n'  # repro: noqa(RPR014)
+        violations = lint_source(source, path="src/repro/sim/m.py")
+        assert any(
+            v.code == "RPR014" and "no such" in v.message for v in violations
+        )
+
+    def test_known_section_numbers_are_not_cross_checked(self):
+        # Sections have no registry; only the canonical *form* is policed.
+        source = '"""Background in Section 9.9."""\n'
+        assert "RPR014" not in codes_of(lint_source(source, path="src/repro/sim/m.py"))
+
+    def test_noqa_suppresses_citation_finding(self):
+        source = '"""Uses lemma 3.2."""  # repro: noqa(RPR014)\n'
+        assert "RPR014" not in codes_of(lint_source(source, path="src/repro/sim/m.py"))

@@ -1,0 +1,78 @@
+"""Docs hygiene: every intra-repo markdown link must resolve.
+
+Scans the top-level markdown pages plus everything under ``docs/``,
+extracts ``[text](target)`` links outside fenced code blocks, and
+asserts each relative target exists on disk. External links
+(http/https/mailto) and pure ``#anchor`` links are out of scope — this
+is a filesystem check, not a network crawler.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+TOP_LEVEL_PAGES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+)
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def _doc_pages():
+    pages = [REPO_ROOT / name for name in TOP_LEVEL_PAGES]
+    pages.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [page for page in pages if page.exists()]
+
+
+def _links_outside_fences(page: Path):
+    in_fence = False
+    for line_number, line in enumerate(page.read_text().splitlines(), start=1):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield line_number, match.group(1)
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "#"))
+
+
+@pytest.mark.parametrize("page", _doc_pages(), ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_intra_repo_markdown_links_resolve(page):
+    broken = []
+    for line_number, target in _links_outside_fences(page):
+        if _is_external(target):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (page.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append(f"{page.name}:{line_number}: {target}")
+    assert not broken, "broken intra-repo links:\n" + "\n".join(broken)
+
+
+def test_scanner_sees_the_docs_tree():
+    pages = {page.name for page in _doc_pages()}
+    assert "README.md" in pages
+    assert "architecture.md" in pages
+    assert "observability.md" in pages
+
+
+def test_readme_links_every_docs_page():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for page in (REPO_ROOT / "docs").glob("*.md"):
+        assert f"docs/{page.name}" in readme, (
+            f"docs/{page.name} is not linked from the README documentation index"
+        )

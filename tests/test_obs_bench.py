@@ -1,0 +1,155 @@
+"""Tests for repro.obs.bench: determinism, validation, regression diffing.
+
+Everything runs the ``smoke`` profile — the same one CI exercises — so
+this file stays in tier-1 time budgets while still driving the full
+suite end to end, including the CLI.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import OBS, MetricsRegistry
+from repro.obs.bench import (
+    PROFILES,
+    SCHEMA_VERSION,
+    compare_to_baseline,
+    main,
+    run_suite,
+    validate_baseline,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_suite("smoke", seed=1)
+
+
+class TestRunSuite:
+    def test_smoke_is_deterministic_across_runs(self, smoke_result):
+        again = run_suite("smoke", seed=1)
+        assert again["deterministic"] == smoke_result["deterministic"]
+
+    def test_result_passes_its_own_validation(self, smoke_result):
+        assert validate_baseline(smoke_result) == []
+
+    def test_seed_changes_the_result(self, smoke_result):
+        other = run_suite("smoke", seed=2)
+        assert other["deterministic"] != smoke_result["deterministic"]
+
+    def test_global_registry_is_restored(self):
+        previous = OBS.registry
+        OBS.registry = MetricsRegistry()
+        try:
+            OBS.registry.counter("sentinel").inc()
+            run_suite("smoke", seed=1)
+            assert OBS.registry.value("sentinel") == 1.0
+            assert len(OBS.registry) == 1
+        finally:
+            OBS.registry = previous
+
+    def test_profiles_cover_all_cli_choices(self):
+        assert set(PROFILES) == {"smoke", "fast", "full"}
+
+
+class TestValidateBaseline:
+    def test_rejects_non_object(self):
+        assert validate_baseline([1, 2]) == ["baseline must be a JSON object"]
+
+    def test_rejects_wrong_schema_version(self, smoke_result):
+        bad = copy.deepcopy(smoke_result)
+        bad["schema_version"] = SCHEMA_VERSION + 1
+        assert any("schema_version" in p for p in validate_baseline(bad))
+
+    def test_rejects_missing_section(self, smoke_result):
+        bad = copy.deepcopy(smoke_result)
+        del bad["deterministic"]["verification"]
+        assert any("verification" in p for p in validate_baseline(bad))
+
+    def test_rejects_einn_above_inn(self, smoke_result):
+        bad = copy.deepcopy(smoke_result)
+        region = next(iter(bad["deterministic"]["inn_vs_einn"]))
+        series = bad["deterministic"]["inn_vs_einn"][region]
+        series["einn_pages"][0] = series["inn_pages"][0] + 5.0
+        problems = validate_baseline(bad)
+        assert any("Figure 17" in p for p in problems)
+
+
+class TestCompareToBaseline:
+    def test_identical_runs_diff_clean(self, smoke_result):
+        assert compare_to_baseline(smoke_result, smoke_result) == []
+
+    def test_within_tolerance_passes(self, smoke_result):
+        fresh = copy.deepcopy(smoke_result)
+        sim = fresh["deterministic"]["sim_window"]
+        sim["queries"] = sim["queries"] * 1.01  # 1% < default 5% rtol
+        assert compare_to_baseline(fresh, smoke_result) == []
+
+    def test_beyond_tolerance_is_a_diff(self, smoke_result):
+        fresh = copy.deepcopy(smoke_result)
+        fresh["deterministic"]["sim_window"]["queries"] *= 2
+        diffs = compare_to_baseline(fresh, smoke_result)
+        assert any("sim_window.queries" in d for d in diffs)
+
+    def test_missing_key_is_a_diff(self, smoke_result):
+        fresh = copy.deepcopy(smoke_result)
+        del fresh["deterministic"]["tree_build"]["pois"]
+        diffs = compare_to_baseline(fresh, smoke_result)
+        assert any("missing from fresh run" in d for d in diffs)
+
+    def test_identity_field_mismatch_is_a_diff(self, smoke_result):
+        fresh = copy.deepcopy(smoke_result)
+        fresh["seed"] = 99
+        assert any(d.startswith("seed") for d in compare_to_baseline(fresh, smoke_result))
+
+
+class TestCli:
+    def test_write_then_check_round_trip(self, tmp_path):
+        out = tmp_path / "baseline.json"
+        assert main(["--profile", "smoke", "--seed", "1",
+                     "--output", str(out), "--quiet"]) == 0
+        written = json.loads(out.read_text())
+        assert validate_baseline(written) == []
+        assert written["profile"] == "smoke"
+        assert main(["--profile", "smoke", "--seed", "1",
+                     "--output", str(out), "--check", "--quiet"]) == 0
+
+    def test_check_fails_on_regression(self, tmp_path, smoke_result):
+        out = tmp_path / "baseline.json"
+        doctored = copy.deepcopy(smoke_result)
+        doctored["deterministic"]["sim_window"]["queries"] *= 10
+        out.write_text(json.dumps(doctored))
+        assert main(["--profile", "smoke", "--seed", "1",
+                     "--output", str(out), "--check", "--quiet"]) == 1
+
+    def test_check_fails_on_unreadable_baseline(self, tmp_path):
+        out = tmp_path / "nope.json"
+        assert main(["--profile", "smoke", "--seed", "1",
+                     "--output", str(out), "--check", "--quiet"]) == 2
+
+    def test_trace_export_is_deterministic_jsonl(self, tmp_path):
+        out = tmp_path / "b.json"
+        trace_a = tmp_path / "a.jsonl"
+        trace_b = tmp_path / "b.jsonl"
+        for trace in (trace_a, trace_b):
+            assert main(["--profile", "smoke", "--seed", "1",
+                         "--output", str(out), "--trace", str(trace),
+                         "--quiet"]) == 0
+        lines = trace_a.read_text().splitlines()
+        assert lines, "trace must contain records"
+        for line in lines:
+            record = json.loads(line)
+            assert record["kind"] in {"span", "event"}
+        assert trace_a.read_text() == trace_b.read_text()
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_is_schema_valid(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_baseline.json"
+        data = json.loads(path.read_text())
+        assert validate_baseline(data) == []
+        assert data["profile"] == "fast"
+        assert data["seed"] == 0

@@ -1,0 +1,202 @@
+"""Tests for repro.obs.metrics: counters, gauges, histograms, registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", a="x") is registry.counter("c", a="x")
+        assert registry.counter("c", a="x") is not registry.counter("c", a="y")
+
+    def test_label_order_is_canonicalized(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", a="1", b="2") is registry.counter(
+            "c", b="2", a="1"
+        )
+
+    def test_label_values_coerced_to_str(self):
+        registry = MetricsRegistry()
+        registry.counter("c", k=4).inc()
+        assert registry.value("c", k="4") == 1.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10.0)
+        gauge.inc(2.0)
+        gauge.dec(5.0)
+        assert gauge.value == 7.0
+
+    def test_gauge_may_go_negative(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.dec(3.0)
+        assert gauge.value == -3.0
+
+
+class TestHistogramBucketEdges:
+    def test_boundary_value_lands_in_boundary_bucket(self):
+        histogram = MetricsRegistry().histogram("h", boundaries=(1.0, 2.0, 5.0))
+        histogram.observe(1.0)  # le semantics: exactly 1.0 -> first bucket
+        assert histogram.bucket_counts == [1, 0, 0, 0]
+        histogram.observe(2.0)
+        assert histogram.bucket_counts == [1, 1, 0, 0]
+        histogram.observe(5.0)
+        assert histogram.bucket_counts == [1, 1, 1, 0]
+
+    def test_between_boundaries_goes_up(self):
+        histogram = MetricsRegistry().histogram("h", boundaries=(1.0, 2.0, 5.0))
+        histogram.observe(1.5)
+        assert histogram.bucket_counts == [0, 1, 0, 0]
+
+    def test_overflow_bucket_catches_above_last_boundary(self):
+        histogram = MetricsRegistry().histogram("h", boundaries=(1.0, 2.0, 5.0))
+        histogram.observe(5.000001)
+        histogram.observe(1e9)
+        assert histogram.bucket_counts == [0, 0, 0, 2]
+
+    def test_below_first_boundary_goes_to_first_bucket(self):
+        histogram = MetricsRegistry().histogram("h", boundaries=(1.0, 2.0))
+        histogram.observe(0.0)
+        histogram.observe(-1.0)
+        assert histogram.bucket_counts == [2, 0, 0]
+
+    def test_count_sum_mean(self):
+        histogram = MetricsRegistry().histogram("h", boundaries=(10.0,))
+        assert histogram.mean == 0.0
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.count == 2
+        assert histogram.sum == 6.0
+        assert histogram.mean == 3.0
+
+    def test_boundaries_must_be_strictly_increasing(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", boundaries=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h2", boundaries=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h3", boundaries=())
+
+    def test_default_boundaries_are_time_buckets(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.boundaries == DEFAULT_TIME_BUCKETS_S
+
+    def test_conflicting_boundaries_raise(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", boundaries=DEFAULT_COUNT_BUCKETS)
+        with pytest.raises(ValueError):
+            registry.histogram("h", boundaries=(1.0, 2.0))
+        # Re-requesting with the same boundaries (or none) is fine.
+        assert registry.histogram("h", boundaries=DEFAULT_COUNT_BUCKETS).count == 0
+        assert registry.histogram("h").boundaries == DEFAULT_COUNT_BUCKETS
+
+    def test_default_bucket_ladders_are_valid(self):
+        assert list(DEFAULT_TIME_BUCKETS_S) == sorted(DEFAULT_TIME_BUCKETS_S)
+        assert list(DEFAULT_COUNT_BUCKETS) == sorted(DEFAULT_COUNT_BUCKETS)
+
+
+class TestRegistry:
+    def test_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(TypeError):
+            registry.gauge("m")
+        with pytest.raises(TypeError):
+            registry.histogram("m")
+
+    def test_value_of_absent_metric_is_zero(self):
+        assert MetricsRegistry().value("nope") == 0.0
+
+    def test_value_of_histogram_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", boundaries=(1.0,))
+        with pytest.raises(TypeError):
+            registry.value("h")
+
+    def test_total_sums_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("q", tier="server").inc(3)
+        registry.counter("q", tier="peer").inc(2)
+        assert registry.total("q") == 5.0
+
+    def test_label_values_groups_by_label(self):
+        registry = MetricsRegistry()
+        registry.counter("q", tier="server").inc(3)
+        registry.counter("q", tier="peer").inc(2)
+        registry.counter("q").inc()  # unlabelled: skipped (no tier key)
+        assert registry.label_values("q", "tier") == {
+            "server": 3.0,
+            "peer": 2.0,
+        }
+
+    def test_iteration_and_snapshot_are_sorted_and_json_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a", z="2", y="1").inc(2)
+        registry.histogram("h", boundaries=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["a{y=1,z=2}"] == 2.0
+        assert snapshot["b"] == 1.0
+        assert snapshot["h"] == {
+            "count": 1,
+            "sum": 0.5,
+            "boundaries": [1.0],
+            "buckets": [1, 0],
+        }
+        # Two identical workloads -> byte-identical JSON.
+        other = MetricsRegistry()
+        other.histogram("h", boundaries=(1.0,)).observe(0.5)
+        other.counter("a", y="1", z="2").inc(2)
+        other.counter("b").inc()
+        assert json.dumps(snapshot, sort_keys=True) == json.dumps(
+            other.snapshot(), sort_keys=True
+        )
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.value("c") == 0.0
+
+    def test_len_counts_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a="1")
+        registry.counter("c", a="2")
+        registry.gauge("g")
+        assert len(registry) == 3
+
+    def test_direct_construction_types(self):
+        # The registry is the intended constructor, but the classes are
+        # public and must agree with it.
+        assert Counter("c", ()).value == 0.0
+        assert Gauge("g", ()).value == 0.0
+        assert Histogram("h", (), (1.0,)).count == 0

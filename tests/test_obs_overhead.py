@@ -1,0 +1,108 @@
+"""The observability layer's cost contract.
+
+Two halves:
+
+- **Disabled means silent:** with ``observed(enabled=False)`` the global
+  registry must not move at all, however hard the engine works.
+- **Disabled means cheap:** the ≤2 % overhead budget on the quickstart
+  scenario.  Measuring two end-to-end wall times and subtracting is
+  hopelessly noisy at millisecond scale, so the budget is asserted the
+  robust way: count the instrumentation events an *enabled* run records
+  (every one of which corresponds to one ``if OBS.enabled`` guard in the
+  disabled run), measure the per-guard cost directly with a tight loop
+  (an overestimate — it includes loop overhead), and compare
+  ``events x guard_cost`` against 2 % of the scenario's runtime.
+"""
+
+import time
+
+from repro.core import MobileHost, SennConfig, SpatialDatabaseServer
+from repro.geometry.point import Point
+from repro.obs import OBS, MetricsRegistry, observed
+
+
+def _quickstart_scenario() -> None:
+    """A compressed quickstart: one warm host seeds a second host's query."""
+    stations = [
+        (Point(0.1 + 0.13 * i, 0.07 * ((i * 7) % 11)), f"station-{i}")
+        for i in range(16)
+    ]
+    server = SpatialDatabaseServer.from_points(stations)
+    config = SennConfig(k=3, transmission_range=0.124, cache_capacity=10)
+    veteran = MobileHost(1, Point(0.5, 0.4), config)
+    veteran.query_knn(peers=[], server=server)
+    newcomer = MobileHost(2, Point(0.52, 0.41), config)
+    for step in range(10):
+        newcomer.position = Point(0.52 + 0.005 * step, 0.41)
+        newcomer.query_knn(peers=[veteran], server=server)
+
+
+def _time_scenario(repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _quickstart_scenario()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _guard_cost_ns(loops: int = 100_000) -> float:
+    """Per-event cost of the disabled guard, loop overhead included."""
+    sink = 0
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(loops):
+            if OBS.enabled:
+                sink += 1
+        best = min(best, time.perf_counter() - start)
+    assert sink == 0
+    return best / loops * 1e9
+
+
+class TestDisabledIsSilent:
+    def test_registry_untouched_when_disabled(self):
+        with observed(enabled=False):
+            OBS.registry = MetricsRegistry()
+            try:
+                _quickstart_scenario()
+                assert len(OBS.registry) == 0
+                assert OBS.registry.snapshot() == {}
+            finally:
+                OBS.registry = MetricsRegistry()
+
+    def test_observed_restores_previous_state(self):
+        before = OBS.enabled
+        with observed(enabled=not before):
+            assert OBS.enabled is (not before)
+        assert OBS.enabled is before
+
+
+class TestOverheadBudget:
+    def test_disabled_guards_stay_within_two_percent_of_quickstart(self):
+        # How many instrumentation events does the scenario emit?
+        with observed(enabled=True):
+            previous = OBS.registry
+            OBS.registry = MetricsRegistry()
+            try:
+                _quickstart_scenario()
+                events = sum(
+                    metric.value
+                    for metric in OBS.registry
+                    if not hasattr(metric, "bucket_counts")
+                )
+            finally:
+                OBS.registry = previous
+        assert events > 0, "the quickstart scenario must exercise hot paths"
+
+        with observed(enabled=False):
+            scenario_s = _time_scenario()
+            guard_ns = _guard_cost_ns()
+        overhead_s = events * guard_ns * 1e-9
+        # The counter *values* overcount guards where one guarded block
+        # does several inc() calls; that slack is in the budget's favor.
+        assert overhead_s <= 0.02 * scenario_s, (
+            f"{events:.0f} events x {guard_ns:.0f} ns = "
+            f"{overhead_s * 1e6:.1f} us exceeds 2% of the "
+            f"{scenario_s * 1e3:.2f} ms quickstart scenario"
+        )

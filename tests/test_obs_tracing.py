@@ -1,0 +1,112 @@
+"""Tests for repro.obs.tracing: logical clocks, spans, JSONL round-trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.tracing import LogicalClock, TraceRecord, Tracer, records_from_jsonl
+
+
+class TestLogicalClock:
+    def test_monotone_integer_ticks(self):
+        clock = LogicalClock()
+        assert [clock() for _ in range(4)] == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestSpans:
+    def test_span_records_on_close_with_logical_times(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            pass
+        assert len(tracer.records) == 1
+        record = tracer.records[0]
+        assert record.kind == "span"
+        assert record.name == "outer"
+        assert (record.start, record.end) == (0.0, 1.0)
+        assert record.parent_id is None
+        assert record.duration == 1.0
+
+    def test_nested_spans_link_parents_and_close_child_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records
+        assert [inner.name, outer.name] == ["inner", "outer"]
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_span_attrs_and_live_mutation(self):
+        tracer = Tracer()
+        with tracer.span("s", k=4) as record:
+            record.attrs["extra"] = "v"
+        assert tracer.records[0].attrs == {"k": 4, "extra": "v"}
+
+    def test_exception_stamps_error_attr_and_still_records(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        record = tracer.records[0]
+        assert record.attrs["error"] == "RuntimeError"
+        assert record.end > record.start
+
+    def test_event_is_instant_and_parented(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            event = tracer.event("tick", n=1)
+        assert event.kind == "event"
+        assert event.start == event.end
+        assert event.parent_id == tracer.records[-1].span_id
+        assert event.duration == 0.0
+
+    def test_injectable_clock(self):
+        times = iter([10.0, 20.0])
+        tracer = Tracer(clock=lambda: next(times))
+        with tracer.span("s"):
+            pass
+        assert (tracer.records[0].start, tracer.records[0].end) == (10.0, 20.0)
+
+
+class TestJsonlRoundTrip:
+    def _busy_tracer(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("outer", region="LA"):
+            tracer.event("tick", n=1)
+            with tracer.span("inner"):
+                pass
+        return tracer
+
+    def test_round_trip_is_exact(self):
+        tracer = self._busy_tracer()
+        reloaded = records_from_jsonl(tracer.to_jsonl())
+        assert reloaded == tracer.records
+
+    def test_lines_are_sorted_key_json(self):
+        tracer = self._busy_tracer()
+        for line in tracer.to_jsonl().splitlines():
+            parsed = json.loads(line)
+            assert list(parsed) == sorted(parsed)
+
+    def test_two_identical_runs_serialize_byte_identically(self):
+        assert self._busy_tracer().to_jsonl() == self._busy_tracer().to_jsonl()
+
+    def test_export_jsonl_writes_stream_and_returns_count(self):
+        tracer = self._busy_tracer()
+        stream = io.StringIO()
+        count = tracer.export_jsonl(stream)
+        assert count == len(tracer.records) == 3
+        assert stream.getvalue() == tracer.to_jsonl()
+
+    def test_blank_lines_skipped_on_parse(self):
+        tracer = self._busy_tracer()
+        padded = "\n" + tracer.to_jsonl() + "\n\n"
+        assert records_from_jsonl(padded) == tracer.records
+
+    def test_single_record_round_trip(self):
+        record = TraceRecord(
+            kind="event", name="n", start=1.0, end=1.0, span_id=7,
+            parent_id=3, attrs={"a": [1, 2]},
+        )
+        assert TraceRecord.from_json(record.to_json()) == record
