@@ -43,6 +43,7 @@ ENTRY_POINTS: FrozenSet[str] = frozenset(
         "repro.analysis.cli.main",
         "repro.testing.cli.main",
         "repro.obs.bench.main",
+        "repro.service.cli.main",
     }
 )
 
@@ -122,6 +123,7 @@ DOCSTRING_REQUIRED_PREFIXES: Tuple[str, ...] = (
     "repro.core",
     "repro.index",
     "repro.obs",
+    "repro.service",
 )
 
 #: Lemma numbers the source paper actually defines (Section 3).  A
@@ -156,6 +158,8 @@ LAYER_RANKS: Dict[str, int] = {
     "repro.continuous": 3,
     "repro.io": 3,
     "repro.io.figures": 4,  # serializes experiments.runner.FigureResult
+    "repro.service": 3,  # wire protocol + serving engine over core/index
+    "repro.service.cli": 5,  # the repro-serve console script
     "repro.sim": 3,
     "repro.analysis.invariants": 3,
     "repro.testing": 3,

@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence
 
 from repro.geometry.point import Point
 from repro.index.knn import NeighborResult
-from repro.core.server import SpatialDatabaseServer
+from repro.core.backend import SpatialBackend
 
 __all__ = ["MultistepResult", "naive_multistep_knn", "bounded_multistep_knn"]
 
@@ -40,7 +40,7 @@ class MultistepResult:
 
 
 def naive_multistep_knn(
-    server: SpatialDatabaseServer,
+    server: SpatialBackend,
     positions: Sequence[Point],
     k: int,
 ) -> MultistepResult:
@@ -50,14 +50,14 @@ def naive_multistep_knn(
     answers: List[List[NeighborResult]] = []
     pages = 0
     for position in positions:
-        answers.append(server.knn_query(position, k))
-        breakdown = server.last_query_breakdown()
-        pages += breakdown.total if breakdown else 0
+        answer = server.knn_query_detailed(position, k)
+        answers.append(answer.neighbors)
+        pages += answer.pages.total
     return MultistepResult(answers, server_queries=len(positions), server_pages=pages)
 
 
 def bounded_multistep_knn(
-    server: SpatialDatabaseServer,
+    server: SpatialBackend,
     positions: Sequence[Point],
     k: int,
     fetch_count: Optional[int] = None,
@@ -85,9 +85,9 @@ def bounded_multistep_knn(
     for position in positions:
         need_fetch = anchor is None or position.distance_to(anchor) > safe_radius
         if need_fetch:
-            fetched = server.knn_query(position, m)
-            breakdown = server.last_query_breakdown()
-            pages += breakdown.total if breakdown else 0
+            answer = server.knn_query_detailed(position, m)
+            fetched = answer.neighbors
+            pages += answer.pages.total
             server_queries += 1
             anchor = position
             if len(fetched) == m:

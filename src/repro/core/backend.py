@@ -1,0 +1,91 @@
+"""The spatial-query backend contract shared by server and service.
+
+Historically the SENN/SNNN pipelines were welded to the in-process
+:class:`~repro.core.server.SpatialDatabaseServer`.  With the query
+service (:mod:`repro.service`) the same pipelines must also run against
+a remote server reached over a wire protocol, so the dependency is
+inverted: everything above the server programs against the
+:class:`SpatialBackend` protocol defined here, and both the in-process
+server and the service-backed client implement it.
+
+The protocol's query methods return a :class:`QueryAnswer` -- the
+neighbor list *plus* the page-access breakdown of exactly that query.
+Callers must never read breakdowns back out of shared mutable server
+state (``last_query_breakdown()``): the moment two queries interleave
+(which a concurrent service guarantees), the "last" breakdown belongs
+to somebody else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Protocol, Sequence, runtime_checkable
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult, PruningBounds
+from repro.index.pagestats import AccessBreakdown
+
+__all__ = ["QueryAnswer", "SpatialBackend"]
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """One query's complete outcome: the neighbors and what they cost.
+
+    ``pages`` is the access breakdown attributed to this query alone.
+    When the query was executed as part of a merged batch (the service's
+    shared traversals), ``batch_size`` records how many client requests
+    shared the traversal and ``pages`` holds this request's amortized
+    share of the batch's node reads (object-record accesses stay exact
+    per client).
+    """
+
+    neighbors: List[NeighborResult] = field(default_factory=list)
+    pages: AccessBreakdown = field(
+        default_factory=lambda: AccessBreakdown(0, 0, 0)
+    )
+    batch_size: int = 1
+
+    @property
+    def total_pages(self) -> int:
+        """Shorthand for ``pages.total``."""
+        return self.pages.total
+
+
+@runtime_checkable
+class SpatialBackend(Protocol):
+    """What SENN/SNNN/naive-sharing need from "the server".
+
+    Implemented by :class:`~repro.core.server.SpatialDatabaseServer`
+    (in-process) and :class:`repro.service.client.ServiceClient`
+    (through the wire protocol, over any transport).  The incremental
+    stream must meter onto its own sub-counter so interleaved queries
+    cannot steal each other's page accesses.
+    """
+
+    def knn_query_detailed(
+        self,
+        query: Point,
+        k: int,
+        bounds: PruningBounds = ...,
+        known_certain: Sequence[NeighborResult] = ...,
+    ) -> QueryAnswer:
+        """Answer a kNN query; breakdown attributed to this call only."""
+        ...
+
+    def range_query_detailed(
+        self, center: Point, radius: float
+    ) -> QueryAnswer:
+        """All POIs within ``radius``, ascending, with this call's pages."""
+        ...
+
+    def window_query_detailed(self, window: BoundingBox) -> QueryAnswer:
+        """All POIs inside ``window``, ascending from its center."""
+        ...
+
+    def incremental_query(
+        self, query: Point, meter: bool = ...
+    ) -> Iterator[NeighborResult]:
+        """Lazy ascending-distance neighbor stream (IER's contract)."""
+        ...

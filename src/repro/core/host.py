@@ -23,9 +23,9 @@ if TYPE_CHECKING:  # runtime import stays local to query_range (import cycle)
 
 from repro.geometry.point import Point
 from repro.network.graph import SpatialNetwork
+from repro.core.backend import SpatialBackend
 from repro.core.cache import CachedQueryResult, QueryCache
 from repro.core.senn import ResolutionTier, SennConfig, SennResult, senn_query
-from repro.core.server import SpatialDatabaseServer
 from repro.core.snnn import SnnnResult, snnn_query
 
 __all__ = ["MobileHost"]
@@ -92,7 +92,7 @@ class MobileHost:
         self,
         k: Optional[int] = None,
         peers: Sequence["MobileHost"] = (),
-        server: Optional[SpatialDatabaseServer] = None,
+        server: Optional[SpatialBackend] = None,
         timestamp: float = 0.0,
     ) -> SennResult:
         """Issue a Euclidean kNN query (SENN pipeline).
@@ -119,7 +119,7 @@ class MobileHost:
         self,
         radius: float,
         peers: Sequence["MobileHost"] = (),
-        server: Optional[SpatialDatabaseServer] = None,
+        server: Optional[SpatialBackend] = None,
         timestamp: float = 0.0,
     ) -> "RangeQueryResult":
         """Issue a range query ("all POIs within ``radius``").
@@ -148,8 +148,8 @@ class MobileHost:
             # Policy-2 analogue: over-fetch a slightly larger disk so the
             # cached certain circle can cover future nearby queries.
             fetch_radius = radius + self.config.range_overfetch
-            fetched = server.range_query(self.position, fetch_radius)
-            pages = server.last_query_breakdown()
+            answer = server.range_query_detailed(self.position, fetch_radius)
+            fetched = answer.neighbors
             self.cache.store(
                 self.position, fetched, timestamp, known_radius=fetch_radius
             )
@@ -157,7 +157,7 @@ class MobileHost:
                 [n for n in fetched if n.distance <= radius],
                 ResolutionTier.SERVER,
                 peers_consulted=result.peers_consulted,
-                server_pages=pages.total if pages else 0,
+                server_pages=answer.pages.total,
             )
         elif result.answered_by_peers:
             # Even an empty disk is knowledge: cache it with the query
@@ -173,7 +173,7 @@ class MobileHost:
         network: SpatialNetwork,
         k: Optional[int] = None,
         peers: Sequence["MobileHost"] = (),
-        server: Optional[SpatialDatabaseServer] = None,
+        server: Optional[SpatialBackend] = None,
         timestamp: float = 0.0,
     ) -> SnnnResult:
         """Issue a network-distance kNN query (SNNN pipeline)."""
@@ -221,13 +221,15 @@ class MobileHost:
         self.resolution_counts[tier] += 1
 
     def _store_result(self, result: SennResult, timestamp: float) -> None:
-        """Cache policy 1: keep the certain NNs of the most recent query."""
+        """Cache policies 1+2: keep the certain NNs of the most recent
+        query, including the policy-2 over-fetch surplus (``cacheable``
+        is the full server answer when ``server_k > k`` applied)."""
         if result.tier is ResolutionTier.UNCERTAIN:
             # Uncertain answers must not poison the cache: peers would
             # treat the entries as certain.
             return
-        if result.neighbors:
-            self.cache.store(self.position, result.neighbors, timestamp)
+        if result.cacheable:
+            self.cache.store(self.position, result.cacheable, timestamp)
 
     def server_share(self) -> float:
         """Fraction of this host's queries that reached the server."""

@@ -26,7 +26,7 @@ from repro.geometry.point import Point
 from repro.index.knn import NeighborResult
 from repro.core.cache import CachedQueryResult
 from repro.core.senn import ResolutionTier
-from repro.core.server import SpatialDatabaseServer
+from repro.core.backend import SpatialBackend
 
 __all__ = ["NaiveShareResult", "naive_share_query", "evaluate_accuracy"]
 
@@ -46,7 +46,7 @@ def naive_share_query(
     k: int,
     peer_caches: Sequence[CachedQueryResult],
     adoption_radius: float,
-    server: Optional[SpatialDatabaseServer] = None,
+    server: Optional[SpatialBackend] = None,
 ) -> NaiveShareResult:
     """Adopt the closest peer's cached result, or fall back to the server.
 
@@ -85,12 +85,11 @@ def naive_share_query(
 
     if server is None:
         return NaiveShareResult([], ResolutionTier.SERVER)
-    results = server.knn_query(query, k)
-    breakdown = server.last_query_breakdown()
+    answer = server.knn_query_detailed(query, k)
     return NaiveShareResult(
-        results,
+        answer.neighbors,
         ResolutionTier.SERVER,
-        server_pages=breakdown.total if breakdown else 0,
+        server_pages=answer.pages.total,
     )
 
 

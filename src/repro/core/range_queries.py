@@ -33,7 +33,7 @@ from repro.geometry.point import Point
 from repro.index.knn import NeighborResult
 from repro.core.cache import CachedQueryResult
 from repro.core.senn import ResolutionTier, SennConfig
-from repro.core.server import SpatialDatabaseServer
+from repro.core.backend import SpatialBackend
 from repro.core.verification import collect_candidates
 
 __all__ = ["RangeQueryResult", "sharing_range_query", "sharing_window_query"]
@@ -64,7 +64,7 @@ def sharing_range_query(
     own_cache: Optional[CachedQueryResult],
     peer_caches: Sequence[CachedQueryResult],
     config: SennConfig,
-    server: Optional[SpatialDatabaseServer] = None,
+    server: Optional[SpatialBackend] = None,
 ) -> RangeQueryResult:
     """Answer "all POIs within ``radius`` of ``query``" via peer sharing.
 
@@ -118,13 +118,12 @@ def sharing_range_query(
     # Tier 3: the server.
     if server is None:
         return RangeQueryResult([], ResolutionTier.SERVER, len(ordered))
-    results = server.range_query(query, radius)
-    pages = server.last_query_breakdown()
+    answer = server.range_query_detailed(query, radius)
     return RangeQueryResult(
-        results,
+        answer.neighbors,
         ResolutionTier.SERVER,
         peers_consulted=len(ordered),
-        server_pages=pages.total if pages else 0,
+        server_pages=answer.pages.total,
     )
 
 
@@ -163,7 +162,7 @@ def sharing_window_query(
     own_cache: Optional[CachedQueryResult],
     peer_caches: Sequence[CachedQueryResult],
     config: SennConfig,
-    server: Optional[SpatialDatabaseServer] = None,
+    server: Optional[SpatialBackend] = None,
 ) -> RangeQueryResult:
     """Answer "all POIs inside ``window``" via peer sharing.
 
@@ -193,22 +192,10 @@ def sharing_window_query(
         return RangeQueryResult(
             [], ResolutionTier.SERVER, disk_result.peers_consulted
         )
-    server.counter.start_query()
-    entries = server.tree.range_search(window, server.counter)
-    results = sorted(
-        (
-            NeighborResult(e.point, e.payload, center.distance_to(e.point))
-            for e in entries
-        ),
-        key=lambda r: r.distance,
-    )
-    for result in results:
-        server.counter.record_object((result.point.x, result.point.y, result.payload))
-    breakdown = server.counter.finish_query()
-    server.queries_served += 1
+    answer = server.window_query_detailed(window)
     return RangeQueryResult(
-        results,
+        answer.neighbors,
         ResolutionTier.SERVER,
         peers_consulted=disk_result.peers_consulted,
-        server_pages=breakdown.total,
+        server_pages=answer.pages.total,
     )

@@ -21,16 +21,16 @@ only side effects are on the server's access counters when step 5 runs.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.geometry.coverage import CoverageMethod
 from repro.geometry.point import Point
 from repro.index.knn import NeighborResult, PruningBounds
+from repro.core.backend import SpatialBackend
 from repro.core.bounds import derive_pruning_bounds
 from repro.core.cache import CachedQueryResult
 from repro.core.heap import CandidateHeap
-from repro.core.server import SpatialDatabaseServer
 from repro.core.verification import verify_multi_peer, verify_single_peer
 from repro.obs import OBS
 
@@ -89,7 +89,14 @@ class SennConfig:
 
 @dataclass
 class SennResult:
-    """Outcome of one SENN query."""
+    """Outcome of one SENN query.
+
+    ``neighbors`` always holds (at most) the ``k`` the caller asked for.
+    When cache policy 2 over-fetched from the server (``server_k > k``),
+    the surplus neighbors live in ``prefetched`` -- the full ascending
+    server answer -- which is what the host should *cache*; they are not
+    part of the caller-visible answer.
+    """
 
     neighbors: List[NeighborResult]
     tier: ResolutionTier
@@ -97,6 +104,14 @@ class SennResult:
     bounds: PruningBounds
     peers_consulted: int
     server_pages: int = 0
+    prefetched: List[NeighborResult] = field(default_factory=list)
+
+    @property
+    def cacheable(self) -> List[NeighborResult]:
+        """What cache policies 1+2 retain: the over-fetched set if the
+        server was consulted with ``server_k > k``, the answer itself
+        otherwise."""
+        return self.prefetched if self.prefetched else self.neighbors
 
     @property
     def answered_by_peers(self) -> bool:
@@ -114,7 +129,7 @@ def senn_query(
     own_cache: Optional[CachedQueryResult],
     peer_caches: Sequence[CachedQueryResult],
     config: SennConfig,
-    server: Optional[SpatialDatabaseServer] = None,
+    server: Optional[SpatialBackend] = None,
     server_k: Optional[int] = None,
 ) -> SennResult:
     """Run Algorithm 1.
@@ -190,19 +205,21 @@ def senn_query(
         # The upper bound caps the k-th neighbor only; fetching more NNs
         # than k makes it unsound, so keep just the lower bound.
         bounds = PruningBounds(lower=bounds.lower)
-    results = server.knn_query(query, effective_k, bounds, certain)
-    pages = server.last_query_breakdown()
+    answer = server.knn_query_detailed(query, effective_k, bounds, certain)
     if OBS.enabled:
         OBS.registry.counter(
             "senn.queries", tier=ResolutionTier.SERVER.value
         ).inc()
+    # The caller asked for k neighbors; the over-fetched surplus is cache
+    # material only (policy 2), never part of the visible answer.
     return SennResult(
-        results,
+        answer.neighbors[:k],
         ResolutionTier.SERVER,
         heap,
         bounds,
         consulted,
-        server_pages=pages.total if pages else 0,
+        server_pages=answer.pages.total,
+        prefetched=answer.neighbors if effective_k > k else [],
     )
 
 

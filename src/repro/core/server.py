@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
+from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import Point
 from repro.index.knn import (
     NeighborResult,
@@ -29,6 +30,7 @@ from repro.index.knn import (
 )
 from repro.index.pagestats import AccessBreakdown, BufferPool, PageAccessCounter
 from repro.index.rtree import RTree, RTreeConfig
+from repro.core.backend import QueryAnswer
 from repro.obs import DEFAULT_COUNT_BUCKETS, OBS
 
 __all__ = ["ServerAlgorithm", "SpatialDatabaseServer"]
@@ -94,20 +96,25 @@ class SpatialDatabaseServer:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def knn_query(
+    def knn_query_detailed(
         self,
         query: Point,
         k: int,
         bounds: PruningBounds = PruningBounds(),
         known_certain: Sequence[NeighborResult] = (),
         algorithm: Optional[ServerAlgorithm] = None,
-    ) -> List[NeighborResult]:
+    ) -> QueryAnswer:
         """Answer a kNN query, metering page accesses.
 
         ``bounds`` and ``known_certain`` are the client's partial result
         (Algorithm 1, line 19-20); they are honored only by EINN -- the
         other algorithms ignore them, which is exactly the INN-vs-EINN
         comparison of Section 4.4.
+
+        Returns the neighbors together with *this* query's access
+        breakdown, so callers never have to read it back out of the
+        shared counter (which another interleaved query may have moved
+        on by then).
         """
         chosen = algorithm if algorithm is not None else self.algorithm
         self.counter.start_query()
@@ -131,7 +138,21 @@ class SpatialDatabaseServer:
                 boundaries=DEFAULT_COUNT_BUCKETS,
                 algorithm=chosen.value,
             ).observe(float(breakdown.total))
-        return results
+        return QueryAnswer(results, breakdown)
+
+    def knn_query(
+        self,
+        query: Point,
+        k: int,
+        bounds: PruningBounds = PruningBounds(),
+        known_certain: Sequence[NeighborResult] = (),
+        algorithm: Optional[ServerAlgorithm] = None,
+    ) -> List[NeighborResult]:
+        """Neighbors-only convenience wrapper over
+        :meth:`knn_query_detailed`."""
+        return self.knn_query_detailed(
+            query, k, bounds, known_certain, algorithm
+        ).neighbors
 
     def _record_shipped_objects(
         self,
@@ -165,11 +186,12 @@ class SpatialDatabaseServer:
                 len(results) - shipped
             )
 
-    def range_query(self, center: Point, radius: float) -> List[NeighborResult]:
+    def range_query_detailed(self, center: Point, radius: float) -> QueryAnswer:
         """All POIs within ``radius`` of ``center``, ascending by distance.
 
         Uses the R-tree's circle search; page accesses and shipped result
-        records are metered like kNN queries.
+        records are metered like kNN queries, and the breakdown is
+        returned with the answer.
         """
         self.counter.start_query()
         entries = self.tree.circle_search(center, radius, self.counter)
@@ -193,18 +215,65 @@ class SpatialDatabaseServer:
                 boundaries=DEFAULT_COUNT_BUCKETS,
                 algorithm="range",
             ).observe(float(breakdown.total))
-        return results
+        return QueryAnswer(results, breakdown)
+
+    def range_query(self, center: Point, radius: float) -> List[NeighborResult]:
+        """Neighbors-only convenience wrapper over
+        :meth:`range_query_detailed`."""
+        return self.range_query_detailed(center, radius).neighbors
+
+    def window_query_detailed(self, window: BoundingBox) -> QueryAnswer:
+        """All POIs inside ``window``, ascending by distance from its
+        center, metered like every other query."""
+        center = window.center
+        self.counter.start_query()
+        entries = self.tree.range_search(window, self.counter)
+        results = sorted(
+            (
+                NeighborResult(e.point, e.payload, center.distance_to(e.point))
+                for e in entries
+            ),
+            key=lambda r: r.distance,
+        )
+        for result in results:
+            self.counter.record_object(
+                (result.point.x, result.point.y, _payload_key(result.payload))
+            )
+        breakdown = self.counter.finish_query()
+        self.queries_served += 1
+        if OBS.enabled:
+            OBS.registry.counter("server.window_queries").inc()
+            OBS.registry.histogram(
+                "server.pages_per_query",
+                boundaries=DEFAULT_COUNT_BUCKETS,
+                algorithm="window",
+            ).observe(float(breakdown.total))
+        return QueryAnswer(results, breakdown)
 
     def incremental_query(
         self, query: Point, meter: bool = True
     ) -> Iterator[NeighborResult]:
         """Lazy ascending-distance neighbor stream (used by SNNN).
 
-        The stream meters accesses onto the shared counter as it is
-        consumed; callers should treat one stream as one logical query.
+        Each stream bills onto its own sub-counter, folded into the
+        shared counter's history when the stream is exhausted or closed.
+        Billing lazily onto the *shared* per-query registers instead
+        (the pre-service behavior) attributed a stream's pages to
+        whichever query happened to be open when the consumer pulled --
+        and double-counted them in :meth:`mean_page_accesses` once that
+        query finished.
         """
-        counter = self.counter if meter else None
-        return incremental_nearest(self.tree, query, counter)
+        if not meter:
+            return incremental_nearest(self.tree, query, None)
+        return self._metered_stream(query)
+
+    def _metered_stream(self, query: Point) -> Iterator[NeighborResult]:
+        sub = self.counter.subcounter()
+        sub.start_query()
+        try:
+            yield from incremental_nearest(self.tree, query, sub)
+        finally:
+            self.counter.absorb(sub.finish_query())
 
     # ------------------------------------------------------------------
     # statistics

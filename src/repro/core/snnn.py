@@ -30,7 +30,7 @@ from repro.network.graph import SpatialNetwork
 from repro.network.ier import NetworkNeighbor, incremental_euclidean_restriction
 from repro.core.cache import CachedQueryResult
 from repro.core.senn import ResolutionTier, SennConfig, SennResult, senn_query
-from repro.core.server import SpatialDatabaseServer
+from repro.core.backend import SpatialBackend
 from repro.obs import OBS
 
 __all__ = ["SnnnResult", "snnn_query"]
@@ -61,7 +61,7 @@ def snnn_query(
     own_cache: Optional[CachedQueryResult],
     peer_caches: Sequence[CachedQueryResult],
     config: SennConfig,
-    server: Optional[SpatialDatabaseServer] = None,
+    server: Optional[SpatialBackend] = None,
 ) -> SnnnResult:
     """Run Algorithm 2.
 

@@ -172,7 +172,15 @@ class Circle:
         r0, r1 = self.radius, other.radius
         if d >= r0 + r1:
             return 0.0
-        if d <= abs(r0 - r1):
+        # Subnormal center distances can underflow the segment formula's
+        # ``2*d*r`` denominators to exactly 0.0 even though ``d > 0``; at
+        # float precision the disks are concentric, so the lens is the
+        # smaller disk.
+        if (
+            d <= abs(r0 - r1)
+            or 2.0 * d * r0 == 0.0  # repro: noqa(RPR001)
+            or 2.0 * d * r1 == 0.0  # repro: noqa(RPR001)
+        ):
             smaller = min(r0, r1)
             return math.pi * smaller * smaller
         # Standard circular-segment decomposition.

@@ -50,6 +50,13 @@ class Point:
         if total == 0.0:  # repro: noqa(RPR001)
             return self
         frac = dist / total
+        if not math.isfinite(frac):
+            # ``total`` can be subnormal (denormal separation), overflowing
+            # ``dist / total`` to inf. Normalizing the direction first keeps
+            # every intermediate bounded by ``max(1, dist)``.
+            ux = (other.x - self.x) / total
+            uy = (other.y - self.y) / total
+            return Point(self.x + ux * dist, self.y + uy * dist)
         return Point(self.x + (other.x - self.x) * frac, self.y + (other.y - self.y) * frac)
 
     def angle_to(self, other: "Point") -> float:

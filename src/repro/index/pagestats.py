@@ -119,6 +119,26 @@ class PageAccessCounter:
         """Accesses recorded since the last :meth:`start_query`."""
         return self._current_index + self._current_leaf + self._current_data
 
+    def subcounter(self) -> "PageAccessCounter":
+        """A private counter for one stream, sharing this buffer pool.
+
+        Incremental streams bill their accesses here instead of onto the
+        shared counter, so pages consumed while *another* query is open
+        cannot be attributed to that query.  Fold the finished stream
+        back with :meth:`absorb`.
+        """
+        return PageAccessCounter(buffer_pool=self._buffer_pool)
+
+    def absorb(self, breakdown: AccessBreakdown) -> None:
+        """Fold one finished sub-query into this counter's history.
+
+        The breakdown becomes its own history entry (one logical query)
+        and its accesses join the running total; the *current* open
+        query, if any, is untouched.
+        """
+        self.history.append(breakdown)
+        self.total_accesses += breakdown.total
+
     def mean_per_query(self) -> float:
         """Mean page accesses per finished query (0.0 with no history)."""
         if not self.history:

@@ -5,7 +5,7 @@ emits ``BENCH_baseline.json`` — the committed first point on the repo's
 performance trajectory and the regression gate future perf PRs diff
 against (``repro-bench --fast --check``).
 
-Four sections, every one driven through the instrumentation this layer
+Five sections, every one driven through the instrumentation this layer
 added rather than ad-hoc counters in the benchmark script:
 
 * ``tree_build`` — STR bulk load at the Table-4 LA POI count plus a
@@ -15,6 +15,10 @@ added rather than ad-hoc counters in the benchmark script:
   parameter sets; the suite *requires* the paper's EINN ≤ INN ordering.
 * ``verification`` — Lemma 3.2 single-peer and Lemma 3.8 multi-peer
   certification rates on synthesized peer constellations.
+* ``service`` — the query-batching experiment: amortized pages per
+  query as co-located client concurrency grows (waves of clustered kNN
+  requests through the service's :class:`BatchExecutor`); the suite
+  *requires* the amortized cost to be strictly decreasing.
 * ``sim_window`` — one FAST-quality LA 2×2 simulation window; SQRR
   shares, per-tier counts and the global counter snapshot.
 
@@ -50,6 +54,8 @@ from repro.sim.config import (
     SimulationConfig,
 )
 from repro.sim.simulation import Simulation
+from repro.service.batching import BatchExecutor
+from repro.service.protocol import KnnRequest
 from repro.experiments.figures import _client_partial_knowledge, _true_knn_cache
 
 __all__ = [
@@ -265,6 +271,87 @@ def _bench_verification(
     }
 
 
+#: Client concurrency levels for the service batching experiment.
+_SERVICE_CONCURRENCY: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+def _bench_service(
+    profile: BenchProfile, seed: int, timings: Dict[str, float]
+) -> Dict[str, Any]:
+    """Amortized pages per query vs co-located client concurrency.
+
+    The issue's acceptance experiment: waves of clustered kNN requests
+    run through the service's :class:`BatchExecutor` at increasing
+    concurrency.  With ``c`` clients sharing one EINN traversal the node
+    reads amortize ~``1/c`` while shipped records stay exact, so the
+    amortized per-query page cost must *strictly decrease* with ``c``
+    (``validate_baseline`` enforces this).
+
+    Determinism: the query anchors and per-client jitters are drawn once
+    and reused at every level — level ``c`` uses the first ``c`` jittered
+    points of each wave — and each level gets a fresh server so buffer
+    state cannot leak between levels.
+    """
+    rng = np.random.default_rng(seed + 23)
+    area = 10.0
+    cell = 0.25
+    k = 8
+    coords = rng.uniform(0.0, area, size=(2000, 2))
+    pois = [(Point(float(x), float(y)), i) for i, (x, y) in enumerate(coords)]
+    tree = RTree.bulk_load(list(pois), RTreeConfig(max_entries=30))
+
+    waves = profile.knn_queries
+    max_clients = max(_SERVICE_CONCURRENCY)
+    # Anchors sit at cell centers so the jittered cluster (±cell/8)
+    # stays inside one batching cell and the whole wave merges.
+    clusters: List[List[Point]] = []
+    for _ in range(waves):
+        anchor = Point(
+            (float(rng.integers(1, int(area / cell) - 1)) + 0.5) * cell,
+            (float(rng.integers(1, int(area / cell) - 1)) + 0.5) * cell,
+        )
+        clusters.append(
+            [
+                anchor.translated(
+                    float(rng.uniform(-cell / 8.0, cell / 8.0)),
+                    float(rng.uniform(-cell / 8.0, cell / 8.0)),
+                )
+                for _ in range(max_clients)
+            ]
+        )
+
+    start = time.perf_counter()
+    amortized: List[float] = []
+    traversal_pages: List[float] = []
+    for level in _SERVICE_CONCURRENCY:
+        server = SpatialDatabaseServer(tree, ServerAlgorithm.EINN)
+        executor = BatchExecutor(server, cell_size=cell)
+        total_pages = 0
+        node_pages = 0
+        queries = 0
+        for cluster in clusters:
+            requests = [
+                KnnRequest(request_id=index + 1, query=point, k=k)
+                for index, point in enumerate(cluster[:level])
+            ]
+            for answer in executor.execute(requests):
+                total_pages += answer.pages.total
+                node_pages += answer.pages.index_nodes + answer.pages.leaf_nodes
+                queries += 1
+        amortized.append(total_pages / queries)
+        traversal_pages.append(node_pages / queries)
+    timings["service.total_s"] = time.perf_counter() - start
+
+    return {
+        "pois": len(pois),
+        "k": k,
+        "waves": waves,
+        "concurrency": list(_SERVICE_CONCURRENCY),
+        "amortized_pages": amortized,
+        "amortized_node_pages": traversal_pages,
+    }
+
+
 def _bench_sim_window(
     profile: BenchProfile,
     seed: int,
@@ -366,6 +453,8 @@ def run_suite(
             OBS.registry = MetricsRegistry()
             verification = _bench_verification(profile, seed, timings)
             OBS.registry = MetricsRegistry()
+            service = _bench_service(profile, seed, timings)
+            OBS.registry = MetricsRegistry()
             sim_window = _bench_sim_window(profile, seed, timings, tracer)
             counters = _counter_snapshot(OBS.registry)
     finally:
@@ -379,6 +468,7 @@ def run_suite(
             "tree_build": tree_build,
             "inn_vs_einn": inn_vs_einn,
             "verification": verification,
+            "service": service,
             "sim_window": sim_window,
             "counters": counters,
         },
@@ -392,9 +482,10 @@ def run_suite(
 def validate_baseline(data: Any) -> List[str]:
     """Schema-validate a baseline document; returns problems (empty = ok).
 
-    Beyond structure, enforces the one qualitative invariant the paper
-    pins for the server module: EINN accesses no more pages than INN
-    (Figure 17 / Section 4.4) at every measured ``k``.
+    Beyond structure, enforces two qualitative invariants: EINN accesses
+    no more pages than INN (Figure 17 / Section 4.4) at every measured
+    ``k``, and the service's query batching makes the amortized per-query
+    page cost *strictly decreasing* as co-located concurrency grows.
     """
     problems: List[str] = []
     if not isinstance(data, dict):
@@ -415,6 +506,7 @@ def validate_baseline(data: Any) -> List[str]:
         "tree_build",
         "inn_vs_einn",
         "verification",
+        "service",
         "sim_window",
         "counters",
     ):
@@ -438,6 +530,19 @@ def validate_baseline(data: Any) -> List[str]:
                     f"inn_vs_einn[{region!r}] k={k}: EINN accessed more "
                     f"pages than INN ({einn_pages:.2f} > {inn_pages:.2f}) — "
                     "violates the Figure 17 ordering"
+                )
+    service = deterministic.get("service") or {}
+    concurrency = service.get("concurrency", [])
+    amortized = service.get("amortized_pages", [])
+    if len(concurrency) != len(amortized) or len(concurrency) < 2:
+        problems.append("service: malformed concurrency/amortized_pages series")
+    else:
+        for index in range(1, len(amortized)):
+            if not amortized[index] < amortized[index - 1]:
+                problems.append(
+                    f"service: amortized pages/query not strictly decreasing "
+                    f"at concurrency {concurrency[index]} "
+                    f"({amortized[index]:.2f} >= {amortized[index - 1]:.2f})"
                 )
     return problems
 
@@ -575,6 +680,14 @@ def _print_summary(result: Dict[str, Any]) -> None:
             )
         )
         print(f"inn_vs_einn[{region}] (EINN/INN mean pages): {pairs}")
+    service = deterministic["service"]
+    pairs = ", ".join(
+        f"c={level}: {pages:.1f}"
+        for level, pages in zip(
+            service["concurrency"], service["amortized_pages"]
+        )
+    )
+    print(f"service (amortized pages/query by concurrency): {pairs}")
     verify = deterministic["verification"]
     print(
         f"verification: {verify['single_certified']} single-peer certs, "

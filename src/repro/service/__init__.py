@@ -1,0 +1,55 @@
+"""``repro.service`` -- the query service: wire protocol, batching,
+asyncio server and client.
+
+The in-process :class:`~repro.core.server.SpatialDatabaseServer` answers
+queries by direct method call.  This package puts the same engine behind
+a compact, versioned request/response protocol so that *remote* mobile
+hosts -- and, more importantly for the reproduction, concurrent ones --
+can share a single server:
+
+* :mod:`repro.service.protocol` -- binary framing and message codecs,
+  including the Section 3.3 :class:`~repro.index.knn.PruningBounds` and
+  ``known_certain`` partial results on the wire;
+* :mod:`repro.service.batching` -- merges co-located concurrent kNN
+  requests into one shared best-first traversal, amortizing R*-tree
+  node reads across clients;
+* :mod:`repro.service.engine` -- transport-independent request
+  execution and per-session incremental streams;
+* :mod:`repro.service.transport` -- the :class:`QueryTransport`
+  protocol with in-process loopback and TCP implementations;
+* :mod:`repro.service.client` -- :class:`ServiceClient`, a
+  :class:`~repro.core.backend.SpatialBackend` speaking the protocol, so
+  SENN/SNNN pipelines run unchanged against a served backend;
+* :mod:`repro.service.asyncserver` -- the asyncio TCP server with
+  per-connection backpressure, request timeouts and the batching
+  dispatcher;
+* :mod:`repro.service.cli` -- the ``repro-serve`` console script.
+"""
+
+from repro.service.asyncserver import (
+    AsyncQueryServer,
+    BackgroundServer,
+    ServiceConfig,
+)
+from repro.service.batching import BatchExecutor
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.engine import QueryService, ServiceSession
+from repro.service.transport import (
+    LoopbackTransport,
+    QueryTransport,
+    TcpTransport,
+)
+
+__all__ = [
+    "AsyncQueryServer",
+    "BackgroundServer",
+    "BatchExecutor",
+    "LoopbackTransport",
+    "QueryService",
+    "QueryTransport",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceSession",
+    "TcpTransport",
+]

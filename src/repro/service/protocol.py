@@ -1,0 +1,721 @@
+"""The query service's wire protocol.
+
+Binary, big-endian, versioned.  Every frame is::
+
+    +-------+---------+----------+------------+- - - - - -+
+    | magic | version | msg type | length u32 |  payload  |
+    | "RQ"  |   u8    |    u8    | of payload |           |
+    +-------+---------+----------+------------+- - - - - -+
+
+The payload encodings are fixed per message type (no self-describing
+container format): points are pairs of ``f64``, counts are ``u16``/
+``u32``, POI payloads carry a one-byte type tag (int / float / str).
+Decoding is strict -- truncated frames, trailing bytes, unknown tags,
+NaN coordinates and negative distances all raise :class:`ProtocolError`
+rather than producing a half-valid message.
+
+Infinity is rejected everywhere except one place where it is meaningful:
+the *upper* pruning bound, whose absent state is ``inf`` by definition
+(:class:`~repro.index.knn.PruningBounds`).  This is what puts the
+Section 3.3 bounds and the client's certified partial result
+(``known_certain``) on the wire, so a served EINN prunes exactly like an
+in-process one.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import struct
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple, Type, Union
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult, PruningBounds
+from repro.index.pagestats import AccessBreakdown
+
+__all__ = [
+    "Answer",
+    "ErrorCode",
+    "ErrorReply",
+    "HEADER_SIZE",
+    "KnnRequest",
+    "MAX_PAYLOAD",
+    "Message",
+    "MessageType",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RangeRequest",
+    "StreamClose",
+    "StreamEnd",
+    "StreamHandle",
+    "StreamItems",
+    "StreamOpen",
+    "StreamPull",
+    "WindowRequest",
+    "decode_message",
+    "encode_message",
+    "parse_header",
+]
+
+MAGIC = b"RQ"
+PROTOCOL_VERSION = 1
+
+#: Hard cap on a frame's payload size (1 MiB).  Anything larger is
+#: rejected at the framing layer, before any allocation proportional to
+#: the claimed length.
+MAX_PAYLOAD = 1 << 20
+
+_HEADER = struct.Struct(">2sBBI")
+HEADER_SIZE = _HEADER.size
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_TAG_INT = 0
+_TAG_FLOAT = 1
+_TAG_STR = 2
+
+
+class MessageType(enum.IntEnum):
+    """Message discriminator carried in the frame header."""
+
+    KNN_REQUEST = 0x01
+    RANGE_REQUEST = 0x02
+    WINDOW_REQUEST = 0x03
+    STREAM_OPEN = 0x04
+    STREAM_PULL = 0x05
+    STREAM_CLOSE = 0x06
+    ANSWER = 0x10
+    STREAM_HANDLE = 0x11
+    STREAM_ITEMS = 0x12
+    STREAM_END = 0x13
+    ERROR = 0x1F
+
+
+class ErrorCode(enum.IntEnum):
+    """Service-level error codes carried by :class:`ErrorReply`."""
+
+    MALFORMED = 1
+    UNSUPPORTED = 2
+    OVERSIZED = 3
+    BAD_STREAM = 4
+    TIMEOUT = 5
+    OVERLOADED = 6
+    INTERNAL = 7
+
+
+class ProtocolError(ValueError):
+    """A frame or message violates the protocol.
+
+    ``code`` is the :class:`ErrorCode` a server should reply with (or
+    the reason a client refused to encode/decode).
+    """
+
+    def __init__(self, message: str, code: ErrorCode = ErrorCode.MALFORMED):
+        super().__init__(message)
+        self.code = code
+
+
+# ----------------------------------------------------------------------
+# messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KnnRequest:
+    """A kNN query with the client's Section 3.3 partial result."""
+
+    request_id: int
+    query: Point
+    k: int
+    bounds: PruningBounds = PruningBounds()
+    known_certain: Tuple[NeighborResult, ...] = ()
+
+
+@dataclass(frozen=True)
+class RangeRequest:
+    """All POIs within ``radius`` of ``center``."""
+
+    request_id: int
+    center: Point
+    radius: float
+
+
+@dataclass(frozen=True)
+class WindowRequest:
+    """All POIs inside an axis-aligned window."""
+
+    request_id: int
+    window: BoundingBox
+
+
+@dataclass(frozen=True)
+class StreamOpen:
+    """Open an incremental nearest-neighbor stream (IER's contract)."""
+
+    request_id: int
+    query: Point
+
+
+@dataclass(frozen=True)
+class StreamPull:
+    """Pull up to ``max_items`` next neighbors from an open stream."""
+
+    request_id: int
+    stream_id: int
+    max_items: int
+
+
+@dataclass(frozen=True)
+class StreamClose:
+    """Close a stream; its page accesses fold into server history."""
+
+    request_id: int
+    stream_id: int
+
+
+@dataclass(frozen=True)
+class Answer:
+    """A query's neighbors plus its (possibly amortized) page cost."""
+
+    request_id: int
+    neighbors: Tuple[NeighborResult, ...]
+    breakdown: AccessBreakdown
+    batch_size: int = 1
+
+
+@dataclass(frozen=True)
+class StreamHandle:
+    """Reply to :class:`StreamOpen`: the server-side stream id."""
+
+    request_id: int
+    stream_id: int
+
+
+@dataclass(frozen=True)
+class StreamItems:
+    """Reply to :class:`StreamPull`; ``exhausted`` ends the stream."""
+
+    request_id: int
+    stream_id: int
+    items: Tuple[NeighborResult, ...]
+    exhausted: bool
+
+
+@dataclass(frozen=True)
+class StreamEnd:
+    """Reply to :class:`StreamClose`: the stream's own page breakdown."""
+
+    request_id: int
+    stream_id: int
+    breakdown: AccessBreakdown
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """The server could not answer ``request_id``."""
+
+    request_id: int
+    code: ErrorCode
+    message: str
+
+
+Message = Union[
+    KnnRequest,
+    RangeRequest,
+    WindowRequest,
+    StreamOpen,
+    StreamPull,
+    StreamClose,
+    Answer,
+    StreamHandle,
+    StreamItems,
+    StreamEnd,
+    ErrorReply,
+]
+
+
+# ----------------------------------------------------------------------
+# primitive writers / readers
+# ----------------------------------------------------------------------
+class _Writer:
+    """Accumulates a payload; validates values as they are written."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def u8(self, value: int) -> None:
+        if not 0 <= value <= 0xFF:
+            raise ProtocolError(f"u8 out of range: {value}")
+        self._parts.append(_U8.pack(value))
+
+    def u16(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFF:
+            raise ProtocolError(f"u16 out of range: {value}")
+        self._parts.append(_U16.pack(value))
+
+    def u32(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise ProtocolError(f"u32 out of range: {value}")
+        self._parts.append(_U32.pack(value))
+
+    def i64(self, value: int) -> None:
+        if not -(1 << 63) <= value < (1 << 63):
+            raise ProtocolError(f"i64 out of range: {value}")
+        self._parts.append(_I64.pack(value))
+
+    def f64(self, value: float, allow_inf: bool = False) -> None:
+        _check_float(value, allow_inf)
+        self._parts.append(_F64.pack(value))
+
+    def text(self, value: str) -> None:
+        data = value.encode("utf-8")
+        if len(data) > MAX_PAYLOAD:
+            raise ProtocolError("string too long", ErrorCode.OVERSIZED)
+        self.u32(len(data))
+        self._parts.append(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    """Strict cursor over a payload; every read validates its bytes."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, size: int) -> bytes:
+        end = self._pos + size
+        if end > len(self._data):
+            raise ProtocolError("truncated payload")
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return int(_U8.unpack(self._take(1))[0])
+
+    def u16(self) -> int:
+        return int(_U16.unpack(self._take(2))[0])
+
+    def u32(self) -> int:
+        return int(_U32.unpack(self._take(4))[0])
+
+    def i64(self) -> int:
+        return int(_I64.unpack(self._take(8))[0])
+
+    def f64(self, allow_inf: bool = False) -> float:
+        value = float(_F64.unpack(self._take(8))[0])
+        _check_float(value, allow_inf)
+        return value
+
+    def text(self) -> str:
+        size = self.u32()
+        try:
+            return self._take(size).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"invalid utf-8: {exc}") from exc
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._data):
+            raise ProtocolError(
+                f"{len(self._data) - self._pos} trailing bytes after payload"
+            )
+
+
+def _check_float(value: float, allow_inf: bool) -> None:
+    if math.isnan(value):
+        raise ProtocolError("NaN is not representable on the wire")
+    if math.isinf(value) and not allow_inf:
+        raise ProtocolError("infinity is only valid as an upper bound")
+
+
+# ----------------------------------------------------------------------
+# composite codecs
+# ----------------------------------------------------------------------
+def _write_point(w: _Writer, point: Point) -> None:
+    w.f64(point.x)
+    w.f64(point.y)
+
+
+def _read_point(r: _Reader) -> Point:
+    return Point(r.f64(), r.f64())
+
+
+def _write_payload(w: _Writer, payload: Any) -> None:
+    if isinstance(payload, bool):
+        raise ProtocolError(
+            "bool POI payloads are not supported", ErrorCode.UNSUPPORTED
+        )
+    if isinstance(payload, int):
+        w.u8(_TAG_INT)
+        w.i64(payload)
+    elif isinstance(payload, float):
+        w.u8(_TAG_FLOAT)
+        w.f64(payload)
+    elif isinstance(payload, str):
+        w.u8(_TAG_STR)
+        w.text(payload)
+    else:
+        raise ProtocolError(
+            f"unsupported POI payload type: {type(payload).__name__}",
+            ErrorCode.UNSUPPORTED,
+        )
+
+
+def _read_payload(r: _Reader) -> Any:
+    tag = r.u8()
+    if tag == _TAG_INT:
+        return r.i64()
+    if tag == _TAG_FLOAT:
+        return r.f64()
+    if tag == _TAG_STR:
+        return r.text()
+    raise ProtocolError(f"unknown payload tag: {tag}")
+
+
+def _write_neighbor(w: _Writer, neighbor: NeighborResult) -> None:
+    _write_point(w, neighbor.point)
+    if neighbor.distance < 0.0:
+        raise ProtocolError("negative neighbor distance")
+    w.f64(neighbor.distance)
+    _write_payload(w, neighbor.payload)
+
+
+def _read_neighbor(r: _Reader) -> NeighborResult:
+    point = _read_point(r)
+    distance = r.f64()
+    if distance < 0.0:
+        raise ProtocolError("negative neighbor distance")
+    return NeighborResult(point, _read_payload(r), distance)
+
+
+def _write_neighbors(w: _Writer, items: Tuple[NeighborResult, ...]) -> None:
+    w.u32(len(items))
+    for item in items:
+        _write_neighbor(w, item)
+
+
+def _read_neighbors(r: _Reader) -> Tuple[NeighborResult, ...]:
+    count = r.u32()
+    return tuple(_read_neighbor(r) for _ in range(count))
+
+
+def _write_bounds(w: _Writer, bounds: PruningBounds) -> None:
+    w.f64(bounds.lower)
+    w.f64(bounds.upper, allow_inf=True)
+
+
+def _read_bounds(r: _Reader) -> PruningBounds:
+    lower = r.f64()
+    upper = r.f64(allow_inf=True)
+    try:
+        return PruningBounds(lower, upper)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def _write_breakdown(w: _Writer, b: AccessBreakdown) -> None:
+    for value in (
+        b.total,
+        b.index_nodes,
+        b.leaf_nodes,
+        b.data_records,
+        b.buffer_hits,
+        b.buffer_misses,
+    ):
+        w.u32(value)
+
+
+def _read_breakdown(r: _Reader) -> AccessBreakdown:
+    total, index_nodes, leaf_nodes, data, hits, misses = (
+        r.u32() for _ in range(6)
+    )
+    if total != index_nodes + leaf_nodes + data:
+        raise ProtocolError("inconsistent access breakdown")
+    return AccessBreakdown(
+        total=total,
+        index_nodes=index_nodes,
+        leaf_nodes=leaf_nodes,
+        data_records=data,
+        buffer_hits=hits,
+        buffer_misses=misses,
+    )
+
+
+# ----------------------------------------------------------------------
+# per-message encoders / decoders
+# ----------------------------------------------------------------------
+def _enc_knn(w: _Writer, m: KnnRequest) -> None:
+    w.u32(m.request_id)
+    _write_point(w, m.query)
+    if m.k < 1:
+        raise ProtocolError("k must be at least 1")
+    w.u16(m.k)
+    _write_bounds(w, m.bounds)
+    _write_neighbors(w, tuple(m.known_certain))
+
+
+def _dec_knn(r: _Reader) -> KnnRequest:
+    request_id = r.u32()
+    query = _read_point(r)
+    k = r.u16()
+    if k < 1:
+        raise ProtocolError("k must be at least 1")
+    bounds = _read_bounds(r)
+    known = _read_neighbors(r)
+    return KnnRequest(request_id, query, k, bounds, known)
+
+
+def _enc_range(w: _Writer, m: RangeRequest) -> None:
+    w.u32(m.request_id)
+    _write_point(w, m.center)
+    if m.radius < 0.0:
+        raise ProtocolError("radius must be non-negative")
+    w.f64(m.radius)
+
+
+def _dec_range(r: _Reader) -> RangeRequest:
+    request_id = r.u32()
+    center = _read_point(r)
+    radius = r.f64()
+    if radius < 0.0:
+        raise ProtocolError("radius must be non-negative")
+    return RangeRequest(request_id, center, radius)
+
+
+def _enc_window(w: _Writer, m: WindowRequest) -> None:
+    w.u32(m.request_id)
+    w.f64(m.window.min_x)
+    w.f64(m.window.min_y)
+    w.f64(m.window.max_x)
+    w.f64(m.window.max_y)
+
+
+def _dec_window(r: _Reader) -> WindowRequest:
+    request_id = r.u32()
+    min_x, min_y, max_x, max_y = r.f64(), r.f64(), r.f64(), r.f64()
+    try:
+        window = BoundingBox(min_x, min_y, max_x, max_y)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+    return WindowRequest(request_id, window)
+
+
+def _enc_stream_open(w: _Writer, m: StreamOpen) -> None:
+    w.u32(m.request_id)
+    _write_point(w, m.query)
+
+
+def _dec_stream_open(r: _Reader) -> StreamOpen:
+    return StreamOpen(r.u32(), _read_point(r))
+
+
+def _enc_stream_pull(w: _Writer, m: StreamPull) -> None:
+    w.u32(m.request_id)
+    w.u32(m.stream_id)
+    if m.max_items < 1:
+        raise ProtocolError("max_items must be at least 1")
+    w.u16(m.max_items)
+
+
+def _dec_stream_pull(r: _Reader) -> StreamPull:
+    request_id = r.u32()
+    stream_id = r.u32()
+    max_items = r.u16()
+    if max_items < 1:
+        raise ProtocolError("max_items must be at least 1")
+    return StreamPull(request_id, stream_id, max_items)
+
+
+def _enc_stream_close(w: _Writer, m: StreamClose) -> None:
+    w.u32(m.request_id)
+    w.u32(m.stream_id)
+
+
+def _dec_stream_close(r: _Reader) -> StreamClose:
+    return StreamClose(r.u32(), r.u32())
+
+
+def _enc_answer(w: _Writer, m: Answer) -> None:
+    w.u32(m.request_id)
+    if m.batch_size < 1:
+        raise ProtocolError("batch_size must be at least 1")
+    w.u16(m.batch_size)
+    _write_breakdown(w, m.breakdown)
+    _write_neighbors(w, tuple(m.neighbors))
+
+
+def _dec_answer(r: _Reader) -> Answer:
+    request_id = r.u32()
+    batch_size = r.u16()
+    if batch_size < 1:
+        raise ProtocolError("batch_size must be at least 1")
+    breakdown = _read_breakdown(r)
+    neighbors = _read_neighbors(r)
+    return Answer(request_id, neighbors, breakdown, batch_size)
+
+
+def _enc_stream_handle(w: _Writer, m: StreamHandle) -> None:
+    w.u32(m.request_id)
+    w.u32(m.stream_id)
+
+
+def _dec_stream_handle(r: _Reader) -> StreamHandle:
+    return StreamHandle(r.u32(), r.u32())
+
+
+def _enc_stream_items(w: _Writer, m: StreamItems) -> None:
+    w.u32(m.request_id)
+    w.u32(m.stream_id)
+    w.u8(1 if m.exhausted else 0)
+    _write_neighbors(w, tuple(m.items))
+
+
+def _dec_stream_items(r: _Reader) -> StreamItems:
+    request_id = r.u32()
+    stream_id = r.u32()
+    flag = r.u8()
+    if flag not in (0, 1):
+        raise ProtocolError(f"invalid exhausted flag: {flag}")
+    items = _read_neighbors(r)
+    return StreamItems(request_id, stream_id, items, flag == 1)
+
+
+def _enc_stream_end(w: _Writer, m: StreamEnd) -> None:
+    w.u32(m.request_id)
+    w.u32(m.stream_id)
+    _write_breakdown(w, m.breakdown)
+
+
+def _dec_stream_end(r: _Reader) -> StreamEnd:
+    return StreamEnd(r.u32(), r.u32(), _read_breakdown(r))
+
+
+def _enc_error(w: _Writer, m: ErrorReply) -> None:
+    w.u32(m.request_id)
+    w.u16(int(m.code))
+    w.text(m.message)
+
+
+def _dec_error(r: _Reader) -> ErrorReply:
+    request_id = r.u32()
+    raw_code = r.u16()
+    try:
+        code = ErrorCode(raw_code)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown error code: {raw_code}") from exc
+    return ErrorReply(request_id, code, r.text())
+
+
+_CODECS: Dict[
+    Type[Message],
+    Tuple[MessageType, Callable[..., None], Callable[[_Reader], Message]],
+] = {
+    KnnRequest: (MessageType.KNN_REQUEST, _enc_knn, _dec_knn),
+    RangeRequest: (MessageType.RANGE_REQUEST, _enc_range, _dec_range),
+    WindowRequest: (MessageType.WINDOW_REQUEST, _enc_window, _dec_window),
+    StreamOpen: (MessageType.STREAM_OPEN, _enc_stream_open, _dec_stream_open),
+    StreamPull: (MessageType.STREAM_PULL, _enc_stream_pull, _dec_stream_pull),
+    StreamClose: (
+        MessageType.STREAM_CLOSE,
+        _enc_stream_close,
+        _dec_stream_close,
+    ),
+    Answer: (MessageType.ANSWER, _enc_answer, _dec_answer),
+    StreamHandle: (
+        MessageType.STREAM_HANDLE,
+        _enc_stream_handle,
+        _dec_stream_handle,
+    ),
+    StreamItems: (
+        MessageType.STREAM_ITEMS,
+        _enc_stream_items,
+        _dec_stream_items,
+    ),
+    StreamEnd: (MessageType.STREAM_END, _enc_stream_end, _dec_stream_end),
+    ErrorReply: (MessageType.ERROR, _enc_error, _dec_error),
+}
+
+_DECODERS: Dict[MessageType, Callable[[_Reader], Message]] = {
+    mtype: decoder for mtype, _, decoder in _CODECS.values()
+}
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_message(message: Message) -> bytes:
+    """Encode ``message`` into a complete frame (header + payload)."""
+    codec = _CODECS.get(type(message))
+    if codec is None:
+        raise ProtocolError(
+            f"cannot encode {type(message).__name__}", ErrorCode.UNSUPPORTED
+        )
+    mtype, encoder, _ = codec
+    writer = _Writer()
+    encoder(writer, message)
+    payload = writer.getvalue()
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD",
+            ErrorCode.OVERSIZED,
+        )
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, int(mtype), len(payload)) + payload
+
+
+def parse_header(header: bytes) -> Tuple[MessageType, int]:
+    """Validate a frame header; returns ``(message type, payload length)``.
+
+    Raises :class:`ProtocolError` on bad magic, unknown version, unknown
+    message type or a payload length above :data:`MAX_PAYLOAD` -- the
+    length check happens *here*, before any caller allocates a buffer of
+    the claimed size.
+    """
+    if len(header) != HEADER_SIZE:
+        raise ProtocolError(f"header must be {HEADER_SIZE} bytes")
+    magic, version, raw_type, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic: {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version: {version}", ErrorCode.UNSUPPORTED
+        )
+    try:
+        mtype = MessageType(raw_type)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"unknown message type: {raw_type}", ErrorCode.UNSUPPORTED
+        ) from exc
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds MAX_PAYLOAD",
+            ErrorCode.OVERSIZED,
+        )
+    return mtype, length
+
+
+def decode_message(frame: bytes) -> Message:
+    """Decode a complete frame back into its message.
+
+    The inverse of :func:`encode_message`; strict in both directions
+    (``decode(encode(m)) == m`` and any bit-level corruption that
+    changes the structure raises).
+    """
+    if len(frame) < HEADER_SIZE:
+        raise ProtocolError("frame shorter than header")
+    mtype, length = parse_header(frame[:HEADER_SIZE])
+    payload = frame[HEADER_SIZE:]
+    if len(payload) != length:
+        raise ProtocolError(
+            f"declared payload length {length} != actual {len(payload)}"
+        )
+    reader = _Reader(payload)
+    message = _DECODERS[mtype](reader)
+    reader.expect_end()
+    return message

@@ -1,0 +1,133 @@
+"""Transports: how encoded frames travel between client and service.
+
+Two implementations of the same :class:`QueryTransport` protocol:
+
+* :class:`LoopbackTransport` -- in-process.  Frames still pass through
+  the full encode -> decode -> execute -> encode -> decode pipeline, so
+  every code path the TCP transport exercises (validation included) is
+  exercised here too; the only thing missing is the socket.  This is
+  what the simulator, the difftest oracles and ``repro-bench`` use.
+* :class:`TcpTransport` -- a blocking TCP client for the asyncio server,
+  with a connect-retry loop (counted via ``service.client_retries``) and
+  a per-request timeout.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.obs import OBS
+from repro.service.protocol import (
+    HEADER_SIZE,
+    ErrorCode,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    parse_header,
+)
+
+if TYPE_CHECKING:
+    from repro.service.engine import QueryService, ServiceSession
+
+__all__ = ["LoopbackTransport", "QueryTransport", "TcpTransport"]
+
+
+@runtime_checkable
+class QueryTransport(Protocol):
+    """One request frame in, one reply frame out."""
+
+    def request(self, frame: bytes) -> bytes:
+        """Send a complete frame; block until the reply frame arrives."""
+        ...
+
+    def close(self) -> None:
+        """Release the transport's resources."""
+        ...
+
+
+class LoopbackTransport:
+    """In-process transport driving a private :class:`ServiceSession`."""
+
+    def __init__(self, service: "QueryService") -> None:
+        self._session: "ServiceSession" = service.session()
+
+    def request(self, frame: bytes) -> bytes:
+        """Decode, execute and re-encode -- the wire path minus the wire."""
+        message = decode_message(frame)
+        reply = self._session.handle(message)
+        return encode_message(reply)
+
+    def close(self) -> None:
+        """Close the underlying session (folds open streams)."""
+        self._session.close()
+
+
+class TcpTransport:
+    """Blocking TCP client transport for :class:`AsyncQueryServer`.
+
+    ``timeout_s`` bounds each send/receive; ``connect_retries`` retries
+    the initial connection (the server may still be binding when a
+    client worker starts), sleeping ``retry_delay_s`` between attempts.
+    Thread-safe: a lock serializes request/reply exchanges, so one
+    transport may back several workers (they just will not pipeline).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        connect_retries: int = 3,
+        retry_delay_s: float = 0.05,
+    ) -> None:
+        self._lock = threading.Lock()
+        last_error: Exception = OSError("no connection attempt made")
+        for attempt in range(max(1, connect_retries)):
+            if attempt > 0:
+                if OBS.enabled:
+                    OBS.registry.counter("service.client_retries").inc()
+                time.sleep(retry_delay_s)
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout_s
+                )
+                break
+            except OSError as exc:
+                last_error = exc
+        else:
+            raise last_error
+        self._sock.settimeout(timeout_s)
+
+    def request(self, frame: bytes) -> bytes:
+        """One request/reply exchange over the socket."""
+        with self._lock:
+            self._sock.sendall(frame)
+            header = _recv_exactly(self._sock, HEADER_SIZE)
+            _, length = parse_header(header)
+            return header + _recv_exactly(self._sock, length)
+
+    def close(self) -> None:
+        """Shut the connection down."""
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def _recv_exactly(sock: socket.socket, size: int) -> bytes:
+    """Read exactly ``size`` bytes or raise on early EOF."""
+    chunks = []
+    remaining = size
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError(
+                "connection closed mid-frame", ErrorCode.MALFORMED
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -197,6 +197,12 @@ class SimulationConfig:
     # (gas stations cluster at intersections and commercial strips).
     poi_clusters: Optional[int] = None
     poi_cluster_sigma_miles: float = 0.4
+    # Route all server traffic through the query service's loopback
+    # transport (encode -> decode -> engine -> encode -> decode) instead
+    # of calling the in-process server directly.  Answers are identical
+    # by construction; this exists so simulations exercise the exact
+    # wire code path the TCP service runs.
+    use_service: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.warmup_fraction < 1.0:

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.geometry.point import Point
 from repro.obs import OBS, span
+from repro.core.backend import SpatialBackend
 from repro.core.host import MobileHost
 from repro.core.server import SpatialDatabaseServer
 from repro.network.generator import RoadNetworkSpec, generate_road_network
@@ -73,6 +74,18 @@ class Simulation:
         self.server = SpatialDatabaseServer.from_points(
             self.pois, algorithm=config.server_algorithm
         )
+        # The backend the hosts talk to: the server itself, or -- with
+        # ``use_service`` -- the same server behind the query service's
+        # loopback transport, so every query round-trips the wire codec.
+        self.backend: SpatialBackend = self.server
+        if config.use_service:
+            from repro.service.client import ServiceClient
+            from repro.service.engine import QueryService
+            from repro.service.transport import LoopbackTransport
+
+            self.backend = ServiceClient(
+                LoopbackTransport(QueryService(self.server))
+            )
 
         # --- hosts ---------------------------------------------------------
         self.hosts: List[MobileHost] = []
@@ -219,13 +232,13 @@ class Simulation:
             result = host.query_range(
                 parameter,
                 peers=peers,
-                server=self.server,
+                server=self.backend,
                 timestamp=timestamp,
             )
         else:
             parameter = float(self._choose_k())
             result = host.query_knn(
-                k=int(parameter), peers=peers, server=self.server,
+                k=int(parameter), peers=peers, server=self.backend,
                 timestamp=timestamp,
             )
         probes = host.peer_probes_sent - probes_before

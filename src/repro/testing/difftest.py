@@ -58,6 +58,9 @@ from repro.core.verification import (
     verify_multi_peer,
     verify_single_peer,
 )
+from repro.service.client import ServiceClient
+from repro.service.engine import QueryService
+from repro.service.transport import LoopbackTransport
 import repro.testing.oracles as oracles
 from repro.testing.scenarios import Scenario, encode_scenario
 
@@ -439,6 +442,86 @@ def run_scenario(
             "einn-page-accesses",
             f"EINN read {einn_counter.total_accesses} pages, INN only "
             f"{inn_counter.total_accesses} (bounds {offline.bounds!r})",
+        )
+
+    # -- the query service: loopback answers vs the direct server ---------
+    # The loopback transport runs the full encode -> decode -> engine ->
+    # encode -> decode pipeline, so these checks pin the wire codec and
+    # the batching executor (a singleton wave) to the in-process truth
+    # bit for bit -- same floats, same tie order, same page breakdown.
+    ran("service-knn")
+    served = SpatialDatabaseServer(m.tree, algorithm=ServerAlgorithm.EINN)
+    direct = SpatialDatabaseServer(m.tree, algorithm=ServerAlgorithm.EINN)
+    client = ServiceClient(LoopbackTransport(QueryService(served)))
+    via_wire = client.knn_query_detailed(m.query, scenario.k)
+    in_process = direct.knn_query_detailed(m.query, scenario.k)
+    if via_wire.neighbors != in_process.neighbors:
+        fail(
+            "service-knn",
+            f"loopback kNN {[n.payload for n in via_wire.neighbors]} != "
+            f"direct {[n.payload for n in in_process.neighbors]}",
+        )
+    if via_wire.pages != in_process.pages:
+        fail(
+            "service-knn",
+            f"loopback breakdown {via_wire.pages!r} != direct "
+            f"{in_process.pages!r}",
+        )
+
+    ran("service-senn")
+    senn_served = senn_query(
+        m.query,
+        scenario.k,
+        m.own_cache,
+        m.peer_caches,
+        m.config,
+        server=client,
+        server_k=scenario.cache_capacity,
+    )
+    senn_direct = senn_query(
+        m.query,
+        scenario.k,
+        m.own_cache,
+        m.peer_caches,
+        m.config,
+        server=SpatialDatabaseServer(m.tree, algorithm=ServerAlgorithm.EINN),
+        server_k=scenario.cache_capacity,
+    )
+    if senn_served.neighbors != senn_direct.neighbors:
+        fail(
+            "service-senn",
+            f"SENN over loopback {[n.payload for n in senn_served.neighbors]} "
+            f"!= direct {[n.payload for n in senn_direct.neighbors]}",
+        )
+    if len(senn_served.neighbors) > scenario.k:
+        # Regression: policy-2 over-fetch (server_k = cache_capacity > k)
+        # must trim the visible answer to k; the surplus is cache-only.
+        fail(
+            "service-senn",
+            f"{len(senn_served.neighbors)} neighbors returned for "
+            f"k={scenario.k} (over-fetch surplus leaked into the answer)",
+        )
+    if senn_served.prefetched != senn_direct.prefetched:
+        fail(
+            "service-senn",
+            f"prefetched set over loopback differs: "
+            f"{[n.payload for n in senn_served.prefetched]} != "
+            f"{[n.payload for n in senn_direct.prefetched]}",
+        )
+
+    ran("service-stream")
+    stream = client.incremental_query(m.query)
+    streamed: List[NeighborResult] = []
+    for neighbor in stream:
+        streamed.append(neighbor)
+        if len(streamed) >= scenario.k:
+            break
+    stream.close()
+    if streamed != in_process.neighbors[: len(streamed)]:
+        fail(
+            "service-stream",
+            f"streamed prefix {[n.payload for n in streamed]} != direct "
+            f"{[n.payload for n in in_process.neighbors]}",
         )
 
     # -- naive sharing: well-formedness and server fallback ---------------

@@ -137,7 +137,12 @@ class TestCorrectness:
         )
 
     def test_server_overfetch_is_exact(self):
-        """Policy 2 over-fetching (server_k > k) must stay correct."""
+        """Policy 2 over-fetching (server_k > k) must stay correct.
+
+        Regression: the visible answer is trimmed to the requested k;
+        the over-fetched surplus is cache material (``prefetched``), not
+        part of the caller's neighbors.
+        """
         _, pois = random_world(9, poi_count=50)
         server = SpatialDatabaseServer.from_points(pois)
         q = Point(5, 5)
@@ -145,7 +150,19 @@ class TestCorrectness:
             q, 3, None, [], SennConfig(k=3), server=server, server_k=10
         )
         expected = [n.distance for n in true_knn(pois, q, 10)]
-        assert [n.distance for n in result.neighbors] == pytest.approx(expected)
+        assert [n.distance for n in result.neighbors] == pytest.approx(expected[:3])
+        assert [n.distance for n in result.prefetched] == pytest.approx(expected)
+        assert result.cacheable is result.prefetched
+
+    def test_no_overfetch_leaves_prefetched_empty(self):
+        """Without policy 2 the answer and the cacheable set coincide."""
+        _, pois = random_world(9, poi_count=50)
+        server = SpatialDatabaseServer.from_points(pois)
+        result = senn_query(
+            Point(5, 5), 3, None, [], SennConfig(k=3), server=server
+        )
+        assert result.prefetched == []
+        assert result.cacheable is result.neighbors
 
     def test_heuristic_orders_peers_by_distance(self):
         """The nearest peer's cache is consulted first (Heuristic 3.3)."""

@@ -111,3 +111,83 @@ class TestQueries:
         server.reset_statistics()
         assert server.queries_served == 0
         assert server.mean_page_accesses() == 0.0
+
+
+class TestDetailedAnswers:
+    def test_knn_query_detailed_returns_own_breakdown(self):
+        server = SpatialDatabaseServer.from_points(make_pois(300))
+        answer = server.knn_query_detailed(Point(10, 10), 4)
+        assert len(answer.neighbors) == 4
+        assert answer.pages.total > 0
+        assert answer.batch_size == 1
+        # Single-threaded, the returned breakdown and the counter's last
+        # history entry coincide.
+        assert answer.pages == server.last_query_breakdown()
+
+    def test_range_query_detailed_returns_own_breakdown(self):
+        server = SpatialDatabaseServer.from_points(make_pois(300))
+        answer = server.range_query_detailed(Point(50, 50), 20.0)
+        assert answer.pages.total > 0
+        assert all(n.distance <= 20.0 for n in answer.neighbors)
+        assert answer.pages == server.last_query_breakdown()
+
+
+class TestIncrementalStreamAccounting:
+    """Regression: streams bill their own sub-counter, not whichever
+    query happens to be open when the consumer pulls."""
+
+    def test_stream_pages_do_not_contaminate_interleaved_query(self):
+        pois = make_pois(500, seed=2)
+        shared = SpatialDatabaseServer.from_points(pois)
+        clean = SpatialDatabaseServer.from_points(pois)
+
+        stream = shared.incremental_query(Point(5, 5))
+        for _ in range(10):
+            next(stream)
+        # A kNN query interleaves with the open stream.
+        contaminated = shared.knn_query_detailed(Point(90, 90), 3).pages
+        reference = clean.knn_query_detailed(Point(90, 90), 3).pages
+        assert contaminated == reference
+        stream.close()
+
+    def test_stream_folds_into_history_on_close(self):
+        server = SpatialDatabaseServer.from_points(make_pois(200, seed=3))
+        stream = server.incremental_query(Point(1, 1))
+        for _ in range(5):
+            next(stream)
+        assert server.counter.history == []  # not folded while open
+        stream.close()
+        assert len(server.counter.history) == 1
+        assert server.counter.history[0].total > 0
+
+    def test_exhausted_stream_folds_once(self):
+        server = SpatialDatabaseServer.from_points(make_pois(30, seed=4))
+        results = list(server.incremental_query(Point(0, 0)))
+        assert len(results) == 30
+        assert len(server.counter.history) == 1
+        assert server.mean_page_accesses() == server.counter.history[0].total
+
+    def test_two_streams_account_separately(self):
+        pois = make_pois(400, seed=5)
+        server = SpatialDatabaseServer.from_points(pois)
+        a = server.incremental_query(Point(10, 10))
+        b = server.incremental_query(Point(90, 90))
+        for _ in range(8):
+            next(a)
+            next(b)
+        a.close()
+        b.close()
+        assert len(server.counter.history) == 2
+        totals = [entry.total for entry in server.counter.history]
+        assert all(total > 0 for total in totals)
+        # The shared running total is the sum of both sub-streams.
+        assert server.counter.total_accesses == sum(totals)
+
+    def test_unmetered_stream_stays_invisible(self):
+        server = SpatialDatabaseServer.from_points(make_pois(100, seed=6))
+        stream = server.incremental_query(Point(0, 0), meter=False)
+        for _ in range(5):
+            next(stream)
+        stream.close()
+        assert server.counter.history == []
+        assert server.counter.total_accesses == 0

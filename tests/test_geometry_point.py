@@ -101,3 +101,11 @@ class TestPointProperties:
         else:
             moved = a.towards(b, dist)
             assert a.distance_to(moved) == pytest.approx(dist, abs=1e-6)
+
+    def test_towards_subnormal_separation(self):
+        # dist / total overflows to inf when the separation is subnormal;
+        # towards must normalize the direction instead of blowing up.
+        a = Point(0.0, 0.0)
+        b = Point(0.0, 2.2250738585072014e-308)
+        moved = a.towards(b, 4.0)
+        assert a.distance_to(moved) == pytest.approx(4.0, abs=1e-6)

@@ -1,0 +1,233 @@
+"""Tests for repro.service.asyncserver: TCP serving, batching, flow control.
+
+Real sockets on an ephemeral loopback port via :class:`BackgroundServer`
+(the same harness the ``repro-serve --selftest`` CI job uses), plus
+direct event-loop tests for the timeout path, which would otherwise need
+a wall-clock sleep.
+"""
+
+import asyncio
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.core.server import ServerAlgorithm, SpatialDatabaseServer
+from repro.service.asyncserver import (
+    AsyncQueryServer,
+    BackgroundServer,
+    ServiceConfig,
+)
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    HEADER_SIZE,
+    MAGIC,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ErrorReply,
+    KnnRequest,
+    MessageType,
+    decode_message,
+    encode_message,
+)
+from repro.service.transport import TcpTransport
+
+
+def make_pois(count=300, seed=0, extent=4.0):
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0.0, extent, size=(count, 2))
+    return [(Point(float(x), float(y)), f"poi-{i}") for i, (x, y) in enumerate(coords)]
+
+
+def make_server(pois):
+    return SpatialDatabaseServer.from_points(pois, algorithm=ServerAlgorithm.EINN)
+
+
+def answer_key(neighbors):
+    return tuple((n.point.x, n.point.y, n.payload, n.distance) for n in neighbors)
+
+
+@pytest.fixture()
+def running_server():
+    pois = make_pois()
+    with BackgroundServer(make_server(pois), ServiceConfig()) as running:
+        yield running, pois
+
+
+class TestTcpServing:
+    def test_knn_over_tcp_matches_direct(self, running_server):
+        running, pois = running_server
+        reference = make_server(pois)
+        client = ServiceClient(TcpTransport(*running.address))
+        try:
+            for query in (Point(1.0, 1.0), Point(3.2, 0.4), Point(2.0, 3.9)):
+                answer = client.knn_query_detailed(query, 5)
+                expected = reference.knn_query_detailed(query, 5)
+                assert answer_key(answer.neighbors) == answer_key(expected.neighbors)
+                assert answer.pages == expected.pages
+        finally:
+            client.close()
+
+    def test_concurrent_clients_get_exact_answers(self, running_server):
+        from concurrent.futures import ThreadPoolExecutor
+
+        running, pois = running_server
+        reference = make_server(pois)
+        rng = np.random.default_rng(7)
+        # A tight cluster: concurrent requests should merge into shared
+        # traversals, and the answers must still be exact.
+        points = [
+            Point(2.01 + float(rng.uniform(0, 0.05)), 2.01 + float(rng.uniform(0, 0.05)))
+            for _ in range(6)
+        ]
+        expected = {i: answer_key(reference.knn_query(p, 4)) for i, p in enumerate(points)}
+
+        def worker():
+            client = ServiceClient(TcpTransport(*running.address))
+            try:
+                return [
+                    (i, answer_key(client.knn_query_detailed(p, 4).neighbors))
+                    for i, p in enumerate(points)
+                ]
+            finally:
+                client.close()
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = [f.result() for f in [pool.submit(worker) for _ in range(4)]]
+        for result in results:
+            for index, key in result:
+                assert key == expected[index]
+
+    def test_backpressure_window_of_one_stays_correct(self, running_server):
+        running, pois = running_server
+        reference = make_server(pois)
+        config = ServiceConfig(max_inflight=1, queue_capacity=2)
+        with BackgroundServer(make_server(pois), config) as tight:
+            client = ServiceClient(TcpTransport(*tight.address))
+            try:
+                for x in np.linspace(0.5, 3.5, 8):
+                    query = Point(float(x), 2.0)
+                    answer = client.knn_query_detailed(query, 3)
+                    expected = reference.knn_query_detailed(query, 3)
+                    assert answer_key(answer.neighbors) == answer_key(expected.neighbors)
+            finally:
+                client.close()
+
+    def test_malformed_frame_gets_error_and_close(self, running_server):
+        running, _ = running_server
+        with socket.create_connection(running.address, timeout=5.0) as sock:
+            sock.sendall(b"XX\x01\x01\x00\x00\x00\x00")
+            reply = _read_frame(sock)
+            assert isinstance(reply, ErrorReply)
+            assert reply.code is ErrorCode.MALFORMED
+            # The server closes the byte stream: resyncing is impossible.
+            sock.settimeout(5.0)
+            assert sock.recv(1) == b""
+
+    def test_oversized_declared_payload_rejected(self, running_server):
+        running, _ = running_server
+        header = struct.pack(
+            ">2sBBI", MAGIC, PROTOCOL_VERSION, int(MessageType.KNN_REQUEST), 1 << 30
+        )
+        with socket.create_connection(running.address, timeout=5.0) as sock:
+            sock.sendall(header)
+            reply = _read_frame(sock)
+            assert isinstance(reply, ErrorReply)
+            assert reply.code is ErrorCode.OVERSIZED
+            sock.settimeout(5.0)
+            assert sock.recv(1) == b""
+
+    def test_unknown_stream_pull_is_a_bad_stream_error(self, running_server):
+        from repro.service.protocol import StreamPull
+
+        running, _ = running_server
+        transport = TcpTransport(*running.address)
+        try:
+            reply = decode_message(
+                transport.request(encode_message(StreamPull(9, 777, 5)))
+            )
+            assert isinstance(reply, ErrorReply)
+            assert reply.code is ErrorCode.BAD_STREAM
+            assert reply.request_id == 9
+        finally:
+            transport.close()
+
+
+def _read_frame(sock):
+    header = _read_exactly(sock, HEADER_SIZE)
+    _, _, _, length = struct.unpack(">2sBBI", header)
+    return decode_message(header + _read_exactly(sock, length))
+
+
+def _read_exactly(sock, count):
+    data = b""
+    while len(data) < count:
+        chunk = sock.recv(count - len(data))
+        if not chunk:
+            raise AssertionError("connection closed mid-frame")
+        data += chunk
+    return data
+
+
+class TestTimeouts:
+    def test_stale_requests_answered_with_timeout_error(self):
+        """A request older than ``request_timeout_s`` is never executed."""
+        pois = make_pois(seed=2)
+
+        async def scenario():
+            running = AsyncQueryServer(
+                make_server(pois), ServiceConfig(request_timeout_s=0.01)
+            )
+            replies = []
+
+            def respond(message):
+                replies.append(message)
+                future = asyncio.get_running_loop().create_future()
+                future.set_result(None)
+                return future
+
+            from repro.service.asyncserver import _Pending
+
+            loop = asyncio.get_running_loop()
+            stale = _Pending(
+                KnnRequest(41, Point(1.0, 1.0), 3),
+                loop.time() - 1.0,
+                respond,
+                lambda: None,
+            )
+            fresh = _Pending(
+                KnnRequest(42, Point(1.0, 1.0), 3),
+                loop.time(),
+                respond,
+                lambda: None,
+            )
+            await running._execute_batch([stale, fresh], loop.time())
+            await asyncio.sleep(0)
+            return replies
+
+        replies = asyncio.run(scenario())
+        assert len(replies) == 2
+        by_id = {reply.request_id: reply for reply in replies}
+        assert isinstance(by_id[41], ErrorReply)
+        assert by_id[41].code is ErrorCode.TIMEOUT
+        assert not isinstance(by_id[42], ErrorReply)
+        assert len(by_id[42].neighbors) == 3
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_cell_size": 0.0},
+            {"batch_window_s": -0.1},
+            {"max_batch": 0},
+            {"max_inflight": 0},
+            {"queue_capacity": 0},
+            {"request_timeout_s": 0.0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)

@@ -1,0 +1,172 @@
+"""Tests for repro.service.batching: shared traversals stay exact.
+
+The batching contract has two halves: answers are *bit-identical* to
+what each request would get from ``knn_query_detailed`` on its own, and
+the page bill amortizes -- node reads split across the group while
+shipped records stay exact per client.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult, PruningBounds
+from repro.core.server import ServerAlgorithm, SpatialDatabaseServer
+from repro.service.batching import BatchExecutor
+from repro.service.protocol import KnnRequest
+
+CELL = 0.25
+
+
+def make_pois(count=400, seed=0, extent=4.0):
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0.0, extent, size=(count, 2))
+    return [(Point(float(x), float(y)), f"poi-{i}") for i, (x, y) in enumerate(coords)]
+
+
+def make_server(pois):
+    return SpatialDatabaseServer.from_points(pois, algorithm=ServerAlgorithm.EINN)
+
+
+def cluster(seed, n, anchor=Point(2.05, 2.05), spread=CELL / 8.0):
+    rng = np.random.default_rng(seed)
+    return [
+        anchor.translated(float(rng.uniform(0, spread)), float(rng.uniform(0, spread)))
+        for _ in range(n)
+    ]
+
+
+def answer_key(neighbors):
+    return tuple((n.point.x, n.point.y, n.payload, n.distance) for n in neighbors)
+
+
+class TestExactness:
+    def test_batched_answers_match_direct_bit_for_bit(self):
+        pois = make_pois()
+        batched = BatchExecutor(make_server(pois), cell_size=CELL)
+        direct = make_server(pois)
+        points = cluster(seed=1, n=6)
+        requests = [KnnRequest(i + 1, p, 5) for i, p in enumerate(points)]
+        answers = batched.execute(requests)
+        assert all(a.batch_size == len(points) for a in answers)
+        for point, answer in zip(points, answers):
+            expected = direct.knn_query_detailed(point, 5)
+            assert answer_key(answer.neighbors) == answer_key(expected.neighbors)
+
+    def test_batched_respects_bounds_and_known_certain(self):
+        pois = make_pois(seed=3)
+        direct = make_server(pois)
+        points = cluster(seed=4, n=4)
+        requests = []
+        for i, p in enumerate(points):
+            base = direct.knn_query(p, 3)
+            known = tuple(base[:1])
+            bounds = PruningBounds(0.0, base[-1].distance * 1.5)
+            requests.append(KnnRequest(i + 1, p, 3, bounds, known))
+        batched = BatchExecutor(make_server(pois), cell_size=CELL)
+        reference = make_server(pois)
+        for request, answer in zip(requests, batched.execute(requests)):
+            expected = reference.knn_query_detailed(
+                request.query, request.k, request.bounds, request.known_certain
+            )
+            assert answer_key(answer.neighbors) == answer_key(expected.neighbors)
+
+    def test_tight_upper_bound_truncates_in_batch_too(self):
+        pois = make_pois(seed=5)
+        direct = make_server(pois)
+        points = cluster(seed=6, n=3)
+        # An upper bound below the 2nd NN leaves at most one neighbor.
+        requests = [
+            KnnRequest(
+                i + 1, p, 4, PruningBounds(0.0, direct.knn_query(p, 2)[1].distance * 0.99)
+            )
+            for i, p in enumerate(points)
+        ]
+        reference = make_server(pois)
+        for request, answer in zip(requests, BatchExecutor(make_server(pois), cell_size=CELL).execute(requests)):
+            expected = reference.knn_query_detailed(
+                request.query, request.k, request.bounds
+            )
+            assert answer_key(answer.neighbors) == answer_key(expected.neighbors)
+            assert len(answer.neighbors) <= 1
+
+    def test_singleton_group_is_the_direct_path(self):
+        pois = make_pois(seed=7)
+        served = make_server(pois)
+        reference = make_server(pois)
+        query = Point(1.3, 2.7)
+        answer = BatchExecutor(served, cell_size=CELL).execute(
+            [KnnRequest(1, query, 5)]
+        )[0]
+        expected = reference.knn_query_detailed(query, 5)
+        assert answer.batch_size == 1
+        assert answer_key(answer.neighbors) == answer_key(expected.neighbors)
+        assert answer.pages == expected.pages
+
+    def test_far_apart_requests_do_not_merge(self):
+        pois = make_pois(seed=8)
+        served = make_server(pois)
+        requests = [
+            KnnRequest(1, Point(0.3, 0.3), 4),
+            KnnRequest(2, Point(3.6, 3.6), 4),
+        ]
+        answers = BatchExecutor(served, cell_size=CELL).execute(requests)
+        assert [a.batch_size for a in answers] == [1, 1]
+
+
+class TestAmortization:
+    def test_shares_sum_to_the_shared_traversal(self):
+        pois = make_pois(seed=9)
+        server = make_server(pois)
+        executor = BatchExecutor(server, cell_size=CELL)
+        requests = [KnnRequest(i + 1, p, 5) for i, p in enumerate(cluster(seed=10, n=5))]
+        before = len(server.counter.history)
+        answers = executor.execute(requests)
+        recorded = server.counter.history[before:]
+        assert len(recorded) == 1  # one shared traversal, one history entry
+        assert sum(a.pages.index_nodes for a in answers) == recorded[0].index_nodes
+        assert sum(a.pages.leaf_nodes for a in answers) == recorded[0].leaf_nodes
+        assert sum(a.pages.data_records for a in answers) == recorded[0].data_records
+        for answer in answers:
+            pages = answer.pages
+            assert pages.total == pages.index_nodes + pages.leaf_nodes + pages.data_records
+
+    def test_amortized_pages_decrease_with_concurrency(self):
+        pois = make_pois(count=800, seed=11)
+        points = cluster(seed=12, n=8)
+        costs = []
+        for level in (1, 2, 4, 8):
+            executor = BatchExecutor(make_server(pois), cell_size=CELL)
+            answers = executor.execute(
+                [KnnRequest(i + 1, p, 6) for i, p in enumerate(points[:level])]
+            )
+            costs.append(sum(a.pages.total for a in answers) / level)
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] < costs[0]
+
+    def test_known_certain_records_are_not_billed(self):
+        pois = make_pois(seed=13)
+        direct = make_server(pois)
+        points = cluster(seed=14, n=3)
+        known = {p: tuple(direct.knn_query(p, 2)) for p in points}
+        executor = BatchExecutor(make_server(pois), cell_size=CELL)
+        requests = [
+            KnnRequest(i + 1, p, 4, PruningBounds(), known[p])
+            for i, p in enumerate(points)
+        ]
+        for request, answer in zip(requests, executor.execute(requests)):
+            shipped = sum(
+                1 for n in answer.neighbors
+                if n not in request.known_certain
+            )
+            assert answer.pages.data_records == shipped
+
+
+class TestValidation:
+    def test_cell_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(make_server(make_pois()), cell_size=0.0)
+
+    def test_empty_wave_is_empty(self):
+        executor = BatchExecutor(make_server(make_pois()), cell_size=CELL)
+        assert executor.execute([]) == []

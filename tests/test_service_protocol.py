@@ -1,0 +1,263 @@
+"""Tests for repro.service.protocol: framing, codecs, strictness.
+
+The protocol promises ``decode(encode(m)) == m`` for every message and
+a :class:`ProtocolError` for anything else -- truncation, trailing
+bytes, bad magic, unknown versions/types/tags, NaN coordinates and
+oversized payloads.  The property tests drive the round-trip over
+generated messages; the example tests pin each rejection path.
+"""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.index.knn import NeighborResult, PruningBounds
+from repro.index.pagestats import AccessBreakdown
+from repro.service.protocol import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_PAYLOAD,
+    PROTOCOL_VERSION,
+    Answer,
+    ErrorCode,
+    ErrorReply,
+    KnnRequest,
+    MessageType,
+    ProtocolError,
+    RangeRequest,
+    StreamClose,
+    StreamEnd,
+    StreamHandle,
+    StreamItems,
+    StreamOpen,
+    StreamPull,
+    WindowRequest,
+    decode_message,
+    encode_message,
+    parse_header,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+nonneg = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=0.0, max_value=1e9
+)
+request_ids = st.integers(min_value=0, max_value=0xFFFFFFFF)
+stream_ids = st.integers(min_value=0, max_value=0xFFFFFFFF)
+small_counts = st.integers(min_value=1, max_value=0xFFFF)
+
+points = st.builds(Point, finite, finite)
+payloads = st.one_of(
+    st.integers(min_value=-(1 << 62), max_value=1 << 62),
+    finite,
+    st.text(max_size=40),
+)
+neighbors = st.builds(NeighborResult, points, payloads, nonneg)
+neighbor_tuples = st.tuples() | st.lists(neighbors, max_size=6).map(tuple)
+
+bounds = st.builds(
+    lambda lower, upper_pad, has_upper: PruningBounds(
+        lower, lower + upper_pad if has_upper else math.inf
+    ),
+    nonneg,
+    nonneg,
+    st.booleans(),
+)
+
+
+@st.composite
+def breakdowns(draw):
+    index_nodes = draw(st.integers(min_value=0, max_value=10_000))
+    leaf_nodes = draw(st.integers(min_value=0, max_value=10_000))
+    data = draw(st.integers(min_value=0, max_value=10_000))
+    return AccessBreakdown(
+        total=index_nodes + leaf_nodes + data,
+        index_nodes=index_nodes,
+        leaf_nodes=leaf_nodes,
+        data_records=data,
+        buffer_hits=draw(st.integers(min_value=0, max_value=10_000)),
+        buffer_misses=draw(st.integers(min_value=0, max_value=10_000)),
+    )
+
+
+@st.composite
+def windows(draw):
+    min_x = draw(finite)
+    min_y = draw(finite)
+    return BoundingBox(
+        min_x, min_y, min_x + draw(nonneg), min_y + draw(nonneg)
+    )
+
+
+messages = st.one_of(
+    st.builds(KnnRequest, request_ids, points, small_counts, bounds, neighbor_tuples),
+    st.builds(RangeRequest, request_ids, points, nonneg),
+    st.builds(WindowRequest, request_ids, windows()),
+    st.builds(StreamOpen, request_ids, points),
+    st.builds(StreamPull, request_ids, stream_ids, small_counts),
+    st.builds(StreamClose, request_ids, stream_ids),
+    st.builds(Answer, request_ids, neighbor_tuples, breakdowns(), small_counts),
+    st.builds(StreamHandle, request_ids, stream_ids),
+    st.builds(StreamItems, request_ids, stream_ids, neighbor_tuples, st.booleans()),
+    st.builds(StreamEnd, request_ids, stream_ids, breakdowns()),
+    st.builds(ErrorReply, request_ids, st.sampled_from(list(ErrorCode)), st.text(max_size=60)),
+)
+
+
+def frame(mtype: int, payload: bytes, magic=MAGIC, version=PROTOCOL_VERSION):
+    return struct.pack(">2sBBI", magic, version, mtype, len(payload)) + payload
+
+
+# ----------------------------------------------------------------------
+# round-trip properties
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(messages)
+    def test_decode_inverts_encode(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    @settings(max_examples=100, deadline=None)
+    @given(messages)
+    def test_header_matches_payload(self, message):
+        encoded = encode_message(message)
+        mtype, length = parse_header(encoded[:HEADER_SIZE])
+        assert length == len(encoded) - HEADER_SIZE
+        assert isinstance(mtype, MessageType)
+
+    @settings(max_examples=100, deadline=None)
+    @given(messages, st.integers(min_value=1, max_value=6))
+    def test_truncation_always_raises(self, message, cut):
+        encoded = encode_message(message)
+        with pytest.raises(ProtocolError):
+            decode_message(encoded[: len(encoded) - cut])
+
+    @settings(max_examples=100, deadline=None)
+    @given(messages)
+    def test_trailing_bytes_always_raise(self, message):
+        with pytest.raises(ProtocolError):
+            decode_message(encode_message(message) + b"\x00")
+
+    def test_bounds_upper_infinity_survives(self):
+        message = KnnRequest(1, Point(0.0, 0.0), 3, PruningBounds(0.5, math.inf))
+        assert decode_message(encode_message(message)).bounds.upper == math.inf
+
+
+# ----------------------------------------------------------------------
+# value strictness
+# ----------------------------------------------------------------------
+class TestValueRejection:
+    def test_nan_coordinate_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_message(StreamOpen(1, Point(float("nan"), 0.0)))
+
+    def test_nan_rejected_on_decode(self):
+        encoded = bytearray(encode_message(StreamOpen(1, Point(1.0, 2.0))))
+        nan = struct.pack(">d", float("nan"))
+        encoded[HEADER_SIZE + 4 : HEADER_SIZE + 12] = nan
+        with pytest.raises(ProtocolError):
+            decode_message(bytes(encoded))
+
+    def test_infinite_coordinate_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_message(StreamOpen(1, Point(math.inf, 0.0)))
+
+    def test_infinite_lower_bound_rejected(self):
+        message = KnnRequest(
+            1, Point(0.0, 0.0), 1, PruningBounds(math.inf, math.inf)
+        )
+        with pytest.raises(ProtocolError):
+            encode_message(message)
+
+    def test_negative_neighbor_distance_rejected(self):
+        bad = NeighborResult(Point(0.0, 0.0), "p", -1.0)
+        with pytest.raises(ProtocolError):
+            encode_message(Answer(1, (bad,), AccessBreakdown(0, 0, 0), 1))
+
+    def test_bool_payload_rejected(self):
+        bad = NeighborResult(Point(0.0, 0.0), True, 1.0)
+        with pytest.raises(ProtocolError) as excinfo:
+            encode_message(StreamItems(1, 1, (bad,), False))
+        assert excinfo.value.code is ErrorCode.UNSUPPORTED
+
+    def test_unsupported_payload_type_rejected(self):
+        bad = NeighborResult(Point(0.0, 0.0), object(), 1.0)
+        with pytest.raises(ProtocolError) as excinfo:
+            encode_message(StreamItems(1, 1, (bad,), False))
+        assert excinfo.value.code is ErrorCode.UNSUPPORTED
+
+    def test_zero_k_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_message(KnnRequest(1, Point(0.0, 0.0), 0))
+
+    def test_inconsistent_breakdown_rejected_on_decode(self):
+        message = StreamEnd(1, 1, AccessBreakdown(0, 0, 0))
+        encoded = bytearray(encode_message(message))
+        # total lives right after request_id + stream_id in the payload.
+        encoded[HEADER_SIZE + 8 : HEADER_SIZE + 12] = struct.pack(">I", 99)
+        with pytest.raises(ProtocolError):
+            decode_message(bytes(encoded))
+
+    def test_unknown_error_code_rejected_on_decode(self):
+        encoded = bytearray(encode_message(ErrorReply(1, ErrorCode.INTERNAL, "x")))
+        encoded[HEADER_SIZE + 4 : HEADER_SIZE + 6] = struct.pack(">H", 999)
+        with pytest.raises(ProtocolError):
+            decode_message(bytes(encoded))
+
+
+# ----------------------------------------------------------------------
+# framing strictness
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_bad_magic(self):
+        with pytest.raises(ProtocolError):
+            parse_header(frame(MessageType.STREAM_CLOSE, b"", magic=b"XX")[:HEADER_SIZE])
+
+    def test_unknown_version(self):
+        header = frame(MessageType.STREAM_CLOSE, b"", version=42)[:HEADER_SIZE]
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_header(header)
+        assert excinfo.value.code is ErrorCode.UNSUPPORTED
+
+    def test_unknown_message_type(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_header(frame(0x7E, b"")[:HEADER_SIZE])
+        assert excinfo.value.code is ErrorCode.UNSUPPORTED
+
+    def test_oversized_declared_length_rejected_before_allocation(self):
+        header = struct.pack(
+            ">2sBBI", MAGIC, PROTOCOL_VERSION, int(MessageType.ANSWER), MAX_PAYLOAD + 1
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_header(header)
+        assert excinfo.value.code is ErrorCode.OVERSIZED
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_header(b"RQ\x01")
+        with pytest.raises(ProtocolError):
+            decode_message(b"RQ")
+
+    def test_length_mismatch_rejected(self):
+        encoded = encode_message(StreamClose(1, 2))
+        with pytest.raises(ProtocolError):
+            decode_message(encoded + b"\xff\xff")
+
+    def test_oversized_payload_rejected_on_encode(self):
+        message = ErrorReply(1, ErrorCode.INTERNAL, "x" * (MAX_PAYLOAD + 1))
+        with pytest.raises(ProtocolError) as excinfo:
+            encode_message(message)
+        assert excinfo.value.code is ErrorCode.OVERSIZED
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(frame(MessageType.KNN_REQUEST, b"\x01\x02\x03"))
