@@ -21,7 +21,13 @@ guardrails on both sides of the build:
   pass behind ``repro-lint --deep`` (rules ``RPR008`` .. ``RPR013``):
   call-graph reachability and dead code, interprocedural purity and
   determinism inference, distance-expression float-comparison dataflow
-  with a paper-lemma conformance table, and layering contracts.
+  with a paper-lemma conformance table, and layering contracts;
+- :mod:`repro.analysis.concurrency` / :mod:`repro.analysis.locks` --
+  the concurrency pass behind ``repro-lint --concurrency`` (rules
+  ``RPR015`` .. ``RPR020``): shared-field lock discipline with a
+  guarded-by inference table, asyncio hygiene, and a static lock-order
+  graph whose runtime mirror the race sanitizer records through
+  :func:`named_lock` / :func:`named_async_lock`.
 
 The package ``__init__`` resolves its exports lazily (PEP 562): the
 instrumented data structures (``core.heap``, ``index.rtree``) import
@@ -37,6 +43,8 @@ from __future__ import annotations
 from typing import List
 
 __all__ = [
+    "CONCURRENCY_RULES",
+    "ConcurrencyAnalysis",
     "DEEP_RULES",
     "DeepAnalysis",
     "HEAP_TRANSITIONS",
@@ -44,10 +52,14 @@ __all__ = [
     "LEMMA_TABLE",
     "LintReport",
     "Linter",
+    "LockOrderGraph",
     "Rule",
     "SANITIZER",
     "Sanitizer",
+    "TrackedAsyncLock",
+    "TrackedLock",
     "Violation",
+    "analyze_concurrency",
     "analyze_project",
     "build_call_graph",
     "build_import_graph",
@@ -58,6 +70,9 @@ __all__ = [
     "iter_rules",
     "lint_paths",
     "lint_source",
+    "named_async_lock",
+    "named_lock",
+    "run_concurrency",
     "run_deep",
     "sanitized",
     "sanitizer_enabled",
@@ -81,8 +96,24 @@ _INVARIANT_EXPORTS = {
     "check_verification_soundness",
     "validate_rtree",
 }
-_RUNTIME_EXPORTS = {"SANITIZER", "Sanitizer", "sanitized", "sanitizer_enabled"}
+_RUNTIME_EXPORTS = {
+    "SANITIZER",
+    "Sanitizer",
+    "TrackedAsyncLock",
+    "TrackedLock",
+    "named_async_lock",
+    "named_lock",
+    "sanitized",
+    "sanitizer_enabled",
+}
 _DEEP_EXPORTS = {"DEEP_RULES", "DeepAnalysis", "analyze_project", "run_deep"}
+_CONCURRENCY_EXPORTS = {
+    "CONCURRENCY_RULES",
+    "ConcurrencyAnalysis",
+    "analyze_concurrency",
+    "run_concurrency",
+}
+_LOCKS_EXPORTS = {"LockOrderGraph"}
 _CALLGRAPH_EXPORTS = {"build_call_graph", "build_import_graph"}
 _PURITY_EXPORTS = {"infer_effects"}
 _FLOATCHECK_EXPORTS = {"LEMMA_TABLE"}
@@ -105,6 +136,14 @@ def __getattr__(name: str) -> object:
         from repro.analysis import deep
 
         return getattr(deep, name)
+    if name in _CONCURRENCY_EXPORTS:
+        from repro.analysis import concurrency
+
+        return getattr(concurrency, name)
+    if name in _LOCKS_EXPORTS:
+        from repro.analysis import locks
+
+        return getattr(locks, name)
     if name in _CALLGRAPH_EXPORTS:
         from repro.analysis import callgraph
 

@@ -9,11 +9,15 @@ Also runnable without an installed entry point::
 
 ``--deep`` switches to the whole-program analysis suite (call graph,
 purity inference, float-comparison dataflow, layering contracts; rules
-RPR008-RPR013).  The deep pass always analyzes the full ``src/repro``
-tree — cross-module reasoning needs the whole program — but
-``--changed-only`` restricts the *reported* findings to the given paths
-(or, with no paths, to the files ``git diff --name-only HEAD`` lists),
-which is what the pre-commit hook uses.
+RPR008-RPR013).  ``--concurrency`` runs the concurrency pass (shared
+fields, asyncio hygiene, lock order; rules RPR015-RPR020); the two
+flags compose, sharing one project load and one baseline ratchet.
+Whole-program passes always analyze the full ``src/repro`` tree —
+cross-module reasoning needs the whole program — but ``--changed-only``
+restricts the *reported* findings to the given paths (or, with no
+paths, to the files ``git diff --name-only HEAD`` lists), which is what
+the pre-commit hook uses.  ``--report`` additionally prints the
+guarded-by table and lock-order graph the concurrency pass inferred.
 """
 
 from __future__ import annotations
@@ -94,6 +98,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="read/write the call-graph facts cache (JSON, SHA-keyed)",
     )
+    deep.add_argument(
+        "--concurrency",
+        action="store_true",
+        help=(
+            "run the whole-program concurrency pass (RPR015-RPR020) over "
+            "src/repro; composes with --deep"
+        ),
+    )
+    deep.add_argument(
+        "--report",
+        action="store_true",
+        help=(
+            "with --concurrency, also print the inferred guarded-by table, "
+            "lock-order graph and thread entry points"
+        ),
+    )
     return parser
 
 
@@ -118,12 +138,15 @@ def _git_changed_files() -> List[Path]:
 
 def _deep_main(args: argparse.Namespace) -> int:
     from repro.analysis import deep
+    from repro.analysis.callgraph import CallGraph
+    from repro.analysis.lint import Violation
+    from repro.analysis.project import load_project
 
     src_root = Path("src/repro")
     if not src_root.is_dir():
         print(
-            "repro-lint: error: --deep must run from the repository root "
-            "(src/repro not found)",
+            "repro-lint: error: whole-program passes must run from the "
+            "repository root (src/repro not found)",
             file=sys.stderr,
         )
         return 2
@@ -132,14 +155,30 @@ def _deep_main(args: argparse.Namespace) -> int:
     if args.callgraph_cache is not None:
         cached = deep.load_cached_graph(args.callgraph_cache)
 
-    analysis = deep.run_deep(
-        [src_root], deep.default_reference_roots(Path(".")), cached=cached
+    project = load_project(
+        [src_root], deep.default_reference_roots(Path("."))
     )
+    violations: List[Violation] = []
+    modules_analyzed = len(project.modules)
+    graph: Optional[CallGraph] = None
+    if args.deep:
+        analysis = deep.analyze_project(project, cached=cached)
+        violations.extend(analysis.violations)
+        graph = analysis.graph
+    if args.concurrency:
+        from repro.analysis import concurrency
 
-    if args.callgraph_cache is not None:
-        deep.save_graph_cache(args.callgraph_cache, analysis.graph)
+        conc = concurrency.analyze_concurrency(project, cached=cached)
+        violations.extend(conc.violations)
+        graph = graph or conc.graph
+        if args.report:
+            for line in concurrency.concurrency_report(conc):
+                print(line)
 
-    violations = analysis.violations
+    if args.callgraph_cache is not None and graph is not None:
+        deep.save_graph_cache(args.callgraph_cache, graph)
+
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     if args.changed_only:
         changed = args.paths if args.paths else _git_changed_files()
         allowed = {path.resolve() for path in changed}
@@ -167,10 +206,15 @@ def _deep_main(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     if not args.quiet:
-        modules = len(analysis.project.modules)
+        flags = [
+            flag
+            for flag, on in (("--deep", args.deep), ("--concurrency", args.concurrency))
+            if on
+        ]
         noun = "finding" if len(new) == 1 else "findings"
         print(
-            f"repro-lint --deep: {modules} modules analyzed, {len(new)} new "
+            f"repro-lint {' '.join(flags)}: {modules_analyzed} modules "
+            f"analyzed, {len(new)} new "
             f"{noun}, {len(baselined)} baselined, {len(stale)} stale",
             file=sys.stderr,
         )
@@ -190,9 +234,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             for code in sorted(DEEP_RULES):
                 name, description = DEEP_RULES[code]
                 print(f"{code}  {name}: {description}")
+        if args.concurrency:
+            from repro.analysis.concurrency import CONCURRENCY_RULES
+
+            for code in sorted(CONCURRENCY_RULES):
+                name, description = CONCURRENCY_RULES[code]
+                print(f"{code}  {name}: {description}")
         return 0
 
-    if args.deep:
+    if args.deep or args.concurrency:
         return _deep_main(args)
 
     if not args.paths:

@@ -65,6 +65,7 @@ __all__ = [
     "DEEP_RULES",
     "DeepAnalysis",
     "analyze_project",
+    "apply_suppressions",
     "baseline_key",
     "load_baseline",
     "load_cached_graph",
@@ -72,6 +73,7 @@ __all__ = [
     "run_deep",
     "save_baseline",
     "save_graph_cache",
+    "suppression_oracle",
 ]
 
 #: Code -> (name, description), mirroring the shallow rule catalogue.
@@ -140,7 +142,7 @@ def analyze_project(
     """Run every deep pass over an already-loaded project."""
     graph = build_call_graph(project, cached)
     import_graph = build_import_graph(project)
-    oracle = _suppression_oracle(project)
+    oracle = suppression_oracle(project)
     effects = infer_effects(
         project, graph, import_graph=import_graph, is_suppressed=oracle
     )
@@ -202,7 +204,7 @@ def analyze_project(
     for module_name, message in cycle_violations(import_graph):
         violations.append(Violation(paths[module_name], 1, 0, "RPR013", message))
 
-    violations = _apply_suppressions(project, violations)
+    violations = apply_suppressions(project, violations)
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return DeepAnalysis(
         project=project,
@@ -216,7 +218,7 @@ def analyze_project(
 # ----------------------------------------------------------------------
 # suppression
 # ----------------------------------------------------------------------
-def _suppression_oracle(project: Project) -> Callable[[str, int, str], bool]:
+def suppression_oracle(project: Project) -> Callable[[str, int, str], bool]:
     """``(module, lineno, code) -> suppressed?`` backed by noqa comments."""
     cache: Dict[str, Dict[int, Set[str]]] = {}
 
@@ -237,9 +239,15 @@ def _suppression_oracle(project: Project) -> Callable[[str, int, str], bool]:
     return is_suppressed
 
 
-def _apply_suppressions(
+def apply_suppressions(
     project: Project, violations: List[Violation]
 ) -> List[Violation]:
+    """Drop violations a ``# repro: noqa(CODE)`` comment covers.
+
+    Shared with :mod:`repro.analysis.concurrency`, which folds its
+    findings through the same machinery so suppression semantics stay
+    uniform across ``--deep`` and ``--concurrency``.
+    """
     by_path: Dict[str, Dict[int, Set[str]]] = {}
     file_wide: Dict[str, Set[str]] = {}
     for module in project.modules.values():

@@ -19,6 +19,17 @@ a fixpoint:
     RNG state, wall-clock reads, ``id()``, ``hash()`` (salted for
     strings), ``os.urandom``, UUIDs, and **iteration over sets** (hash
     order).  Propagates unconditionally.
+``BLOCKING``
+    can park the calling thread for an unbounded/IO-scale time:
+    ``time.sleep``, socket construction and socket send/recv methods,
+    ``subprocess``, ``input``.  Deliberately *narrower* than ``IO``
+    (``print`` and file writes are I/O but finish promptly enough for a
+    CLI banner); the concurrency pass (RPR016) flags coroutines that
+    reach a ``BLOCKING`` function, because a blocked event loop stalls
+    every connection.  Propagates unconditionally -- but note that
+    ``run_in_executor``/``to_thread`` dispatch sites resolve to *no*
+    candidates in the call graph, so handing blocking work to an
+    executor does not taint the dispatching coroutine.
 
 Two rule front ends consume the fixpoint (wired up in
 :mod:`repro.analysis.deep`): RPR009 enforces the purity zones of
@@ -51,7 +62,9 @@ __all__ = [
     "FunctionEffects",
     "SuppressionOracle",
     "determinism_violations",
+    "function_nodes",
     "infer_effects",
+    "module_reachability",
     "purity_violations",
 ]
 
@@ -61,6 +74,7 @@ class Effect(enum.Enum):
     MUTATES_GLOBAL = "mutates-global"
     IO = "performs-io"
     NONDET = "nondeterministic"
+    BLOCKING = "blocking"
 
 
 #: Methods that mutate their receiver in place (builtins; project methods
@@ -109,6 +123,26 @@ _IO_METHODS: Set[str] = {
     "rmdir",
     "touch",
     "flush",
+}
+
+#: Seeds of the BLOCKING effect (RPR016).  Narrower than the IO
+#: catalogue on purpose: only calls that can park a thread for an
+#: unbounded or network-scale time.  ``.acquire()`` is deliberately
+#: absent -- lock blocking is RPR017/RPR019 territory, and seeding it
+#: here would flag every coroutine that touches an asyncio primitive
+#: whose method names mirror the threading ones.
+_BLOCKING_NAMES: Set[str] = {"input"}
+_BLOCKING_DOTTED: Set[str] = {"time.sleep"}
+_BLOCKING_DOTTED_PREFIXES: Tuple[str, ...] = ("socket.", "subprocess.")
+#: Socket-ish receiver methods: ``x.recv(...)`` blocks whatever ``x`` is
+#: in this codebase (only socket code spells these names).
+_BLOCKING_METHODS: Set[str] = {
+    "accept",
+    "makefile",
+    "recv",
+    "recv_into",
+    "send",
+    "sendall",
 }
 
 _NONDET_NAMES: Set[str] = {"id", "hash", "vars", "globals", "locals"}
@@ -265,7 +299,12 @@ def _propagate(
     site: CallSite,
 ) -> bool:
     changed = False
-    for effect in (Effect.MUTATES_GLOBAL, Effect.IO, Effect.NONDET):
+    for effect in (
+        Effect.MUTATES_GLOBAL,
+        Effect.IO,
+        Effect.NONDET,
+        Effect.BLOCKING,
+    ):
         if callee.has(effect) and not caller.has(effect):
             origin = callee.effects[effect]
             changed |= caller.add(
@@ -341,6 +380,7 @@ _EFFECT_CODE: Dict[Effect, str] = {
     Effect.MUTATES_GLOBAL: "RPR009",
     Effect.IO: "RPR009",
     Effect.NONDET: "RPR010",
+    Effect.BLOCKING: "RPR016",
 }
 
 
@@ -428,6 +468,18 @@ def _scan_call(
         result.add(Effect.IO, EffectWitness(call.lineno, f"calls `{dotted or name}`"))
     elif any(dotted.startswith(prefix) for prefix in _IO_DOTTED_PREFIXES):
         result.add(Effect.IO, EffectWitness(call.lineno, f"calls `{dotted}`"))
+
+    # --- blocking (RPR016 seeds) -------------------------------------
+    if (
+        dotted in _BLOCKING_NAMES
+        or dotted in _BLOCKING_DOTTED
+        or any(dotted.startswith(prefix) for prefix in _BLOCKING_DOTTED_PREFIXES)
+        or (name in _BLOCKING_METHODS and isinstance(call.func, ast.Attribute))
+    ):
+        result.add(
+            Effect.BLOCKING,
+            EffectWitness(call.lineno, f"blocking call `{dotted or name}`"),
+        )
 
     # --- nondeterminism ----------------------------------------------
     if dotted in _NONDET_NAMES or dotted in _NONDET_DOTTED:
@@ -577,6 +629,14 @@ def purity_violations(
             ):
                 continue
             yield info, effect, report.effects[effect]
+
+
+#: Public aliases for sibling passes: the concurrency pass
+#: (:mod:`repro.analysis.concurrency`) reuses the function-node table and
+#: the import-reachability closure so its name-matched dispatch is
+#: filtered exactly the way effect propagation is.
+function_nodes = _function_nodes
+module_reachability = _module_reachability
 
 
 def determinism_violations(

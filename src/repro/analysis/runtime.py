@@ -22,13 +22,39 @@ module scope: ``core.heap``, ``core.verification`` and ``index.rtree``
 import it, and the validators live in
 :mod:`repro.analysis.invariants`, which is loaded lazily on the first
 enabled check.
+
+Race sanitizer
+--------------
+The same switch also gates a lightweight runtime race sanitizer.
+:func:`named_lock` / :func:`named_async_lock` build drop-in lock wrappers
+(:class:`TrackedLock` / :class:`TrackedAsyncLock`) that, while enabled,
+report every successful acquisition to the singleton, which
+
+* maintains per-thread (and, via a ``ContextVar``, per-task) stacks of
+  held lock names,
+* records each ``outer -> inner`` nesting into a runtime lock-order
+  graph (:meth:`Sanitizer.lock_order_edges`) that the service tests
+  cross-check as a *subset* of the static graph computed by
+  ``repro-lint --concurrency``,
+* flags inversions (both ``a -> b`` and ``b -> a`` observed) and
+  re-acquisition of a held non-reentrant lock into
+  :attr:`Sanitizer.lock_order_violations`, and
+* checks via :meth:`Sanitizer.note_metric_mutation` that every metric
+  mutation happens with its owning guard held.
+
+The lock names are the *canonical* names the static pass derives from
+the source (``"TcpTransport._lock"``), so the two graphs agree by
+construction; :data:`repro.analysis.config.LOCK_ALIASES` folding is the
+comparison helper's job, not this module's (it stays import-free).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Any, Dict, Iterator, Sequence, Tuple
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.core.cache import CachedQueryResult
@@ -37,10 +63,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.geometry.point import Point
     from repro.index.rtree import RTree
 
-__all__ = ["SANITIZER", "Sanitizer", "sanitized", "sanitizer_enabled"]
+__all__ = [
+    "SANITIZER",
+    "Sanitizer",
+    "TrackedAsyncLock",
+    "TrackedLock",
+    "named_async_lock",
+    "named_lock",
+    "sanitized",
+    "sanitizer_enabled",
+]
 
 _ENV_FLAG = "REPRO_SANITIZE"
 _TRUTHY = {"1", "true", "yes", "on"}
+
+#: Lock names held by the *current asyncio task*.  Thread-ident stacks
+#: cannot serve here: every task on the loop shares one thread, and two
+#: tasks' independently held locks must not look nested.
+_ASYNC_HELD: ContextVar[Tuple[str, ...]] = ContextVar("repro_async_held", default=())
 
 
 class Sanitizer:
@@ -51,28 +91,123 @@ class Sanitizer:
     the sanitizer turns off only when every enabler has released it.
     """
 
-    __slots__ = ("enabled", "_level", "checks_run")
+    __slots__ = (
+        "enabled",
+        "_level",
+        "checks_run",
+        "_lock",
+        "_held",
+        "lock_edges",
+        "lock_order_violations",
+        "metric_violations",
+    )
 
     def __init__(self, enabled: bool = False) -> None:
+        #: Guards every mutable field below; reentrant so the note_*
+        #: hooks may call ``_count`` while already holding it.
+        self._lock = threading.RLock()
         self._level = 1 if enabled else 0
         self.enabled = enabled
         #: How often each hook fired while enabled (observability/tests).
         self.checks_run: Dict[str, int] = {}
+        #: Thread ident -> stack of held tracked-lock names.
+        self._held: Dict[int, List[str]] = {}
+        #: Runtime lock-order graph: (outer, inner) -> acquisition count.
+        self.lock_edges: Dict[Tuple[str, str], int] = {}
+        #: Inversions and non-reentrant re-acquisitions seen at runtime.
+        self.lock_order_violations: List[str] = []
+        #: Metric mutations observed without their owning guard held.
+        self.metric_violations: List[str] = []
 
     # ------------------------------------------------------------------
     # switching
     # ------------------------------------------------------------------
     def enable(self) -> None:
-        self._level += 1
-        self.enabled = True
+        with self._lock:
+            self._level += 1
+            self.enabled = True
 
     def disable(self) -> None:
-        if self._level > 0:
-            self._level -= 1
-        self.enabled = self._level > 0
+        with self._lock:
+            if self._level > 0:
+                self._level -= 1
+            self.enabled = self._level > 0
 
     def _count(self, check: str) -> None:
-        self.checks_run[check] = self.checks_run.get(check, 0) + 1
+        with self._lock:
+            self.checks_run[check] = self.checks_run.get(check, 0) + 1
+
+    # ------------------------------------------------------------------
+    # race sanitizer (fed by TrackedLock / TrackedAsyncLock / metrics)
+    # ------------------------------------------------------------------
+    def _current_held(self) -> Tuple[str, ...]:
+        thread_held = tuple(self._held.get(threading.get_ident(), ()))
+        return thread_held + _ASYNC_HELD.get()
+
+    def _record_edges(self, name: str, held: Tuple[str, ...]) -> None:
+        """Register ``held[*] -> name`` edges (``_lock`` is reentrant)."""
+        with self._lock:
+            for outer in held:
+                if outer == name:
+                    self.lock_order_violations.append(
+                        f"lock `{name}` re-acquired while already held"
+                    )
+                    continue
+                edge = (outer, name)
+                if (name, outer) in self.lock_edges and edge not in self.lock_edges:
+                    self.lock_order_violations.append(
+                        f"lock-order inversion: `{outer}` -> `{name}` acquired "
+                        f"after the opposite order `{name}` -> `{outer}` was seen"
+                    )
+                self.lock_edges[edge] = self.lock_edges.get(edge, 0) + 1
+
+    def note_acquire(self, name: str) -> None:
+        """A tracked ``threading`` lock was acquired by this thread."""
+        with self._lock:
+            self._count("lock.acquire")
+            self._record_edges(name, self._current_held())
+            self._held.setdefault(threading.get_ident(), []).append(name)
+
+    def note_release(self, name: str) -> None:
+        """A tracked ``threading`` lock was released (tolerant pop)."""
+        with self._lock:
+            stack = self._held.get(threading.get_ident())
+            if stack and name in stack:
+                stack.reverse()
+                stack.remove(name)
+                stack.reverse()
+
+    def note_async_acquire(self, name: str) -> None:
+        """A tracked ``asyncio`` lock was acquired by the current task.
+
+        The per-task held stack itself lives in a ``ContextVar`` managed
+        by :class:`TrackedAsyncLock`; this hook only records the edges.
+        """
+        with self._lock:
+            self._count("lock.acquire")
+            self._record_edges(name, self._current_held())
+
+    def note_metric_mutation(self, metric: str, guard: str) -> None:
+        """A metric was mutated; its owning ``guard`` must be held."""
+        with self._lock:
+            self._count("metrics.mutation")
+            if guard not in self._current_held():
+                self.metric_violations.append(
+                    f"metric `{metric}` mutated without its guard "
+                    f"`{guard}` held"
+                )
+
+    def lock_order_edges(self) -> List[Tuple[str, str]]:
+        """The runtime-observed lock-order graph, as sorted edge pairs."""
+        with self._lock:
+            return sorted(self.lock_edges)
+
+    def reset_concurrency(self) -> None:
+        """Forget recorded edges/violations (held stacks are kept)."""
+        with self._lock:
+            self.lock_edges = {}
+            self.lock_order_violations = []
+            self.metric_violations = []
 
     # ------------------------------------------------------------------
     # hooks (called by the instrumented structures when enabled)
@@ -139,3 +274,108 @@ def sanitized() -> Iterator[Sanitizer]:
         yield SANITIZER
     finally:
         SANITIZER.disable()
+
+
+# ----------------------------------------------------------------------
+# tracked locks
+# ----------------------------------------------------------------------
+class TrackedLock:
+    """A ``threading.Lock`` that reports acquisitions to the sanitizer.
+
+    Disabled-path cost over a bare lock is one attribute read per
+    acquire/release.  The ``name`` is the canonical lock name the static
+    concurrency pass derives for the same lock (see
+    :mod:`repro.analysis.locks`), which is what makes the runtime and
+    static lock-order graphs comparable.
+    """
+
+    __slots__ = ("name", "_inner")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inner = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the underlying lock, recording the nesting if held."""
+        got = self._inner.acquire(blocking, timeout)
+        if got and SANITIZER.enabled:
+            SANITIZER.note_acquire(self.name)
+        return got
+
+    def release(self) -> None:
+        """Release the underlying lock and pop it from the held stack."""
+        self._inner.release()
+        if SANITIZER.enabled:
+            SANITIZER.note_release(self.name)
+
+    def locked(self) -> bool:
+        """Whether the underlying lock is currently held by anyone."""
+        return self._inner.locked()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"TrackedLock({self.name!r}, {state})"
+
+
+class TrackedAsyncLock:
+    """An ``asyncio.Lock`` wrapper feeding the runtime lock-order graph.
+
+    Holds are tracked per *task* through a ``ContextVar`` rather than
+    per thread: every task on the loop shares one thread, and two tasks
+    holding unrelated locks must not register a nesting edge.
+    """
+
+    __slots__ = ("name", "_inner", "_token")
+
+    def __init__(self, name: str) -> None:
+        import asyncio
+
+        self.name = name
+        self._inner = asyncio.Lock()
+        self._token: Any = None  # repro: guarded-by(single-writer)
+
+    async def __aenter__(self) -> "TrackedAsyncLock":
+        await self._inner.acquire()
+        if SANITIZER.enabled:
+            SANITIZER.note_async_acquire(self.name)
+            # Only the holding task runs between here and __aexit__.
+            self._token = _ASYNC_HELD.set(  # repro: guarded-by(single-writer)
+                _ASYNC_HELD.get() + (self.name,)
+            )
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        if self._token is not None:
+            _ASYNC_HELD.reset(self._token)
+            self._token = None  # repro: guarded-by(single-writer)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        """Whether the underlying asyncio lock is currently held."""
+        return self._inner.locked()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"TrackedAsyncLock({self.name!r}, {state})"
+
+
+def named_lock(name: str) -> TrackedLock:
+    """A tracked ``threading.Lock`` under its canonical name.
+
+    The static concurrency pass recognizes this call and takes the
+    canonical lock name from the string literal, so the source and the
+    runtime agree on the node names of the lock-order graph.
+    """
+    return TrackedLock(name)
+
+
+def named_async_lock(name: str) -> TrackedAsyncLock:
+    """A tracked ``asyncio.Lock`` under its canonical name."""
+    return TrackedAsyncLock(name)

@@ -8,20 +8,33 @@ tests) pull deterministic snapshots back out.
 
 Design constraints, in order:
 
-* **Zero dependencies.** Pure stdlib; importable from rank-0 of the
-  layering DAG (below ``repro.index`` and ``repro.core``).
+* **Zero dependencies.** Stdlib plus the rank-0 runtime sanitizer
+  (:mod:`repro.analysis.runtime`, which itself imports nothing);
+  importable from rank-0 of the layering DAG (below ``repro.index``
+  and ``repro.core``).
 * **Determinism.** Snapshots are sorted by ``(name, labels)``; two runs
   of the same workload produce byte-identical snapshots. Nothing in
   this module reads a clock or an RNG.
+* **Thread safety.** The service era mutates metrics from client
+  threads and the server's event-loop thread at once.  One registry
+  lock (``MetricsRegistry._lock``, handed down into every instrument it
+  creates) guards both the get-or-create probes and the instrument
+  mutators, so concurrent ``inc()`` calls never lose updates.  Under
+  ``REPRO_SANITIZE=1`` each mutation additionally reports to the race
+  sanitizer, which checks the owning guard is actually held.
 * **Cheap.** A labelled lookup is one dict probe on a pre-sorted tuple
-  key; ``inc()`` is one float add. The *disabled* path never reaches
-  this module at all (call sites guard on ``OBS.enabled`` first).
+  key; ``inc()`` is one uncontended lock round-trip plus a float add.
+  The *disabled* path never reaches this module at all (call sites
+  guard on ``OBS.enabled`` first), which is what keeps the <=2%
+  disabled-overhead budget intact.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.runtime import SANITIZER, TrackedLock, named_lock
 
 __all__ = [
     "Counter",
@@ -86,19 +99,25 @@ class Counter:
     sections, SQRR shares) sound.
     """
 
-    __slots__ = ("name", "labels", "_value")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str, labels: LabelKey) -> None:
+    def __init__(
+        self, name: str, labels: LabelKey, lock: Optional[TrackedLock] = None
+    ) -> None:
         """Create a zero-valued counter. Use the registry, not this."""
         self.name = name
         self.labels = labels
         self._value = 0.0
+        self._lock = lock if lock is not None else named_lock("Counter._lock")
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (default 1) to the counter; must be >= 0."""
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
-        self._value += amount
+        with self._lock:
+            self._value += amount
+            if SANITIZER.enabled:
+                SANITIZER.note_metric_mutation(self.name, self._lock.name)
 
     @property
     def value(self) -> float:
@@ -109,25 +128,37 @@ class Counter:
 class Gauge:
     """A point-in-time value that can move both ways (e.g. heap size)."""
 
-    __slots__ = ("name", "labels", "_value")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str, labels: LabelKey) -> None:
+    def __init__(
+        self, name: str, labels: LabelKey, lock: Optional[TrackedLock] = None
+    ) -> None:
         """Create a zero-valued gauge. Use the registry, not this."""
         self.name = name
         self.labels = labels
         self._value = 0.0
+        self._lock = lock if lock is not None else named_lock("Gauge._lock")
 
     def set(self, value: float) -> None:
         """Replace the gauge's current value."""
-        self._value = float(value)
+        with self._lock:
+            self._value = float(value)
+            if SANITIZER.enabled:
+                SANITIZER.note_metric_mutation(self.name, self._lock.name)
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (may be negative) to the gauge."""
-        self._value += amount
+        with self._lock:
+            self._value += amount
+            if SANITIZER.enabled:
+                SANITIZER.note_metric_mutation(self.name, self._lock.name)
 
     def dec(self, amount: float = 1.0) -> None:
         """Subtract ``amount`` from the gauge."""
-        self._value -= amount
+        with self._lock:
+            self._value -= amount
+            if SANITIZER.enabled:
+                SANITIZER.note_metric_mutation(self.name, self._lock.name)
 
     @property
     def value(self) -> float:
@@ -146,10 +177,22 @@ class Histogram:
     deliberately no dynamic resizing.
     """
 
-    __slots__ = ("name", "labels", "boundaries", "bucket_counts", "_sum", "_count")
+    __slots__ = (
+        "name",
+        "labels",
+        "boundaries",
+        "bucket_counts",
+        "_sum",
+        "_count",
+        "_lock",
+    )
 
     def __init__(
-        self, name: str, labels: LabelKey, boundaries: Sequence[float]
+        self,
+        name: str,
+        labels: LabelKey,
+        boundaries: Sequence[float],
+        lock: Optional[TrackedLock] = None,
     ) -> None:
         """Create an empty histogram. Use the registry, not this."""
         if not boundaries:
@@ -166,6 +209,7 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(ordered) + 1)
         self._sum = 0.0
         self._count = 0
+        self._lock = lock if lock is not None else named_lock("Histogram._lock")
 
     def observe(self, value: float) -> None:
         """Record one observation.
@@ -174,9 +218,12 @@ class Histogram:
         bucket (``le`` semantics); values above the last boundary land
         in the overflow bucket.
         """
-        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
-        self._sum += value
-        self._count += 1
+        with self._lock:
+            self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+            self._sum += value
+            self._count += 1
+            if SANITIZER.enabled:
+                SANITIZER.note_metric_mutation(self.name, self._lock.name)
 
     @property
     def count(self) -> int:
@@ -209,37 +256,44 @@ class MetricsRegistry:
     from whatever else the process measures.
     """
 
-    __slots__ = ("_metrics",)
+    __slots__ = ("_metrics", "_lock")
 
     def __init__(self) -> None:
         """Create an empty registry."""
         self._metrics: Dict[Tuple[str, LabelKey], Metric] = {}
+        # One lock guards the registry map *and* every instrument it
+        # creates: the instruments' hot mutators and the get-or-create
+        # probes never interleave, and the lock-order graph stays a
+        # single canonical node (see config.LOCK_ALIASES).
+        self._lock = named_lock("MetricsRegistry._lock")
 
     def counter(self, name: str, **labels: object) -> Counter:
         """Return the counter for ``(name, labels)``, creating it at 0."""
         key = (name, _label_key(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = Counter(name, key[1])
-            self._metrics[key] = metric
-        elif not isinstance(metric, Counter):
-            raise TypeError(
-                f"metric {name!r} already registered as {type(metric).__name__}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Counter(name, key[1], lock=self._lock)
+                self._metrics[key] = metric
+            elif not isinstance(metric, Counter):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}"
+                )
+            return metric
 
     def gauge(self, name: str, **labels: object) -> Gauge:
         """Return the gauge for ``(name, labels)``, creating it at 0."""
         key = (name, _label_key(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = Gauge(name, key[1])
-            self._metrics[key] = metric
-        elif not isinstance(metric, Gauge):
-            raise TypeError(
-                f"metric {name!r} already registered as {type(metric).__name__}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Gauge(name, key[1], lock=self._lock)
+                self._metrics[key] = metric
+            elif not isinstance(metric, Gauge):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}"
+                )
+            return metric
 
     def histogram(
         self,
@@ -254,23 +308,24 @@ class MetricsRegistry:
         argument raises instead of silently rebucketing.
         """
         key = (name, _label_key(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            bounds = DEFAULT_TIME_BUCKETS_S if boundaries is None else boundaries
-            metric = Histogram(name, key[1], bounds)
-            self._metrics[key] = metric
-        elif not isinstance(metric, Histogram):
-            raise TypeError(
-                f"metric {name!r} already registered as {type(metric).__name__}"
-            )
-        elif boundaries is not None and tuple(
-            float(b) for b in boundaries
-        ) != metric.boundaries:
-            raise ValueError(
-                f"histogram {name!r} already registered with boundaries "
-                f"{metric.boundaries}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                bounds = DEFAULT_TIME_BUCKETS_S if boundaries is None else boundaries
+                metric = Histogram(name, key[1], bounds, lock=self._lock)
+                self._metrics[key] = metric
+            elif not isinstance(metric, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}"
+                )
+            elif boundaries is not None and tuple(
+                float(b) for b in boundaries
+            ) != metric.boundaries:
+                raise ValueError(
+                    f"histogram {name!r} already registered with boundaries "
+                    f"{metric.boundaries}"
+                )
+            return metric
 
     def value(self, name: str, **labels: object) -> float:
         """Value of the counter/gauge at ``(name, labels)``; 0.0 if absent."""
@@ -284,7 +339,9 @@ class MetricsRegistry:
     def total(self, name: str) -> float:
         """Sum of a counter/gauge family across all of its label sets."""
         acc = 0.0
-        for (metric_name, _), metric in self._metrics.items():
+        with self._lock:
+            instruments = list(self._metrics.items())
+        for (metric_name, _), metric in instruments:
             if metric_name == name and not isinstance(metric, Histogram):
                 acc += metric.value
         return acc
@@ -297,7 +354,9 @@ class MetricsRegistry:
         the requested label key are skipped.
         """
         out: Dict[str, float] = {}
-        for (metric_name, labels), metric in self._metrics.items():
+        with self._lock:
+            instruments = list(self._metrics.items())
+        for (metric_name, labels), metric in instruments:
             if metric_name != name or isinstance(metric, Histogram):
                 continue
             for key, value in labels:
@@ -306,9 +365,15 @@ class MetricsRegistry:
         return out
 
     def __iter__(self) -> Iterator[Metric]:
-        """Iterate metrics in deterministic ``(name, labels)`` order."""
-        for key in sorted(self._metrics):
-            yield self._metrics[key]
+        """Iterate metrics in deterministic ``(name, labels)`` order.
+
+        The order is materialized under the lock, then yielded outside
+        it: the (non-reentrant) registry lock must not be held across
+        consumer code that may itself touch an instrument.
+        """
+        with self._lock:
+            ordered = [self._metrics[key] for key in sorted(self._metrics)]
+        yield from ordered
 
     def __len__(self) -> int:
         """Number of registered metric instruments."""
@@ -338,4 +403,5 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every metric (used between bench sections and by tests)."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()

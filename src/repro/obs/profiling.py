@@ -68,10 +68,11 @@ class Obs:
         """Replace the registry with a fresh one and drop the tracer.
 
         Used by ``repro-bench`` between suite sections and by tests;
-        leaves ``enabled`` untouched.
+        leaves ``enabled`` untouched.  Callers reset only while no other
+        context is measuring, hence the setup-ownership annotations.
         """
-        self.registry = MetricsRegistry()
-        self.tracer = None
+        self.registry = MetricsRegistry()  # repro: guarded-by(setup)
+        self.tracer = None  # repro: guarded-by(setup)
 
 
 #: The process-wide switchboard. Import the singleton, not the class.

@@ -34,6 +34,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Set, Tuple
 
+from repro.analysis.runtime import named_async_lock
 from repro.core.server import SpatialDatabaseServer
 from repro.obs import DEFAULT_TIME_BUCKETS_S, OBS
 from repro.service.engine import QueryService
@@ -142,10 +143,14 @@ class AsyncQueryServer:
         return str(host), int(port)
 
     async def serve_forever(self) -> None:
-        """Run until cancelled (the CLI's foreground mode)."""
+        """Run until cancelled (the CLI's foreground mode).
+
+        Raises ``RuntimeError`` when :meth:`start` has not run: the old
+        auto-start fallback hid missing-lifecycle bugs in callers, and
+        its ``if``/``assert`` pair was dead code on every correct path.
+        """
         if self._tcp is None:
-            await self.start()
-        assert self._tcp is not None
+            raise RuntimeError("start() not called")
         await self._tcp.serve_forever()
 
     async def stop(self) -> None:
@@ -169,7 +174,7 @@ class AsyncQueryServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         session = self.service.session()
-        send_lock = asyncio.Lock()
+        send_lock = named_async_lock("AsyncQueryServer.send_lock")
         inflight = asyncio.Semaphore(self.config.max_inflight)
         loop = asyncio.get_running_loop()
         self._connections.add(writer)
@@ -384,19 +389,23 @@ class BackgroundServer:
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
+    # The fields below are written on the service thread strictly before
+    # ``self._ready.set()`` and read by the caller thread strictly after
+    # ``self._ready.wait()``: the Event provides the happens-before edge,
+    # hence the ``guarded-by(handshake)`` annotations.
     def _run(self) -> None:
         try:
             asyncio.run(self._main())
         except BaseException as exc:  # pragma: no cover - startup failures
-            self._error = exc
+            self._error = exc  # repro: guarded-by(handshake)
             self._ready.set()
 
     async def _main(self) -> None:
         running = AsyncQueryServer(self._server, self._config)
-        self._loop = asyncio.get_running_loop()
-        self._stop = asyncio.Event()
+        self._loop = asyncio.get_running_loop()  # repro: guarded-by(handshake)
+        self._stop = asyncio.Event()  # repro: guarded-by(handshake)
         await running.start()
-        self._address = running.address
+        self._address = running.address  # repro: guarded-by(handshake)
         self._ready.set()
         await self._stop.wait()
         await running.stop()

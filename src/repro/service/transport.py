@@ -8,17 +8,18 @@ Two implementations of the same :class:`QueryTransport` protocol:
   exercised here too; the only thing missing is the socket.  This is
   what the simulator, the difftest oracles and ``repro-bench`` use.
 * :class:`TcpTransport` -- a blocking TCP client for the asyncio server,
-  with a connect-retry loop (counted via ``service.client_retries``) and
-  a per-request timeout.
+  with a connect-retry loop (counted via ``service.client_retries``), a
+  per-request timeout, and reconnect-on-whole-frame-failure semantics
+  (counted via ``service.client_resends``).
 """
 
 from __future__ import annotations
 
 import socket
-import threading
 import time
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
+from repro.analysis.runtime import named_lock
 from repro.obs import OBS
 from repro.service.protocol import (
     HEADER_SIZE,
@@ -65,6 +66,36 @@ class LoopbackTransport:
         self._session.close()
 
 
+class _WholeFrameFailure(OSError):
+    """A send failed before any byte of the frame reached the socket."""
+
+
+def _send_frame(sock: socket.socket, frame: bytes) -> None:
+    """Send a whole frame, distinguishing zero-byte failure from partial.
+
+    ``sendall`` cannot tell its caller whether any bytes left before an
+    error, and the resend decision hinges on exactly that: resending
+    after a *partial* send could deliver a duplicated frame once the
+    server reassembles both halves.  So the frame is sent manually and
+    an error with zero bytes out is re-raised as
+    :class:`_WholeFrameFailure`.
+    """
+    view = memoryview(frame)
+    offset = 0
+    while offset < len(view):
+        try:
+            sent = sock.send(view[offset:])
+        except OSError as exc:
+            if offset == 0:
+                raise _WholeFrameFailure(*exc.args) from exc
+            raise
+        if sent == 0:
+            raise ProtocolError(
+                "connection closed mid-frame", ErrorCode.MALFORMED
+            )
+        offset += sent
+
+
 class TcpTransport:
     """Blocking TCP client transport for :class:`AsyncQueryServer`.
 
@@ -73,6 +104,14 @@ class TcpTransport:
     client worker starts), sleeping ``retry_delay_s`` between attempts.
     Thread-safe: a lock serializes request/reply exchanges, so one
     transport may back several workers (they just will not pipeline).
+
+    Retry semantics: when a send fails before *any* byte of the frame
+    reached the wire (typically the server closed the idle connection),
+    the transport reconnects and resends once -- the server cannot have
+    seen a partial frame, so the resend cannot duplicate a request.  A
+    failure mid-frame is raised to the caller instead: the server may
+    hold the sent prefix, and resending the whole frame could execute
+    the request twice.
     """
 
     def __init__(
@@ -83,39 +122,61 @@ class TcpTransport:
         connect_retries: int = 3,
         retry_delay_s: float = 0.05,
     ) -> None:
-        self._lock = threading.Lock()
+        self._lock = named_lock("TcpTransport._lock")
+        self._host = host
+        self._port = port
+        self._timeout_s = timeout_s
+        self._connect_retries = connect_retries
+        self._retry_delay_s = retry_delay_s
+        self._sock = self._connect()  # repro: guarded-by(self._lock)
+
+    def _connect(self) -> socket.socket:
+        """Dial the server, retrying while it may still be binding."""
         last_error: Exception = OSError("no connection attempt made")
-        for attempt in range(max(1, connect_retries)):
+        for attempt in range(max(1, self._connect_retries)):
             if attempt > 0:
                 if OBS.enabled:
                     OBS.registry.counter("service.client_retries").inc()
-                time.sleep(retry_delay_s)
+                time.sleep(self._retry_delay_s)
             try:
-                self._sock = socket.create_connection(
-                    (host, port), timeout=timeout_s
+                sock = socket.create_connection(
+                    (self._host, self._port), timeout=self._timeout_s
                 )
-                break
             except OSError as exc:
                 last_error = exc
-        else:
-            raise last_error
-        self._sock.settimeout(timeout_s)
+            else:
+                sock.settimeout(self._timeout_s)
+                return sock
+        raise last_error
 
     def request(self, frame: bytes) -> bytes:
         """One request/reply exchange over the socket."""
         with self._lock:
-            self._sock.sendall(frame)
+            try:
+                _send_frame(self._sock, frame)
+            except _WholeFrameFailure:
+                # Nothing reached the wire: reconnect and resend once.
+                self._close_socket()
+                self._sock = self._connect()
+                if OBS.enabled:
+                    OBS.registry.counter("service.client_resends").inc()
+                _send_frame(self._sock, frame)
             header = _recv_exactly(self._sock, HEADER_SIZE)
             _, length = parse_header(header)
             return header + _recv_exactly(self._sock, length)
 
-    def close(self) -> None:
-        """Shut the connection down."""
+    def _close_socket(self) -> None:
+        """Best-effort shutdown + close of the current socket."""
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass
         self._sock.close()
+
+    def close(self) -> None:
+        """Shut the connection down."""
+        with self._lock:
+            self._close_socket()
 
 
 def _recv_exactly(sock: socket.socket, size: int) -> bytes:

@@ -5,6 +5,12 @@ Adds the ``--sanitize`` flag: ``pytest --sanitize`` enables the
 so every heap mutation, R-tree restructure and verification round in the
 suite is cross-checked against the paper's invariants.  The same effect
 is available without the flag by exporting ``REPRO_SANITIZE=1``.
+
+The same switch now also arms the race sanitizer: tracked locks record
+the runtime lock-order graph and metric mutations are checked against
+their guards for the whole session, and any inversion or unguarded
+mutation still pending at session end (tests that *inject* violations
+reset before returning) fails the teardown.
 """
 
 import pytest
@@ -31,7 +37,13 @@ def _sanitizer_session(request: pytest.FixtureRequest):
     from repro.analysis.runtime import SANITIZER
 
     SANITIZER.enable()
+    SANITIZER.reset_concurrency()
     try:
         yield
     finally:
         SANITIZER.disable()
+        leftover = (
+            SANITIZER.lock_order_violations + SANITIZER.metric_violations
+        )
+        SANITIZER.reset_concurrency()
+        assert leftover == [], f"race sanitizer reports at session end: {leftover}"

@@ -200,3 +200,57 @@ class TestRegistry:
         assert Counter("c", ()).value == 0.0
         assert Gauge("g", ()).value == 0.0
         assert Histogram("h", (), (1.0,)).count == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        import threading
+
+        registry = MetricsRegistry()
+        rounds, workers = 2000, 8
+
+        def hammer():
+            counter = registry.counter("hits")
+            gauge = registry.gauge("depth")
+            histogram = registry.histogram("lat", boundaries=(1.0, 2.0))
+            for _ in range(rounds):
+                counter.inc()
+                gauge.inc(2.0)
+                gauge.dec(1.0)
+                histogram.observe(0.5)
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.value("hits") == float(rounds * workers)
+        assert registry.value("depth") == float(rounds * workers)
+        histogram = registry.histogram("lat", boundaries=(1.0, 2.0))
+        assert histogram.count == rounds * workers
+
+    def test_instruments_share_the_registry_lock(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        histogram = registry.histogram("h", boundaries=(1.0,))
+        assert counter._lock is registry._lock
+        assert gauge._lock is registry._lock
+        assert histogram._lock is registry._lock
+
+    def test_direct_construction_uses_private_lock(self):
+        counter = Counter("c", ())
+        other = Counter("c2", ())
+        assert counter._lock is not other._lock
+        counter.inc(2.0)
+        assert counter.value == 2.0
+
+    def test_iteration_does_not_hold_the_lock(self):
+        # The registry lock is non-reentrant; consuming the iterator
+        # while creating metrics mid-iteration must not deadlock.
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("b").inc()
+        for metric in registry:
+            registry.counter(f"derived.{metric.name}").inc()
+        assert registry.value("derived.a") == 1.0

@@ -106,3 +106,24 @@ class TestOverheadBudget:
             f"{overhead_s * 1e6:.1f} us exceeds 2% of the "
             f"{scenario_s * 1e3:.2f} ms quickstart scenario"
         )
+
+    def test_locked_increment_cost_stays_cheap(self):
+        # The per-instrument lock (thread-safety work) rides only the
+        # *enabled* path -- the disabled budget above is unaffected by
+        # construction.  This pins the locked inc() cost so the lock
+        # never silently grows into a syscall or contention problem
+        # (an uncontended threading.Lock is ~100 ns; the bound is
+        # deliberately loose to stay robust on slow CI).
+        from repro.obs.metrics import Counter
+
+        counter = Counter("overhead.probe", ())
+        loops = 50_000
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(loops):
+                counter.inc()
+            best = min(best, time.perf_counter() - start)
+        per_inc_ns = best / loops * 1e9
+        assert counter.value == float(3 * loops)
+        assert per_inc_ns < 5_000, f"locked inc costs {per_inc_ns:.0f} ns"

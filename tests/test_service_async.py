@@ -231,3 +231,14 @@ class TestConfigValidation:
     def test_bad_knobs_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ServiceConfig(**kwargs)
+
+
+class TestLifecycle:
+    def test_serve_forever_without_start_raises(self):
+        server = AsyncQueryServer(make_server(make_pois(20)), ServiceConfig())
+
+        async def attempt():
+            await server.serve_forever()
+
+        with pytest.raises(RuntimeError, match=r"start\(\) not called"):
+            asyncio.run(attempt())

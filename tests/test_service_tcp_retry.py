@@ -1,0 +1,206 @@
+"""Fault-injection tests for ``TcpTransport`` retry semantics.
+
+The contract under test (``src/repro/service/transport.py``):
+
+- a send that fails before *any* byte reached the wire (the server
+  closed an idle connection) triggers exactly one reconnect + resend,
+  counted via ``service.client_resends``;
+- a send that fails *mid-frame* propagates to the caller -- resending
+  could deliver a duplicated frame once the server reassembles both
+  halves -- and must NOT reconnect;
+- ``_send_frame`` is the primitive that makes the distinction, so it
+  gets direct unit tests too.
+
+No real sockets: ``_connect`` is monkeypatched to hand out scripted
+fakes, which also keeps the tests instant and deterministic.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.obs import OBS, observed
+from repro.service.protocol import (
+    ErrorCode,
+    ErrorReply,
+    ProtocolError,
+    encode_message,
+)
+from repro.service.transport import TcpTransport, _send_frame, _WholeFrameFailure
+
+REQUEST = encode_message(ErrorReply(1, ErrorCode.INTERNAL, "request stand-in"))
+REPLY = encode_message(ErrorReply(1, ErrorCode.INTERNAL, "reply stand-in"))
+
+
+class FakeSocket:
+    """Scripted socket: records sends, serves a canned reply to recv."""
+
+    def __init__(self, reply=b"", fail_after=None, accept_first=0):
+        self.sent = bytearray()
+        self._reply = bytearray(reply)
+        #: raise OSError once this many bytes have been accepted.
+        self.fail_after = fail_after
+        #: cap on bytes accepted by a single ``send`` call.
+        self.accept_first = accept_first
+        self.closed = False
+
+    def send(self, data):
+        if self.fail_after is not None and len(self.sent) >= self.fail_after:
+            raise OSError(104, "connection reset by peer")
+        data = bytes(data)
+        if self.accept_first:
+            data = data[: self.accept_first]
+        self.sent += data
+        return len(data)
+
+    def recv(self, size):
+        chunk = bytes(self._reply[:size])
+        del self._reply[:size]
+        return chunk
+
+    def shutdown(self, how):
+        pass
+
+    def close(self):
+        self.closed = True
+
+
+def make_transport(monkeypatch, sockets):
+    """Build a TcpTransport whose ``_connect`` pops from ``sockets``."""
+    remaining = list(sockets)
+    connects = []
+
+    def fake_connect(self):
+        connects.append(1)
+        return remaining.pop(0)
+
+    monkeypatch.setattr(TcpTransport, "_connect", fake_connect)
+    transport = TcpTransport("127.0.0.1", 1)
+    return transport, connects
+
+
+class TestSendFrame:
+    def test_sends_whole_frame_across_short_writes(self):
+        sock = FakeSocket(accept_first=3)
+        _send_frame(sock, REQUEST)
+        assert bytes(sock.sent) == REQUEST
+
+    def test_zero_byte_failure_is_whole_frame_failure(self):
+        sock = FakeSocket(fail_after=0)
+        with pytest.raises(_WholeFrameFailure):
+            _send_frame(sock, REQUEST)
+        assert sock.sent == b""
+
+    def test_mid_frame_failure_is_plain_oserror(self):
+        sock = FakeSocket(fail_after=4, accept_first=4)
+        with pytest.raises(OSError) as excinfo:
+            _send_frame(sock, REQUEST)
+        assert not isinstance(excinfo.value, _WholeFrameFailure)
+        assert len(sock.sent) == 4
+
+    def test_zero_byte_send_result_is_protocol_error(self):
+        class DribbleShut(FakeSocket):
+            def send(self, data):
+                return 0
+
+        with pytest.raises(ProtocolError):
+            _send_frame(DribbleShut(), REQUEST)
+
+
+class TestRetrySemantics:
+    def test_whole_frame_failure_reconnects_and_resends_once(self, monkeypatch):
+        dead = FakeSocket(fail_after=0)
+        fresh = FakeSocket(reply=REPLY)
+        transport, connects = make_transport(monkeypatch, [dead, fresh])
+        with observed():
+            OBS.registry.reset()
+            reply = transport.request(REQUEST)
+            resends = OBS.registry.counter("service.client_resends").value
+        assert reply == REPLY
+        assert bytes(fresh.sent) == REQUEST  # the full frame, exactly once
+        assert dead.sent == b""
+        assert dead.closed  # the stale socket was shut down
+        assert len(connects) == 2  # __init__ + the one reconnect
+        assert resends == 1
+
+    def test_mid_frame_failure_propagates_without_resend(self, monkeypatch):
+        # Accepts the first 4 bytes, then the connection dies.
+        wounded = FakeSocket(fail_after=4, accept_first=4)
+        spare = FakeSocket(reply=REPLY)
+        transport, connects = make_transport(monkeypatch, [wounded, spare])
+        with observed():
+            OBS.registry.reset()
+            with pytest.raises(OSError):
+                transport.request(REQUEST)
+            resends = OBS.registry.counter("service.client_resends").value
+        assert len(connects) == 1  # no reconnect happened
+        assert spare.sent == b""  # and nothing was resent
+        assert resends == 0
+
+    def test_second_whole_frame_failure_is_fatal(self, monkeypatch):
+        # Reconnect happens once; if the fresh socket also dies at byte
+        # zero the error propagates rather than looping forever.
+        transport, connects = make_transport(
+            monkeypatch, [FakeSocket(fail_after=0), FakeSocket(fail_after=0)]
+        )
+        with pytest.raises(OSError):
+            transport.request(REQUEST)
+        assert len(connects) == 2
+
+    def test_clean_request_uses_one_connection(self, monkeypatch):
+        sock = FakeSocket(reply=REPLY)
+        transport, connects = make_transport(monkeypatch, [sock])
+        assert transport.request(REQUEST) == REPLY
+        assert len(connects) == 1
+
+    def test_close_shuts_the_socket_down(self, monkeypatch):
+        sock = FakeSocket(reply=REPLY)
+        transport, _ = make_transport(monkeypatch, [sock])
+        transport.close()
+        assert sock.closed
+
+
+class TestRealSocketIntegration:
+    def test_reconnect_after_server_side_close(self):
+        """End-to-end: a listener that drops the first connection.
+
+        The first request() finds its socket closed by the peer (zero
+        bytes leave), reconnects, and the second connection serves the
+        reply.  Exercises the retry path over real sockets.
+        """
+        listener = socket.create_server(("127.0.0.1", 0))
+        listener.settimeout(5.0)
+        port = listener.getsockname()[1]
+
+        transport = TcpTransport("127.0.0.1", port, timeout_s=5.0)
+        first, _ = listener.accept()
+        # Kill the established connection outright (RST, not FIN): once
+        # the client kernel has processed the reset, its next send fails
+        # with zero bytes out -- exactly the whole-frame-failure case.
+        first.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        first.close()
+        time.sleep(0.2)  # let the RST reach the client socket
+
+        def serve_second():
+            conn, _ = listener.accept()
+            data = conn.recv(65536)
+            assert data == REQUEST
+            conn.sendall(REPLY)
+            conn.close()
+
+        server_thread = threading.Thread(target=serve_second, daemon=True)
+        server_thread.start()
+        try:
+            # The dead socket may need one send to notice the RST; the
+            # transport's whole-frame retry absorbs exactly that case.
+            reply = transport.request(REQUEST)
+            assert reply == REPLY
+        finally:
+            transport.close()
+            server_thread.join(timeout=5.0)
+            listener.close()
