@@ -69,6 +69,12 @@ _DISTANCE_CALLS: Set[str] = {
     "path_length",
     "hypot",
     "dist",
+    # Vectorized kernels (repro.geometry.vecmath): arrays of distances.
+    "hypot_pairs",
+    "point_distances",
+    "point_distance_list",
+    "mindist_arrays",
+    "maxdist_arrays",
 }
 
 #: Attribute names holding distances.
@@ -94,10 +100,28 @@ _DISTANCE_PARAMS: Set[str] = {
     "lower",
     "upper",
     "certain_radius",
+    # Plural forms: whole-node distance columns in the vectorized index.
+    "dists",
+    "distances",
+    "mindists",
+    "maxdists",
 }
 
 #: Calls that forward their arguments' taint.
-_TAINT_FORWARDING_CALLS: Set[str] = {"min", "max", "abs", "sum", "float", "round"}
+_TAINT_FORWARDING_CALLS: Set[str] = {
+    "min",
+    "max",
+    "abs",
+    "sum",
+    "float",
+    "round",
+    "asarray",
+    "fromiter",
+}
+
+#: Methods that forward their *receiver's* taint (``dists.tolist()`` is
+#: still an array of distances).
+_TAINT_PRESERVING_METHODS: Set[str] = {"tolist", "copy"}
 
 _COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
 
@@ -214,6 +238,10 @@ def _tainted_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> Set[str]:
                 targets, value = [sub.target], sub.value
             elif isinstance(sub, ast.AugAssign):
                 targets, value = [sub.target], sub.value
+            elif isinstance(sub, ast.For):
+                if _taint_for_loop(sub, tainted):
+                    changed = True
+                continue
             if value is None:
                 continue
             if _is_distance_expr(value, tainted):
@@ -239,6 +267,55 @@ def _tainted_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> Set[str]:
     return tainted
 
 
+def _taint_for_loop(loop: ast.For, tainted: Set[str]) -> bool:
+    """Taint loop targets drawn from distance-valued iterables.
+
+    ``for d in dists:`` binds ``d`` to a distance; ``for d, t, e in
+    zip(dists, ties, entries):`` binds element-wise, so each tuple target
+    is matched to the corresponding ``zip`` argument.  The vectorized
+    index iterates whole-node distance columns this way.
+    """
+    changed = False
+    target, it = loop.target, loop.iter
+    if isinstance(target, ast.Name):
+        if (
+            target.id not in tainted
+            and _is_distance_expr(it, tainted)
+        ):
+            tainted.add(target.id)
+            changed = True
+        return changed
+    if not isinstance(target, ast.Tuple):
+        return False
+    if (
+        isinstance(it, ast.Call)
+        and isinstance(it.func, ast.Name)
+        and it.func.id == "zip"
+        and len(it.args) == len(target.elts)
+    ):
+        pairs = zip(target.elts, it.args)
+        for element, source in pairs:
+            if (
+                isinstance(element, ast.Name)
+                and element.id not in tainted
+                and _is_distance_expr(source, tainted)
+            ):
+                tainted.add(element.id)
+                changed = True
+        return changed
+    # Tuple target over an opaque iterable: fall back to the naming
+    # convention, mirroring the tuple-unpacking assignment case.
+    for element in target.elts:
+        if (
+            isinstance(element, ast.Name)
+            and element.id in _DISTANCE_PARAMS
+            and element.id not in tainted
+        ):
+            tainted.add(element.id)
+            changed = True
+    return changed
+
+
 def _is_distance_expr(node: ast.expr, tainted: Set[str]) -> bool:
     if isinstance(node, ast.Name):
         return node.id in tainted
@@ -253,6 +330,8 @@ def _is_distance_expr(node: ast.expr, tainted: Set[str]) -> bool:
             return True
         if name in _TAINT_FORWARDING_CALLS:
             return any(_is_distance_expr(arg, tainted) for arg in node.args)
+        if name in _TAINT_PRESERVING_METHODS and isinstance(func, ast.Attribute):
+            return _is_distance_expr(func.value, tainted)
         return False
     if isinstance(node, ast.BinOp):
         return _is_distance_expr(node.left, tainted) or _is_distance_expr(
@@ -333,6 +412,20 @@ LEMMA_TABLE: Tuple[LemmaEntry, ...] = (
         ),
     ),
     LemmaEntry(
+        qualname="repro.core.verification._single_disk_covered",
+        lemma="Lemma 3.8 (single-circle fast path)",
+        op="LtE",
+        left="separation + distance",
+        right="certain_radius - tolerance",
+        rationale=(
+            "the batched pre-filter replicates Circle.contains_circle with "
+            "the negated conservative tolerance: a candidate disk is "
+            "certainly covered only when it sits strictly (by tolerance) "
+            "inside one certain circle; flipping <= to < would only shrink "
+            "the fast path, but any loosening would certify uncovered disks"
+        ),
+    ),
+    LemmaEntry(
         qualname="repro.core.heap.CandidateHeap._add",
         lemma="domain invariant",
         op="Lt",
@@ -359,7 +452,7 @@ LEMMA_TABLE: Tuple[LemmaEntry, ...] = (
         qualname="repro.index.knn._expand_einn",
         lemma="Section 3.3, rule 1 (downward pruning)",
         op="Lt",
-        left="entry.bbox.maxdist(query)",
+        left="maxdist",
         right="bounds.lower",
         rationale=(
             "an MBR is skipped only when strictly inside the certain circle "

@@ -8,7 +8,10 @@ Three families:
 
 - :func:`validate_rtree` -- structural soundness of the R*-tree: child
   MBR containment *and* tightness, fill bounds, uniform leaf depth,
-  entry-count bookkeeping;
+  entry-count bookkeeping, and coherence of each node's materialized
+  :class:`~repro.index.node.NodeArrays` column mirror against its entry
+  list (the vectorized kernels read the mirror, so a stale cache would
+  silently desynchronize every distance computation);
 - :func:`check_heap_structure` / :func:`check_heap_transition` -- the
   candidate heap's Table 1 layout and the legal Section 3.3 state
   machine (:data:`HEAP_TRANSITIONS`);
@@ -30,7 +33,7 @@ from repro.geometry.coverage import CertainRegion, CoverageMethod
 from repro.geometry.point import Point
 from repro.core.cache import CachedQueryResult
 from repro.core.heap import CandidateHeap, HeapEntry, HeapState
-from repro.index.node import ChildEntry, LeafEntry, Node
+from repro.index.node import ChildEntry, LeafEntry, Node, NodeArrays
 from repro.index.rtree import RTree
 
 __all__ = [
@@ -249,7 +252,12 @@ def validate_rtree(tree: RTree, strict_fill: Optional[bool] = None) -> None:
       leaves one trailing under-filled node per level) and True for
       dynamically built ones;
     - an internal root has at least two children;
-    - the number of reachable leaf entries equals ``len(tree)``.
+    - the number of reachable leaf entries equals ``len(tree)``;
+    - any *materialized* :class:`NodeArrays` mirror agrees exactly with
+      the node's entry list (coordinates, payload identity, MBR bounds,
+      child identity, and the memoized tie keys' length).  Unmaterialized
+      mirrors are skipped — building one just to compare it against its
+      own source would prove nothing.
     """
     if strict_fill is None:
         strict_fill = not getattr(tree, "_relaxed_fill", False)
@@ -288,6 +296,8 @@ def validate_rtree(tree: RTree, strict_fill: Optional[bool] = None) -> None:
                     f"non-root node page={node.page_id} (level {node.level}) "
                     f"holds {count} entries (min {minimum})"
                 )
+
+        _check_node_arrays(node)
 
         if node.is_leaf:
             for entry in node.entries:
@@ -333,3 +343,73 @@ def validate_rtree(tree: RTree, strict_fill: Optional[bool] = None) -> None:
             f"tree bookkeeping broken: {leaf_entries} reachable leaf entries, "
             f"len(tree) reports {len(tree)} (orphaned or duplicated entries)"
         )
+
+
+def _check_node_arrays(node: Node) -> None:
+    """Assert a materialized column mirror matches the entry list exactly.
+
+    The vectorized kernels trust ``node.arrays()`` blindly; every
+    mutation path must therefore either update or invalidate the cache.
+    Comparison is bitwise on coordinates/bounds (``==`` on floats — the
+    mirror stores the *same* values, not recomputed ones) and by object
+    identity on payloads and children.
+    """
+    arrays = node._arrays
+    if arrays is None:
+        return
+    entries = node.entries
+    where = f"page={node.page_id} (level {node.level})"
+    if arrays.is_leaf != node.is_leaf:
+        raise InvariantViolation(
+            f"array mirror of {where} has is_leaf={arrays.is_leaf}"
+        )
+    if len(arrays) != len(entries):
+        raise InvariantViolation(
+            f"stale array mirror on {where}: {len(arrays)} mirrored rows "
+            f"vs {len(entries)} entries"
+        )
+    if node.is_leaf:
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, LeafEntry):
+                return  # typed-entry check reports this corruption
+            if (
+                arrays.xs[index] != entry.point.x
+                or arrays.ys[index] != entry.point.y
+            ):
+                raise InvariantViolation(
+                    f"array mirror of {where} row {index} holds "
+                    f"({arrays.xs[index]}, {arrays.ys[index]}), entry is "
+                    f"({entry.point.x}, {entry.point.y})"
+                )
+            if arrays.payloads[index] is not entry.payload:
+                raise InvariantViolation(
+                    f"array mirror of {where} row {index} points at a "
+                    "different payload object"
+                )
+        if arrays.tie_keys is not None and len(arrays.tie_keys) != len(entries):
+            raise InvariantViolation(
+                f"memoized tie keys of {where} cover {len(arrays.tie_keys)} "
+                f"rows, node holds {len(entries)} entries"
+            )
+        return
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, ChildEntry):
+            return  # typed-entry check reports this corruption
+        box = entry.bbox
+        if (
+            float(arrays.lo_x[index]) != box.min_x
+            or float(arrays.lo_y[index]) != box.min_y
+            or float(arrays.hi_x[index]) != box.max_x
+            or float(arrays.hi_y[index]) != box.max_y
+        ):
+            raise InvariantViolation(
+                f"array mirror of {where} row {index} bounds "
+                f"({float(arrays.lo_x[index])}, {float(arrays.lo_y[index])}, "
+                f"{float(arrays.hi_x[index])}, {float(arrays.hi_y[index])}) "
+                f"disagree with the stored MBR {box}"
+            )
+        if arrays.children[index] is not entry.child:
+            raise InvariantViolation(
+                f"array mirror of {where} row {index} points at a different "
+                "child node"
+            )

@@ -28,7 +28,7 @@ from __future__ import annotations
 import bisect
 import enum
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.runtime import SANITIZER
 from repro.geometry.point import Point
@@ -100,6 +100,22 @@ class CandidateHeap:
                 certain="true" if certain else "false",
                 outcome="stored" if stored else "rejected",
             ).inc()
+        return stored
+
+    def add_batch(
+        self, offers: Iterable[Tuple[Point, Any, float, bool]]
+    ) -> int:
+        """Offer a pre-ordered batch of candidates; returns #stored.
+
+        The batched verifiers hand over whole candidate sets at once.
+        Each offer goes through :meth:`add` unchanged — per-offer
+        sanitizer checks and ``heap.offers`` accounting are part of the
+        heap's contract, so batching must not bypass them.
+        """
+        stored = 0
+        for point, payload, distance, certain in offers:
+            if self.add(point, payload, distance, certain):
+                stored += 1
         return stored
 
     def _add(self, point: Point, payload: Any, distance: float, certain: bool) -> bool:

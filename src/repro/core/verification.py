@@ -24,17 +24,58 @@ in some peer's cache), which yields exact ranks (Lemma 3.7).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.analysis.runtime import SANITIZER
 from repro.geometry.circle import Circle
 from repro.geometry.coverage import CertainRegion, CoverageMethod
 from repro.geometry.point import Point
+from repro.geometry.vecmath import point_distance_list, point_distances
 from repro.core.cache import CachedQueryResult
 from repro.core.heap import CandidateHeap
 from repro.obs import OBS
+from repro.obs.metrics import DEFAULT_COUNT_BUCKETS
 
 __all__ = ["verify_single_peer", "verify_multi_peer", "collect_candidates"]
+
+#: Below this many candidates, plain Python lists beat ndarray dispatch
+#: overhead (peer caches are usually ``k <= 16`` entries).  Both branches
+#: perform the same exact IEEE operations, so the verdicts, distances and
+#: processing order are bit-identical either way.
+_SMALL_BATCH = 32
+
+#: Hoisted ``verify.*`` instruments: [registry, generation, {key: instrument}].
+#: The verifiers run once per peer cache on the SENN hot path; the registry
+#: lookup (name + label rendering + lock) is paid once per registry
+#: generation instead of once per verification call.  Instruments are
+#: created lazily on first use, matching the per-call lookup behaviour.
+_instrument_cache: List[Any] = [None, -1, {}]
+
+
+def _verify_instrument(kind: str, lemma: str, outcome: str = "") -> Any:
+    """A ``verify.batch_size`` / ``verify.candidates`` instrument, cached."""
+    registry = OBS.registry
+    cached = _instrument_cache
+    if cached[0] is not registry or cached[1] != registry.generation:
+        cached[0] = registry
+        cached[1] = registry.generation
+        cached[2] = {}
+    instruments: Dict[Tuple[str, str, str], Any] = cached[2]
+    key = (kind, lemma, outcome)
+    instrument = instruments.get(key)
+    if instrument is None:
+        if kind == "histogram":
+            instrument = registry.histogram(
+                "verify.batch_size", boundaries=DEFAULT_COUNT_BUCKETS, lemma=lemma
+            )
+        else:
+            instrument = registry.counter(
+                "verify.candidates", lemma=lemma, outcome=outcome
+            )
+        instruments[key] = instrument
+    return instrument
 
 
 def verify_single_peer(
@@ -65,23 +106,46 @@ def _verify_single_peer(
         return 0
     delta = query.distance_to(cache.query_location)
     certain_radius = cache.certain_radius
-    certified = 0
-    candidates = sorted(
-        cache.neighbors, key=lambda n: query.distance_to(n.point)
-    )
-    for neighbor in candidates:
-        distance = query.distance_to(neighbor.point)
+    neighbors = cache.neighbors
+    count = len(neighbors)
+    # One batched distance pass over the whole cached result, then one
+    # elementwise Lemma 3.2 comparison.  Both sides are the exact IEEE
+    # operations the scalar loop performed per candidate (see
+    # repro.geometry.vecmath), so each verdict is bit-identical.
+    if count <= _SMALL_BATCH:
+        distances = point_distance_list(
+            query.x,
+            query.y,
+            [n.point.x for n in neighbors],
+            [n.point.y for n in neighbors],
+        )
+        flags = [distance + delta <= certain_radius for distance in distances]
+        # Python's sort is stable, like argsort(kind="stable") below.
+        order = sorted(range(count), key=distances.__getitem__)
+        certified = sum(flags)
+    else:
+        xs = np.fromiter((n.point.x for n in neighbors), np.float64, count=count)
+        ys = np.fromiter((n.point.y for n in neighbors), np.float64, count=count)
+        distance = point_distances(query.x, query.y, xs, ys)
         certain = distance + delta <= certain_radius
-        if certain:
-            certified += 1
-        heap.add(neighbor.point, neighbor.payload, distance, certain)
+        # Stable ascending order matches the scalar sorted() processing order.
+        order = np.argsort(distance, kind="stable").tolist()
+        distances = distance.tolist()
+        flags = certain.tolist()
+        certified = int(np.count_nonzero(certain))
+    heap.add_batch(
+        (
+            neighbors[index].point,
+            neighbors[index].payload,
+            distances[index],
+            flags[index],
+        )
+        for index in order
+    )
     if OBS.enabled:
-        OBS.registry.counter(
-            "verify.candidates", lemma="3.2", outcome="certain"
-        ).inc(certified)
-        OBS.registry.counter(
-            "verify.candidates", lemma="3.2", outcome="uncertain"
-        ).inc(len(candidates) - certified)
+        _verify_instrument("histogram", "3.2").observe(float(count))
+        _verify_instrument("counter", "3.2", "certain").inc(certified)
+        _verify_instrument("counter", "3.2", "uncertain").inc(count - certified)
     return certified
 
 
@@ -123,31 +187,85 @@ def _verify_multi_peer(
     if region.is_empty():
         return 0
 
+    candidates = collect_candidates(query, caches)
+    precovered = _single_disk_covered(
+        query, region, [candidate[0] for candidate in candidates]
+    )
+    if OBS.enabled:
+        _verify_instrument("histogram", "3.8").observe(float(len(candidates)))
+
     certified = 0
-    for distance, point, payload in collect_candidates(query, caches):
+    for index, (distance, point, payload) in enumerate(candidates):
         if heap.is_complete():
             break
         if heap.is_certain(point, payload):
             continue
         target = Circle(query, distance)
-        if region.covers_disk(target):
+        if precovered[index] or region.covers_disk(target):
             heap.add(point, payload, distance, certain=True)
             certified += 1
             if OBS.enabled:
-                OBS.registry.counter(
-                    "verify.candidates", lemma="3.8", outcome="certain"
-                ).inc()
+                _verify_instrument("counter", "3.8", "certain").inc()
         else:
             # Monotonicity: a larger disk cannot be covered either.  The
             # remaining candidates stay uncertain; make sure the heap has
             # seen them at least once.
             heap.add(point, payload, distance, certain=False)
             if OBS.enabled:
-                OBS.registry.counter(
-                    "verify.candidates", lemma="3.8", outcome="uncertain"
-                ).inc()
+                _verify_instrument("counter", "3.8", "uncertain").inc()
             break
     return certified
+
+
+def _single_disk_covered(
+    query: Point,
+    region: CertainRegion,
+    distances: Sequence[float],
+) -> List[bool]:
+    """Vectorized Lemma 3.8 pre-filter: disks inside one certain circle.
+
+    ``disk_covered_by_disks`` starts with a single-circle containment
+    fast path: ``separation + target.radius <= disk.radius - tolerance``.
+    This computes that exact predicate for the *whole candidate batch*
+    against every certain circle in one broadcasted pass, so the full
+    arc-coverage test only runs for candidates the fast path cannot
+    settle.  ``True`` therefore always agrees with ``covers_disk``; a
+    ``False`` merely means "fall through to the exact test".
+
+    Restricted to the exact backend with the usual non-negative
+    tolerance — the polygon backend has different fast-path semantics.
+    """
+    if not distances:
+        return []
+    if region.method is not CoverageMethod.EXACT or region.tolerance < 0.0:
+        return [False] * len(distances)
+    circles = region.circles
+    count = len(circles)
+    tolerance = region.tolerance
+    if count * len(distances) <= _SMALL_BATCH * _SMALL_BATCH:
+        separations = point_distance_list(
+            query.x,
+            query.y,
+            [c.center.x for c in circles],
+            [c.center.y for c in circles],
+        )
+        radii_list = [c.radius for c in circles]
+        return [
+            any(
+                separation + distance <= certain_radius - tolerance
+                for separation, certain_radius in zip(separations, radii_list)
+            )
+            for distance in distances
+        ]
+    cx = np.fromiter((c.center.x for c in circles), np.float64, count=count)
+    cy = np.fromiter((c.center.y for c in circles), np.float64, count=count)
+    radii = np.fromiter((c.radius for c in circles), np.float64, count=count)
+    separation = point_distances(query.x, query.y, cx, cy)[:, np.newaxis]
+    certain_radius = radii[:, np.newaxis]
+    distance = np.asarray(distances, dtype=np.float64)
+    covered = separation + distance <= certain_radius - tolerance
+    result: List[bool] = covered.any(axis=0).tolist()
+    return result
 
 
 def collect_candidates(
@@ -157,16 +275,38 @@ def collect_candidates(
     """Deduplicated candidate POIs from all caches, ascending by distance.
 
     The same physical POI may appear in several caches; the key is its
-    coordinates plus payload identity.
+    coordinates plus payload identity.  Distances for the deduplicated
+    set are computed in one vectorized pass (bit-identical to the scalar
+    metric); the stable sort preserves first-seen order on exact ties,
+    as the scalar implementation did.
     """
-    seen: Dict[Tuple[float, float, object], Tuple[float, Point, object]] = {}
+    seen: Dict[Tuple[float, float, object], Tuple[Point, object]] = {}
     for cache in caches:
         for neighbor in cache.neighbors:
             key = (neighbor.point.x, neighbor.point.y, _hashable(neighbor.payload))
             if key not in seen:
-                distance = query.distance_to(neighbor.point)
-                seen[key] = (distance, neighbor.point, neighbor.payload)
-    return sorted(seen.values(), key=lambda item: item[0])
+                seen[key] = (neighbor.point, neighbor.payload)
+    if not seen:
+        return []
+    unique = list(seen.values())
+    count = len(unique)
+    if count <= _SMALL_BATCH:
+        distances = point_distance_list(
+            query.x,
+            query.y,
+            [point.x for point, _ in unique],
+            [point.y for point, _ in unique],
+        )
+    else:
+        xs = np.fromiter((point.x for point, _ in unique), np.float64, count=count)
+        ys = np.fromiter((point.y for point, _ in unique), np.float64, count=count)
+        distances = point_distances(query.x, query.y, xs, ys).tolist()
+    items = [
+        (distance, point, payload)
+        for distance, (point, payload) in zip(distances, unique)
+    ]
+    items.sort(key=lambda item: item[0])
+    return items
 
 
 def _hashable(payload: object) -> object:

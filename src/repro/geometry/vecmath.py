@@ -1,0 +1,115 @@
+"""Vectorized distance kernels, bit-identical to the scalar metric.
+
+The repo's canonical metric is CPython's ``math.hypot`` — correctly
+rounded on every platform we target (verified by exact rational
+arithmetic over adversarial inputs in the scalar-oracle suite).  NumPy's
+``np.hypot`` is *not* the same function: it disagrees with
+``math.hypot`` by one ulp on roughly 1 in 1000 inputs, which is enough
+to flip a Lemma 3.2 boundary comparison or an R-tree traversal order.
+
+The kernels here therefore vectorize everything *around* the final
+square root — the clamps, subtractions and comparisons, all exactly
+rounded IEEE-754 operations that NumPy and CPython evaluate identically
+— and evaluate the hypotenuse itself through a C-level ``map`` over
+``math.hypot``.  The result arrays are bit-for-bit equal to looping the
+scalar formulas in :mod:`repro.geometry.bbox` and
+:mod:`repro.geometry.point`, which is what makes the vectorized R-tree
+page-count-invariant (see ``docs/architecture.md``).
+
+Property tests in ``tests/test_index_vectorized.py`` pin the
+equivalence against :mod:`repro.testing.scalar_reference` over
+degenerate boxes, touching edges, corner queries and subnormal
+coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = [
+    "FloatArray",
+    "hypot_pairs",
+    "maxdist_arrays",
+    "mindist_arrays",
+    "point_distances",
+    "point_distance_list",
+]
+
+#: The one array dtype used across the index: IEEE-754 binary64, exactly
+#: the Python ``float`` the scalar code operates on.
+FloatArray = npt.NDArray[np.float64]
+
+
+def hypot_pairs(dx: FloatArray, dy: FloatArray) -> FloatArray:
+    """``math.hypot`` over parallel component arrays, bit-identical.
+
+    ``np.hypot`` would be faster but is a *different function* at the
+    last ulp; the C-level ``map`` keeps every element equal to the
+    scalar metric while still avoiding Python-bytecode loop overhead.
+    """
+    count = len(dx)
+    return np.fromiter(
+        map(math.hypot, dx.tolist(), dy.tolist()), np.float64, count=count
+    )
+
+
+def point_distances(
+    px: float, py: float, xs: FloatArray, ys: FloatArray
+) -> FloatArray:
+    """Distances from ``(px, py)`` to each point, as the scalar metric.
+
+    Matches ``Point(px, py).distance_to(Point(x, y))`` element-wise:
+    the subtraction is a single correctly-rounded IEEE operation, so
+    NumPy and CPython agree bit-for-bit before the shared ``hypot``.
+    """
+    return hypot_pairs(px - xs, py - ys)
+
+
+def point_distance_list(
+    px: float, py: float, xs: Sequence[float], ys: Sequence[float]
+) -> List[float]:
+    """List variant of :func:`point_distances` for small fan-outs.
+
+    At leaf fan-out (~30 entries) plain lists beat ndarray dispatch
+    overhead; the arithmetic is the same two exact operations.
+    """
+    dx = [px - x for x in xs]
+    dy = [py - y for y in ys]
+    return list(map(math.hypot, dx, dy))
+
+
+def mindist_arrays(
+    px: float,
+    py: float,
+    lo_x: FloatArray,
+    lo_y: FloatArray,
+    hi_x: FloatArray,
+    hi_y: FloatArray,
+) -> FloatArray:
+    """MINDIST from ``(px, py)`` to each box, as ``BoundingBox.mindist``.
+
+    The scalar formula is ``hypot(max(lo - p, 0, p - hi))`` per axis;
+    ``np.maximum`` computes the same maxima (the sign of a zero can
+    differ from Python's ``max``, which ``hypot`` erases).
+    """
+    dx = np.maximum(np.maximum(lo_x - px, 0.0), px - hi_x)
+    dy = np.maximum(np.maximum(lo_y - py, 0.0), py - hi_y)
+    return hypot_pairs(dx, dy)
+
+
+def maxdist_arrays(
+    px: float,
+    py: float,
+    lo_x: FloatArray,
+    lo_y: FloatArray,
+    hi_x: FloatArray,
+    hi_y: FloatArray,
+) -> FloatArray:
+    """MAXDIST from ``(px, py)`` to each box, as ``BoundingBox.maxdist``."""
+    dx = np.maximum(px - lo_x, hi_x - px)
+    dy = np.maximum(py - lo_y, hi_y - py)
+    return hypot_pairs(dx, dy)

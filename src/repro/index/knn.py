@@ -39,6 +39,11 @@ from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.geometry.point import Point
+from repro.geometry.vecmath import (
+    maxdist_arrays,
+    mindist_arrays,
+    point_distance_list,
+)
 from repro.index.node import LeafEntry, Node
 from repro.index.pagestats import PageAccessCounter
 from repro.index.rtree import RTree
@@ -121,6 +126,52 @@ class PruningBounds:
         return math.isfinite(self.upper)
 
 
+class _LeafBlock:
+    """One leaf node's entries as a lazily merged sorted run.
+
+    The scalar algorithm pushed every leaf entry onto the priority queue
+    individually.  The vectorized expansion computes all entry distances
+    in one pass, sorts the entries by the exact per-entry heap key
+    ``(distance, tie_key, insertion_order)`` and pushes only the head;
+    each pop re-pushes the successor.  Because the run is sorted by the
+    *same total key* the individual pushes used (insertion orders are
+    globally unique, so the key is a total order), the heap's pop
+    sequence — and therefore every traversal decision and page access —
+    is identical to the scalar merge.
+    """
+
+    __slots__ = ("items", "pos")
+
+    def __init__(self, items: List[Tuple[float, TieKey, int, LeafEntry]]) -> None:
+        self.items = items
+        self.pos = 0
+
+    def advance(self, heap: List[Tuple[float, TieKey, int, Any]]) -> LeafEntry:
+        """Consume the head entry, scheduling the successor on ``heap``."""
+        items = self.items
+        pos = self.pos
+        entry = items[pos][3]
+        succ = pos + 1
+        self.pos = succ
+        if succ < len(items):
+            dist, tie, order, _ = items[succ]
+            heapq.heappush(heap, (dist, tie, order, self))
+        return entry
+
+
+def _leaf_columns(
+    node: Node, query: Point
+) -> Tuple[List[float], List[TieKey]]:
+    """Distances and memoized tie keys for one leaf, in entry order."""
+    arrays = node.arrays()
+    dists = point_distance_list(query.x, query.y, arrays.xs, arrays.ys)
+    ties = arrays.tie_keys
+    if ties is None:
+        ties = [poi_tie_key(payload) for payload in arrays.payloads]
+        arrays.tie_keys = ties
+    return dists, ties
+
+
 def incremental_nearest(
     tree: RTree,
     query: Point,
@@ -135,14 +186,15 @@ def incremental_nearest(
     if len(tree) == 0:
         return
     tiebreak = itertools.count()
-    # Heap items: (distance, tie_key, insertion_order, node_or_entry)
+    # Heap items: (distance, tie_key, insertion_order, node_or_leaf_block)
     heap: List[Tuple[float, TieKey, int, Any]] = []
     root = tree.read_node(tree.root, counter)
     _expand_into_heap(root, query, heap, tiebreak)
     while heap:
         dist, _, _, item = heapq.heappop(heap)
-        if isinstance(item, LeafEntry):
-            yield NeighborResult(item.point, item.payload, dist)
+        if type(item) is _LeafBlock:
+            entry = item.advance(heap)
+            yield NeighborResult(entry.point, entry.payload, dist)
         else:
             node = tree.read_node(item, counter)
             _expand_into_heap(node, query, heap, tiebreak)
@@ -155,17 +207,22 @@ def _expand_into_heap(
     tiebreak: "itertools.count[int]",
 ) -> None:
     if node.is_leaf:
-        for entry in node.entries:
-            dist = query.distance_to(entry.point)  # type: ignore[union-attr]
-            heapq.heappush(
-                heap, (dist, poi_tie_key(entry.payload), next(tiebreak), entry)
-            )
+        dists, ties = _leaf_columns(node, query)
+        items = [
+            (dist, tie, next(tiebreak), entry)
+            for dist, tie, entry in zip(dists, ties, node.entries)
+        ]
+        if items:
+            items.sort()
+            head = items[0]
+            heapq.heappush(heap, (head[0], head[1], head[2], _LeafBlock(items)))
     else:
-        for entry in node.entries:
-            dist = entry.bbox.mindist(query)
-            heapq.heappush(
-                heap, (dist, _NODE_TIE, next(tiebreak), entry.child)  # type: ignore[union-attr]
-            )
+        arrays = node.arrays()
+        mindists = mindist_arrays(
+            query.x, query.y, arrays.lo_x, arrays.lo_y, arrays.hi_x, arrays.hi_y
+        ).tolist()
+        for dist, child in zip(mindists, arrays.children):
+            heapq.heappush(heap, (dist, _NODE_TIE, next(tiebreak), child))
 
 
 def k_nearest(
@@ -275,11 +332,14 @@ def k_nearest_einn(
             dist, tie, _, item = heapq.heappop(heap)
             if (dist, tie) > kth_cut():
                 break
-            if isinstance(item, LeafEntry):
-                key = _result_key_entry(item)
+            if type(item) is _LeafBlock:
+                entry = item.advance(heap)
+                key = _result_key_entry(entry)
                 if key in known_keys:
                     continue
-                _insert_sorted(results, NeighborResult(item.point, item.payload, dist))
+                _insert_sorted(
+                    results, NeighborResult(entry.point, entry.payload, dist)
+                )
             else:
                 node = tree.read_node(item, counter)
                 _expand_einn(node, query, heap, tiebreak, bounds, kth_cut())
@@ -296,14 +356,32 @@ def _expand_einn(
     current_kth: Tuple[float, TieKey],
 ) -> None:
     if node.is_leaf:
-        for entry in node.entries:
-            dist = query.distance_to(entry.point)  # type: ignore[union-attr]
-            tie = poi_tie_key(entry.payload)
+        dists, ties = _leaf_columns(node, query)
+        items: List[Tuple[float, TieKey, int, LeafEntry]] = []
+        for dist, tie, entry in zip(dists, ties, node.entries):
+            # Entries beyond the cut can never be reported (the cut only
+            # tightens); dropping them here instead of at pop time keeps
+            # the heap small without changing any observable behaviour.
             if (dist, tie) <= current_kth:
-                heapq.heappush(heap, (dist, tie, next(tiebreak), entry))
+                items.append((dist, tie, next(tiebreak), entry))  # type: ignore[arg-type]
+        if items:
+            items.sort()
+            head = items[0]
+            heapq.heappush(heap, (head[0], head[1], head[2], _LeafBlock(items)))
         return
-    for entry in node.entries:
-        mindist = entry.bbox.mindist(query)
+    arrays = node.arrays()
+    mindists = mindist_arrays(
+        query.x, query.y, arrays.lo_x, arrays.lo_y, arrays.hi_x, arrays.hi_y
+    ).tolist()
+    maxdists = (
+        maxdist_arrays(
+            query.x, query.y, arrays.lo_x, arrays.lo_y, arrays.hi_x, arrays.hi_y
+        ).tolist()
+        if bounds.has_lower
+        else None
+    )
+    for index, child in enumerate(arrays.children):
+        mindist = mindists[index]
         # Upward pruning: nothing in this MBR can enter the result.
         if (mindist, _NODE_TIE) > current_kth:
             if OBS.enabled:
@@ -311,11 +389,13 @@ def _expand_einn(
             continue
         # Downward pruning: the MBR is fully inside the certain circle;
         # every object in it is already known to the client.
-        if bounds.has_lower and entry.bbox.maxdist(query) < bounds.lower:
-            if OBS.enabled:
-                OBS.registry.counter("einn.pruned_mbrs", rule="downward").inc()
-            continue
-        heapq.heappush(heap, (mindist, _NODE_TIE, next(tiebreak), entry.child))  # type: ignore[union-attr]
+        if maxdists is not None:
+            maxdist = maxdists[index]
+            if maxdist < bounds.lower:
+                if OBS.enabled:
+                    OBS.registry.counter("einn.pruned_mbrs", rule="downward").inc()
+                continue
+        heapq.heappush(heap, (mindist, _NODE_TIE, next(tiebreak), child))
 
 
 def _insert_sorted(results: List[NeighborResult], item: NeighborResult) -> None:

@@ -34,6 +34,11 @@ class AccessBreakdown:
     page.  EINN skips the records the client already holds, which is a
     large part of its advantage over INN (Section 4.4: "the EINN usually
     requests fewer R*-tree nodes and objects than INN").
+
+    ``entries_scanned`` counts node entries examined by whole-node
+    vectorized scans (see :meth:`PageAccessCounter.record_scan`).  It is
+    a CPU-side diagnostic and never contributes to ``total``: scanning a
+    node's entire entry block costs one page access, not one per entry.
     """
 
     total: int
@@ -42,6 +47,7 @@ class AccessBreakdown:
     data_records: int = 0
     buffer_hits: int = 0
     buffer_misses: int = 0
+    entries_scanned: int = 0
 
 
 class PageAccessCounter:
@@ -59,9 +65,11 @@ class PageAccessCounter:
         self._current_data = 0
         self._current_hits = 0
         self._current_misses = 0
+        self._current_entries = 0
         self._in_query = False
         self.history: List[AccessBreakdown] = []
         self.total_accesses = 0
+        self.total_entries_scanned = 0
 
     # ------------------------------------------------------------------
     # recording
@@ -74,6 +82,23 @@ class PageAccessCounter:
             self._current_index += 1
         self.total_accesses += 1
         self._buffer_access(page_id)
+
+    def record_scan(self, page_id: int, is_leaf: bool, entries: int) -> None:
+        """Record one *whole-node* scan: one page access, ``entries`` rows.
+
+        The vectorized kernels examine every entry of a node in a single
+        array pass.  That pass touches exactly one page — the node — no
+        matter how many entries it holds, so this bills one node access
+        (identical to :meth:`record`) and tracks the scanned entry count
+        separately for CPU-side diagnostics.  Using this method instead
+        of per-entry :meth:`record` calls is what keeps the Figure-17
+        page counts invariant under vectorization.
+        """
+        if entries < 0:
+            raise ValueError("entries must be non-negative")
+        self.record(page_id, is_leaf)
+        self._current_entries += entries
+        self.total_entries_scanned += entries
 
     def record_object(self, object_id: Hashable) -> None:
         """Record fetching one object record (a data-node access)."""
@@ -98,6 +123,7 @@ class PageAccessCounter:
         self._current_data = 0
         self._current_hits = 0
         self._current_misses = 0
+        self._current_entries = 0
         self._in_query = True
 
     def finish_query(self) -> AccessBreakdown:
@@ -109,6 +135,7 @@ class PageAccessCounter:
             data_records=self._current_data,
             buffer_hits=self._current_hits,
             buffer_misses=self._current_misses,
+            entries_scanned=self._current_entries,
         )
         self.history.append(breakdown)
         self._in_query = False
@@ -138,6 +165,7 @@ class PageAccessCounter:
         """
         self.history.append(breakdown)
         self.total_accesses += breakdown.total
+        self.total_entries_scanned += breakdown.entries_scanned
 
     def mean_per_query(self) -> float:
         """Mean page accesses per finished query (0.0 with no history)."""
@@ -149,6 +177,7 @@ class PageAccessCounter:
         """Clear everything, including history and totals."""
         self.history.clear()
         self.total_accesses = 0
+        self.total_entries_scanned = 0
         self.start_query()
         self._in_query = False
 

@@ -22,16 +22,46 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.analysis.runtime import SANITIZER
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import Point
+from repro.geometry.vecmath import FloatArray, hypot_pairs
 from repro.index.node import ChildEntry, Entry, LeafEntry, Node
 from repro.index.pagestats import PageAccessCounter
 from repro.obs import OBS
 
 __all__ = ["RTree", "RTreeConfig", "SplitPolicy"]
+
+#: Hoisted ``rtree.node_reads`` counters: [registry, generation, leaf, index].
+#: read_node() is the hottest observability site in the tree; the registry
+#: lookup (name + label rendering + lock) is paid once per registry
+#: generation instead of once per page access.  Each kind's counter is
+#: created lazily, exactly when its first read happens — so the set of
+#: registered metrics matches the per-call lookup behaviour.
+_read_counter_cache: List[Any] = [None, -1, None, None]
+
+
+def _node_read_counter(is_leaf: bool) -> Any:
+    """The ``rtree.node_reads`` counter for the current registry."""
+    registry = OBS.registry
+    cached = _read_counter_cache
+    if cached[0] is not registry or cached[1] != registry.generation:
+        cached[0] = registry
+        cached[1] = registry.generation
+        cached[2] = None
+        cached[3] = None
+    slot = 2 if is_leaf else 3
+    counter = cached[slot]
+    if counter is None:
+        counter = registry.counter(
+            "rtree.node_reads", kind="leaf" if is_leaf else "index"
+        )
+        cached[slot] = counter
+    return counter
 
 
 class SplitPolicy(enum.Enum):
@@ -104,13 +134,16 @@ class RTree:
         INN, EINN, depth-first) reads nodes through, so the global
         ``rtree.node_reads`` counter here sees every simulated page
         access, with or without a per-query ``PageAccessCounter``.
+
+        One *node* visit is one page access, however many of its entries
+        the vectorized kernels scan — the whole-node array pass bills
+        exactly one read (``record_scan``), keeping the paper's Figure-17
+        metric intact while still exposing the scanned entry count.
         """
         if OBS.enabled:
-            OBS.registry.counter(
-                "rtree.node_reads", kind="leaf" if node.is_leaf else "index"
-            ).inc()
+            _node_read_counter(node.is_leaf).inc()
         if counter is not None:
-            counter.record(node.page_id, node.is_leaf)
+            counter.record_scan(node.page_id, node.is_leaf, len(node.entries))
         return node
 
     def __len__(self) -> int:
@@ -333,38 +366,53 @@ class RTree:
         return path
 
     def _choose_subtree(self, node: Node, bbox: BoundingBox) -> ChildEntry:
-        entries: List[ChildEntry] = node.entries  # type: ignore[assignment]
+        """Pick the child to descend into, by the R*/Guttman rules.
+
+        All candidate metrics for the node come from one vectorized pass
+        over its bound arrays.  Each float equals the scalar formula
+        bit-for-bit (exact IEEE min/max/sub/mul; row sums replay the
+        scalar left-to-right accumulation), and the final ``min`` over
+        key tuples keeps Python's first-wins tie behaviour, so the chosen
+        subtree — and hence the whole tree shape — is unchanged.
+        """
+        entries = node.entries
+        arrays = node.arrays()
+        lo_x, lo_y = arrays.lo_x, arrays.lo_y
+        hi_x, hi_y = arrays.hi_x, arrays.hi_y
+        areas = (hi_x - lo_x) * (hi_y - lo_y)
+        glo_x = np.minimum(lo_x, bbox.min_x)
+        glo_y = np.minimum(lo_y, bbox.min_y)
+        ghi_x = np.maximum(hi_x, bbox.max_x)
+        ghi_y = np.maximum(hi_y, bbox.max_y)
+        enlargements = ((ghi_x - glo_x) * (ghi_y - glo_y) - areas).tolist()
+        area_list = areas.tolist()
+        count = len(entries)
         use_overlap = (
             self.config.split_policy is SplitPolicy.RSTAR and node.level == 1
         )
         if use_overlap:
             # R* rule for the level above the leaves: minimize overlap
             # enlargement, tie-break on area enlargement, then area.
-            def overlap_with_others(candidate: ChildEntry, grown: BoundingBox) -> float:
-                total = 0.0
-                for other in entries:
-                    if other is candidate:
-                        continue
-                    total += grown.overlap_area(other.bbox)
-                return total
-
-            def key(candidate: ChildEntry) -> Tuple[float, float, float]:
-                grown = candidate.bbox.union(bbox)
-                overlap_delta = overlap_with_others(candidate, grown) - overlap_with_others(
-                    candidate, candidate.bbox
-                )
-                return (
-                    overlap_delta,
-                    candidate.bbox.enlargement(bbox),
-                    candidate.bbox.area,
-                )
-
-            return min(entries, key=key)
-
-        def area_key(candidate: ChildEntry) -> Tuple[float, float]:
-            return (candidate.bbox.enlargement(bbox), candidate.bbox.area)
-
-        return min(entries, key=area_key)
+            grown = _overlap_matrix(glo_x, glo_y, ghi_x, ghi_y, lo_x, lo_y, hi_x, hi_y)
+            own = _overlap_matrix(lo_x, lo_y, hi_x, hi_y, lo_x, lo_y, hi_x, hi_y)
+            grown_rows = grown.tolist()
+            own_rows = own.tolist()
+            deltas = []
+            for index in range(count):
+                grown_row = grown_rows[index]
+                own_row = own_rows[index]
+                del grown_row[index], own_row[index]
+                # sum() replays the scalar `total += ...` add order.
+                deltas.append(sum(grown_row) - sum(own_row))
+            chosen = min(
+                range(count),
+                key=lambda i: (deltas[i], enlargements[i], area_list[i]),
+            )
+        else:
+            chosen = min(
+                range(count), key=lambda i: (enlargements[i], area_list[i])
+            )
+        return entries[chosen]  # type: ignore[return-value]
 
     def _propagate_up(self, path: List[Node], reinserted_levels: Set[int]) -> None:
         """Fix MBRs bottom-up and resolve overflows by reinsert or split."""
@@ -420,10 +468,18 @@ class RTree:
         center and reinsert them (closest first) at the same level."""
         node = path[depth]
         center = node.compute_bbox().center
-        ordered = sorted(
-            node.entries,
-            key=lambda entry: entry.bbox.center.distance_to(center),
+        cx, cy = _entry_centers(node.entries)
+        # One hypot pass for all entry-center distances; the stable index
+        # sort reproduces the scalar sorted(key=distance) permutation.
+        dists = list(
+            map(
+                math.hypot,
+                [x - center.x for x in cx],
+                [y - center.y for y in cy],
+            )
         )
+        order = sorted(range(len(dists)), key=dists.__getitem__)
+        ordered = [node.entries[index] for index in order]
         evict_count = max(1, int(len(ordered) * self.config.reinsert_fraction))
         keep = ordered[: len(ordered) - evict_count]
         orphans = ordered[len(ordered) - evict_count :]
@@ -450,18 +506,89 @@ class RTree:
 
 
 # ----------------------------------------------------------------------
+# vectorized geometry helpers (exact replicas of the scalar formulas)
+# ----------------------------------------------------------------------
+def _overlap_matrix(
+    alo_x: FloatArray,
+    alo_y: FloatArray,
+    ahi_x: FloatArray,
+    ahi_y: FloatArray,
+    blo_x: FloatArray,
+    blo_y: FloatArray,
+    bhi_x: FloatArray,
+    bhi_y: FloatArray,
+) -> FloatArray:
+    """``overlap_area`` for every (A-box, B-box) pair, rows = A boxes.
+
+    Matches ``BoundingBox.overlap_area`` element-wise: intersection
+    bounds by exact min/max, 0.0 when disjoint on either axis.
+    """
+    w = np.minimum(ahi_x[:, None], bhi_x[None, :]) - np.maximum(
+        alo_x[:, None], blo_x[None, :]
+    )
+    h = np.minimum(ahi_y[:, None], bhi_y[None, :]) - np.maximum(
+        alo_y[:, None], blo_y[None, :]
+    )
+    result: FloatArray = np.where((w < 0.0) | (h < 0.0), 0.0, w * h)
+    return result
+
+
+def _entry_bounds(
+    entries: Sequence[Entry],
+) -> Tuple[FloatArray, FloatArray, FloatArray, FloatArray]:
+    """Column bound arrays for a plain entry list (split machinery).
+
+    Leaf entries contribute their degenerate point box, exactly like
+    ``LeafEntry.bbox`` — without materializing a ``BoundingBox`` per
+    entry per comparison.
+    """
+    count = len(entries)
+    lo_x = np.empty(count, dtype=np.float64)
+    lo_y = np.empty(count, dtype=np.float64)
+    hi_x = np.empty(count, dtype=np.float64)
+    hi_y = np.empty(count, dtype=np.float64)
+    for index, entry in enumerate(entries):
+        if isinstance(entry, LeafEntry):
+            point = entry.point
+            lo_x[index] = hi_x[index] = point.x
+            lo_y[index] = hi_y[index] = point.y
+        else:
+            box = entry.bbox
+            lo_x[index] = box.min_x
+            lo_y[index] = box.min_y
+            hi_x[index] = box.max_x
+            hi_y[index] = box.max_y
+    return lo_x, lo_y, hi_x, hi_y
+
+
+def _entry_centers(entries: Sequence[Entry]) -> Tuple[List[float], List[float]]:
+    """Per-entry MBR center coordinates, as ``bbox.center`` computes them."""
+    cx: List[float] = []
+    cy: List[float] = []
+    for entry in entries:
+        if isinstance(entry, LeafEntry):
+            point = entry.point
+            cx.append((point.x + point.x) / 2.0)
+            cy.append((point.y + point.y) / 2.0)
+        else:
+            box = entry.bbox
+            cx.append((box.min_x + box.max_x) / 2.0)
+            cy.append((box.min_y + box.max_y) / 2.0)
+    return cx, cy
+
+
+# ----------------------------------------------------------------------
 # split algorithms (module-level: they operate on plain entry lists)
 # ----------------------------------------------------------------------
 def _split_quadratic(
     entries: Sequence[Entry], min_entries: int
 ) -> Tuple[List[Entry], List[Entry]]:
-    """Guttman's quadratic split."""
-    remaining = list(entries)
-    seed_a, seed_b = _pick_seeds(remaining)
-    remaining.remove(seed_a)
-    remaining.remove(seed_b)
+    """Guttman's quadratic split (PickSeeds/PickNext over bound arrays)."""
+    lo_x, lo_y, hi_x, hi_y = _entry_bounds(entries)
+    seed_a, seed_b = _pick_seeds_indexed(lo_x, lo_y, hi_x, hi_y)
+    remaining = [i for i in range(len(entries)) if i not in (seed_a, seed_b)]
     group_a, group_b = [seed_a], [seed_b]
-    bbox_a, bbox_b = seed_a.bbox, seed_b.bbox
+    bbox_a, bbox_b = entries[seed_a].bbox, entries[seed_b].bbox
     while remaining:
         # Honor the minimum fill guarantee.
         if len(group_a) + len(remaining) == min_entries:
@@ -470,101 +597,159 @@ def _split_quadratic(
         if len(group_b) + len(remaining) == min_entries:
             group_b.extend(remaining)
             break
-        entry, prefer_a = _pick_next(remaining, bbox_a, bbox_b, len(group_a), len(group_b))
-        remaining.remove(entry)
+        pos, prefer_a = _pick_next_indexed(
+            remaining,
+            (lo_x, lo_y, hi_x, hi_y),
+            bbox_a,
+            bbox_b,
+            len(group_a),
+            len(group_b),
+        )
+        index = remaining.pop(pos)
         if prefer_a:
-            group_a.append(entry)
-            bbox_a = bbox_a.union(entry.bbox)
+            group_a.append(index)
+            bbox_a = bbox_a.union(entries[index].bbox)
         else:
-            group_b.append(entry)
-            bbox_b = bbox_b.union(entry.bbox)
-    return group_a, group_b
+            group_b.append(index)
+            bbox_b = bbox_b.union(entries[index].bbox)
+    return (
+        [entries[i] for i in group_a],
+        [entries[i] for i in group_b],
+    )
 
 
-def _pick_seeds(entries: Sequence[Entry]) -> Tuple[Entry, Entry]:
-    """The pair wasting the most area when grouped together."""
-    best_pair = (entries[0], entries[1])
-    best_waste = -math.inf
-    count = len(entries)
-    for i in range(count):
-        for j in range(i + 1, count):
-            combined = entries[i].bbox.union(entries[j].bbox)
-            waste = combined.area - entries[i].bbox.area - entries[j].bbox.area
-            if waste > best_waste:
-                best_waste = waste
-                best_pair = (entries[i], entries[j])
-    return best_pair
+def _pick_seeds_indexed(
+    lo_x: FloatArray, lo_y: FloatArray, hi_x: FloatArray, hi_y: FloatArray
+) -> Tuple[int, int]:
+    """PickSeeds over bound arrays: indices of the max-waste pair.
+
+    The full waste matrix computes in one broadcasted pass;
+    ``np.argmax`` returns the *first* maximum in row-major order, which
+    is exactly the pair the scalar ``i < j`` double loop with a strict
+    ``>`` improvement test would keep.
+    """
+    count = len(lo_x)
+    areas = (hi_x - lo_x) * (hi_y - lo_y)
+    cw = np.maximum(hi_x[:, None], hi_x[None, :]) - np.minimum(
+        lo_x[:, None], lo_x[None, :]
+    )
+    ch = np.maximum(hi_y[:, None], hi_y[None, :]) - np.minimum(
+        lo_y[:, None], lo_y[None, :]
+    )
+    waste = cw * ch - areas[:, None] - areas[None, :]
+    # NaN waste never wins a strict > comparison in the scalar loop;
+    # the diagonal and lower triangle are not legal pairs at all.
+    waste = np.where(np.isnan(waste), -np.inf, waste)
+    waste[np.tril_indices(count)] = -np.inf
+    flat = int(np.argmax(waste))
+    if waste.flat[flat] == -np.inf:
+        return 0, 1
+    return divmod(flat, count)
 
 
-def _pick_next(
-    remaining: Sequence[Entry],
+def _pick_next_indexed(
+    remaining: Sequence[int],
+    bounds: Tuple[FloatArray, FloatArray, FloatArray, FloatArray],
     bbox_a: BoundingBox,
     bbox_b: BoundingBox,
     size_a: int,
     size_b: int,
-) -> Tuple[Entry, bool]:
-    """The entry with the strongest group preference, and that preference."""
-    best_entry = remaining[0]
-    best_diff = -1.0
-    for entry in remaining:
-        d_a = bbox_a.enlargement(entry.bbox)
-        d_b = bbox_b.enlargement(entry.bbox)
-        diff = abs(d_a - d_b)
-        if diff > best_diff:
-            best_diff = diff
-            best_entry = entry
-    d_a = bbox_a.enlargement(best_entry.bbox)
-    d_b = bbox_b.enlargement(best_entry.bbox)
-    if d_a != d_b:
-        prefer_a = d_a < d_b
+) -> Tuple[int, bool]:
+    """PickNext: position (in ``remaining``) of the strongest preference."""
+    lo_x, lo_y, hi_x, hi_y = bounds
+    idx = np.fromiter(remaining, np.intp, count=len(remaining))
+    rlo_x, rlo_y = lo_x[idx], lo_y[idx]
+    rhi_x, rhi_y = hi_x[idx], hi_y[idx]
+    d_a = (
+        np.maximum(rhi_x, bbox_a.max_x) - np.minimum(rlo_x, bbox_a.min_x)
+    ) * (
+        np.maximum(rhi_y, bbox_a.max_y) - np.minimum(rlo_y, bbox_a.min_y)
+    ) - bbox_a.area
+    d_b = (
+        np.maximum(rhi_x, bbox_b.max_x) - np.minimum(rlo_x, bbox_b.min_x)
+    ) * (
+        np.maximum(rhi_y, bbox_b.max_y) - np.minimum(rlo_y, bbox_b.min_y)
+    ) - bbox_b.area
+    diff = np.abs(d_a - d_b)
+    pos = int(np.argmax(np.where(np.isnan(diff), -np.inf, diff)))
+    best_a = float(d_a[pos])
+    best_b = float(d_b[pos])
+    if best_a != best_b:
+        prefer_a = best_a < best_b
     elif bbox_a.area != bbox_b.area:
         prefer_a = bbox_a.area < bbox_b.area
     else:
         prefer_a = size_a <= size_b
-    return best_entry, prefer_a
+    return pos, prefer_a
 
 
 def _split_rstar(
     entries: Sequence[Entry], min_entries: int
 ) -> Tuple[List[Entry], List[Entry]]:
     """R* split: choose the axis with minimal margin sum, then the
-    distribution with minimal overlap (tie-break on combined area)."""
-    best_axis_entries: Optional[List[Entry]] = None
-    best_axis_margin = math.inf
-    for axis in ("x", "y"):
-        for bound in ("lower", "upper"):
-            ordered = sorted(entries, key=_axis_key(axis, bound))
-            margin = _margin_sum(ordered, min_entries)
-            if margin < best_axis_margin:
-                best_axis_margin = margin
-                best_axis_entries = ordered
-    assert best_axis_entries is not None
-    ordered = best_axis_entries
+    distribution with minimal overlap (tie-break on combined area).
+
+    All four candidate orderings and every candidate distribution are
+    evaluated on prefix/suffix min-max accumulations of the bound
+    arrays.  min/max are exact and order-independent, the margin and
+    area arithmetic replays the scalar grouping, and the selection
+    loops keep the scalar first-wins strict-improvement semantics, so
+    the chosen split is identical entry-for-entry.
+    """
+    count = len(entries)
+    lo_x, lo_y, hi_x, hi_y = _entry_bounds(entries)
+    lo_slice = slice(min_entries - 1, count - min_entries)
+    hi_slice = slice(min_entries, count - min_entries + 1)
+
+    best_margin = math.inf
+    best: Optional[Tuple[FloatArray, ...]] = None
+    # Axis candidates in the scalar visit order: x-lower, x-upper,
+    # y-lower, y-upper.
+    for sort_key in (lo_x, hi_x, lo_y, hi_y):
+        perm = np.argsort(sort_key, kind="stable")
+        slo_x, slo_y = lo_x[perm], lo_y[perm]
+        shi_x, shi_y = hi_x[perm], hi_y[perm]
+        plo_x = np.minimum.accumulate(slo_x)
+        plo_y = np.minimum.accumulate(slo_y)
+        phi_x = np.maximum.accumulate(shi_x)
+        phi_y = np.maximum.accumulate(shi_y)
+        qlo_x = np.minimum.accumulate(slo_x[::-1])[::-1]
+        qlo_y = np.minimum.accumulate(slo_y[::-1])[::-1]
+        qhi_x = np.maximum.accumulate(shi_x[::-1])[::-1]
+        qhi_y = np.maximum.accumulate(shi_y[::-1])[::-1]
+        margin_a = (phi_x[lo_slice] - plo_x[lo_slice]) + (
+            phi_y[lo_slice] - plo_y[lo_slice]
+        )
+        margin_b = (qhi_x[hi_slice] - qlo_x[hi_slice]) + (
+            qhi_y[hi_slice] - qlo_y[hi_slice]
+        )
+        # sum() replays the scalar `total += margin_a + margin_b` order.
+        margin = sum((margin_a + margin_b).tolist())
+        if margin < best_margin:
+            best_margin = margin
+            best = (perm, plo_x, plo_y, phi_x, phi_y, qlo_x, qlo_y, qhi_x, qhi_y)
+    assert best is not None
+    perm, plo_x, plo_y, phi_x, phi_y, qlo_x, qlo_y, qhi_x, qhi_y = best
+
+    olo_x = np.maximum(plo_x[lo_slice], qlo_x[hi_slice])
+    olo_y = np.maximum(plo_y[lo_slice], qlo_y[hi_slice])
+    ohi_x = np.minimum(phi_x[lo_slice], qhi_x[hi_slice])
+    ohi_y = np.minimum(phi_y[lo_slice], qhi_y[hi_slice])
+    w = ohi_x - olo_x
+    h = ohi_y - olo_y
+    overlaps = np.where((w < 0.0) | (h < 0.0), 0.0, w * h)
+    area_a = (phi_x[lo_slice] - plo_x[lo_slice]) * (phi_y[lo_slice] - plo_y[lo_slice])
+    area_b = (qhi_x[hi_slice] - qlo_x[hi_slice]) * (qhi_y[hi_slice] - qlo_y[hi_slice])
+    area_sums = area_a + area_b
+
     best_split = min_entries
     best_key = (math.inf, math.inf)
-    for split_at in range(min_entries, len(ordered) - min_entries + 1):
-        bbox_a = BoundingBox.union_all(e.bbox for e in ordered[:split_at])
-        bbox_b = BoundingBox.union_all(e.bbox for e in ordered[split_at:])
-        key = (bbox_a.overlap_area(bbox_b), bbox_a.area + bbox_b.area)
+    for offset, key in enumerate(zip(overlaps.tolist(), area_sums.tolist())):
         if key < best_key:
             best_key = key
-            best_split = split_at
-    return list(ordered[:best_split]), list(ordered[best_split:])
-
-
-def _axis_key(axis: str, bound: str) -> Callable[[Entry], float]:
-    if axis == "x":
-        return (lambda e: e.bbox.min_x) if bound == "lower" else (lambda e: e.bbox.max_x)
-    return (lambda e: e.bbox.min_y) if bound == "lower" else (lambda e: e.bbox.max_y)
-
-
-def _margin_sum(ordered: Sequence[Entry], min_entries: int) -> float:
-    total = 0.0
-    for split_at in range(min_entries, len(ordered) - min_entries + 1):
-        bbox_a = BoundingBox.union_all(e.bbox for e in ordered[:split_at])
-        bbox_b = BoundingBox.union_all(e.bbox for e in ordered[split_at:])
-        total += bbox_a.margin + bbox_b.margin
-    return total
+            best_split = min_entries + offset
+    ordered = [entries[i] for i in perm.tolist()]
+    return ordered[:best_split], ordered[best_split:]
 
 
 def _collect_leaf_entries(node: Node) -> List[LeafEntry]:
@@ -584,15 +769,27 @@ def _collect_leaf_entries(node: Node) -> List[LeafEntry]:
 
 
 def _str_pack(entries: List[Entry], capacity: int, level: int) -> List[Node]:
-    """One level of Sort-Tile-Recursive packing."""
+    """One level of Sort-Tile-Recursive packing.
+
+    Sort keys (MBR centers) come from one pass over the entry list
+    instead of a ``BoundingBox``/``Point`` construction per key; the
+    index sorts are stable like the scalar entry sorts, so tiles are
+    identical.
+    """
     count = len(entries)
     node_count = math.ceil(count / capacity)
     slice_count = math.ceil(math.sqrt(node_count))
-    by_x = sorted(entries, key=lambda e: e.bbox.center.x)
+    cx, cy = _entry_centers(entries)
+    by_x = sorted(range(count), key=cx.__getitem__)
     slice_size = math.ceil(count / slice_count)
     nodes: List[Node] = []
     for i in range(0, count, slice_size):
-        vertical = sorted(by_x[i : i + slice_size], key=lambda e: e.bbox.center.y)
+        vertical = sorted(by_x[i : i + slice_size], key=cy.__getitem__)
         for j in range(0, len(vertical), capacity):
-            nodes.append(Node(level=level, entries=vertical[j : j + capacity]))
+            nodes.append(
+                Node(
+                    level=level,
+                    entries=[entries[t] for t in vertical[j : j + capacity]],
+                )
+            )
     return nodes

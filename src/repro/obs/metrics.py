@@ -256,11 +256,15 @@ class MetricsRegistry:
     from whatever else the process measures.
     """
 
-    __slots__ = ("_metrics", "_lock")
+    __slots__ = ("_metrics", "_lock", "generation")
 
     def __init__(self) -> None:
         """Create an empty registry."""
         self._metrics: Dict[Tuple[str, LabelKey], Metric] = {}
+        # Bumped by reset(); hot paths that hoist instrument lookups out
+        # of their inner loop key their cache on (registry, generation)
+        # so an in-place reset invalidates them.
+        self.generation = 0
         # One lock guards the registry map *and* every instrument it
         # creates: the instruments' hot mutators and the get-or-create
         # probes never interleave, and the lock-order graph stays a
@@ -405,3 +409,4 @@ class MetricsRegistry:
         """Drop every metric (used between bench sections and by tests)."""
         with self._lock:
             self._metrics.clear()
+            self.generation += 1

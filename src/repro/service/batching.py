@@ -251,6 +251,7 @@ def _amortize(
     leaf_shares = _split_even(breakdown.leaf_nodes, n)
     hit_shares = _split_even(breakdown.buffer_hits, n)
     miss_shares = _split_even(breakdown.buffer_misses, n)
+    entry_shares = _split_even(breakdown.entries_scanned, n)
     answers: List[QueryAnswer] = []
     for position, client in enumerate(clients):
         share = AccessBreakdown(
@@ -262,6 +263,7 @@ def _amortize(
             data_records=client.shipped,
             buffer_hits=hit_shares[position],
             buffer_misses=miss_shares[position],
+            entries_scanned=entry_shares[position],
         )
         answers.append(QueryAnswer(client.neighbors(), share, batch_size=n))
     return answers

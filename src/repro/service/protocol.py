@@ -60,7 +60,7 @@ __all__ = [
 ]
 
 MAGIC = b"RQ"
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2  # v2: AccessBreakdown carries entries_scanned
 
 #: Hard cap on a frame's payload size (1 MiB).  Anything larger is
 #: rejected at the framing layer, before any allocation proportional to
@@ -428,13 +428,14 @@ def _write_breakdown(w: _Writer, b: AccessBreakdown) -> None:
         b.data_records,
         b.buffer_hits,
         b.buffer_misses,
+        b.entries_scanned,
     ):
         w.u32(value)
 
 
 def _read_breakdown(r: _Reader) -> AccessBreakdown:
-    total, index_nodes, leaf_nodes, data, hits, misses = (
-        r.u32() for _ in range(6)
+    total, index_nodes, leaf_nodes, data, hits, misses, entries = (
+        r.u32() for _ in range(7)
     )
     if total != index_nodes + leaf_nodes + data:
         raise ProtocolError("inconsistent access breakdown")
@@ -445,6 +446,7 @@ def _read_breakdown(r: _Reader) -> AccessBreakdown:
         data_records=data,
         buffer_hits=hits,
         buffer_misses=misses,
+        entries_scanned=entries,
     )
 
 

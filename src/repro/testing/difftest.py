@@ -62,6 +62,11 @@ from repro.service.client import ServiceClient
 from repro.service.engine import QueryService
 from repro.service.transport import LoopbackTransport
 import repro.testing.oracles as oracles
+from repro.testing.scalar_reference import (
+    scalar_collect_candidates,
+    scalar_verify_multi_peer,
+    scalar_verify_single_peer,
+)
 from repro.testing.scenarios import Scenario, encode_scenario
 
 __all__ = [
@@ -390,6 +395,16 @@ def run_scenario(
                 # unclassified, so the completeness sweep must stop too.
                 break
 
+    # -- vectorized verification vs the frozen scalar reference -----------
+    # The batched Lemma 3.2 / 3.8 verifiers promise *bit-identical*
+    # behaviour to the scalar loops preserved in
+    # ``repro.testing.scalar_reference``.  Replay both and demand equal
+    # heaps (exact floats, exact order, exact flags), plus a longhand
+    # recomputation of every Lemma 3.2 verdict as a second, formula-level
+    # oracle.
+    ran("vectorized-verify")
+    failures.extend(_check_vectorized_verify(m, candidate_count))
+
     # -- SENN end to end -------------------------------------------------
     ran("senn")
     server = SpatialDatabaseServer(m.tree, algorithm=ServerAlgorithm.EINN)
@@ -599,6 +614,138 @@ def run_scenario(
         ran("snnn")
         failures.extend(_check_snnn(scenario, m))
 
+    return failures
+
+
+# ----------------------------------------------------------------------
+# vectorized-verification cross-check
+# ----------------------------------------------------------------------
+def _heap_rows(heap: CandidateHeap) -> List[Tuple[float, float, object, float, bool]]:
+    return [
+        (e.point.x, e.point.y, e.payload, e.distance, e.certain)
+        for e in heap.entries()
+    ]
+
+
+def _check_vectorized_verify(
+    m: _Materialized, candidate_count: int
+) -> List[CheckFailure]:
+    failures: List[CheckFailure] = []
+    capacity = max(1, candidate_count)
+
+    # Lemma 3.2, per peer: batched verifier vs the scalar loop vs longhand.
+    for cache_index, cache in enumerate(m.all_caches):
+        if cache.is_empty():
+            continue
+        live = CandidateHeap(capacity)
+        live_certified = verify_single_peer(m.query, cache, live)
+        offers = scalar_verify_single_peer(
+            m.query,
+            cache.query_location,
+            cache.certain_radius,
+            [(n.point, n.payload) for n in cache.neighbors],
+        )
+        reference = CandidateHeap(capacity)
+        for point, payload, distance, certain in offers:
+            reference.add(point, payload, distance, certain)
+        # Bit-identity is the contract under test: the batched verifier
+        # must reproduce the scalar loop exactly, not within tolerance.
+        if _heap_rows(live) != _heap_rows(reference):  # repro: noqa(RPR001)
+            failures.append(
+                CheckFailure(
+                    "vectorized-verify",
+                    f"peer {cache_index}: batched kNN_single heap "
+                    f"{_heap_rows(live)!r} != scalar reference "
+                    f"{_heap_rows(reference)!r}",
+                )
+            )
+        scalar_certified = sum(1 for offer in offers if offer[3])
+        # Integer certification counts; equality is exact by definition.
+        if live_certified != scalar_certified:  # repro: noqa(RPR001)
+            failures.append(
+                CheckFailure(
+                    "vectorized-verify",
+                    f"peer {cache_index}: batched kNN_single certified "
+                    f"{live_certified}, scalar reference {scalar_certified}",
+                )
+            )
+        # Longhand oracle: recompute each verdict from the raw formula,
+        # independent of both implementations' plumbing.
+        delta = math.hypot(
+            m.query.x - cache.query_location.x, m.query.y - cache.query_location.y
+        )
+        for point, payload, distance, certain in offers:
+            longhand_distance = math.hypot(m.query.x - point.x, m.query.y - point.y)
+            longhand = longhand_distance + delta <= cache.certain_radius
+            if (
+                # Exact equality is the check: the stored distance must be
+                # the very float math.hypot produces, bit for bit.
+                distance != longhand_distance  # repro: noqa(RPR001)
+                or certain is not longhand
+                or live.is_certain(point, payload)
+                is not (longhand and reference.is_certain(point, payload))
+            ):
+                failures.append(
+                    CheckFailure(
+                        "vectorized-verify",
+                        f"peer {cache_index}: {payload!r} verdict/distance "
+                        f"disagrees with the longhand Lemma 3.2 formula "
+                        f"(distance {distance!r} vs {longhand_distance!r}, "
+                        f"certain {certain} vs {longhand})",
+                    )
+                )
+                break
+
+    # Candidate collection: one vectorized distance pass vs per-POI loop.
+    if m.all_caches:
+        batched = collect_candidates(m.query, m.all_caches)
+        scalar = scalar_collect_candidates(m.query, m.all_caches)
+        if [
+            (distance, point.x, point.y, payload)
+            for distance, point, payload in batched
+        ] != [
+            (distance, point.x, point.y, payload)
+            for distance, point, payload in scalar
+        ]:
+            failures.append(
+                CheckFailure(
+                    "vectorized-verify",
+                    f"collect_candidates diverged: batched {batched!r} != "
+                    f"scalar {scalar!r}",
+                )
+            )
+
+        # Lemma 3.8: batched pre-filter + loop vs the all-scalar loop.
+        live = CandidateHeap(capacity)
+        live_certified = verify_multi_peer(
+            m.query,
+            m.all_caches,
+            live,
+            method=m.config.coverage_method,
+            polygon_sides=m.config.polygon_sides,
+        )
+        reference = CandidateHeap(capacity)
+        scalar_certified = scalar_verify_multi_peer(
+            m.query,
+            m.all_caches,
+            reference,
+            method=m.config.coverage_method,
+            polygon_sides=m.config.polygon_sides,
+        )
+        if (
+            # Same bit-identity contract as the single-peer check above.
+            _heap_rows(live) != _heap_rows(reference)  # repro: noqa(RPR001)
+            # Integer certification counts; equality is exact by definition.
+            or live_certified != scalar_certified  # repro: noqa(RPR001)
+        ):
+            failures.append(
+                CheckFailure(
+                    "vectorized-verify",
+                    f"batched kNN_multiple (certified {live_certified}, heap "
+                    f"{_heap_rows(live)!r}) != scalar reference (certified "
+                    f"{scalar_certified}, heap {_heap_rows(reference)!r})",
+                )
+            )
     return failures
 
 

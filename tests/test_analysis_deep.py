@@ -370,9 +370,15 @@ class TestLemmaConformance:
             assert has_site or has_call_entry, f"nothing pins {scope}"
 
     def test_lemma_32_direction_flip_is_caught_statically(self, head_analysis):
-        """The acceptance mutation: ``<=`` -> ``<`` in _verify_single_peer."""
+        """The acceptance mutation: ``<=`` -> ``<`` in _verify_single_peer.
+
+        The comparison appears once per batch branch (the small-batch
+        list path and the ndarray path); the global replace flips both
+        and the conformance check must report each flipped site.
+        """
         source = head_analysis.project.get("repro.core.verification").source
-        assert "distance + delta <= certain_radius" in source
+        site_count = source.count("distance + delta <= certain_radius")
+        assert site_count == 2
         mutated = head_analysis.project.replace_source(
             "repro.core.verification",
             source.replace(
@@ -385,9 +391,10 @@ class TestLemmaConformance:
             for _, _, message in lemma_conformance_violations(mutated)
             if "Lemma 3.2" in message
         ]
-        assert len(findings) == 1
-        assert "direction violates" in findings[0]
-        assert "requires `<=`" in findings[0]
+        assert len(findings) == site_count
+        for finding in findings:
+            assert "direction violates" in finding
+            assert "requires `<=`" in finding
 
     def test_direction_flip_surfaces_through_full_driver(self, head_analysis):
         source = head_analysis.project.get("repro.core.verification").source

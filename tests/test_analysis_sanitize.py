@@ -238,3 +238,92 @@ class TestRTreeValidator:
         tree.root.entries[1] = ChildEntry(first.bbox, first.child)
         with pytest.raises(InvariantViolation, match="referenced more than once"):
             validate_rtree(tree)
+
+
+class TestNodeArraysCoherence:
+    """The column mirror must agree with the entry list it shadows."""
+
+    @staticmethod
+    def _first_leaf(tree):
+        node = tree.root
+        while not node.is_leaf:
+            node = node.entries[0].child
+        return node
+
+    def test_healthy_materialized_mirrors_pass(self):
+        tree = make_tree()
+        # Materialize every reachable mirror, then validate.
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            node.arrays()
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries)
+        validate_rtree(tree)
+
+    def test_stale_row_count_caught(self):
+        tree = make_tree()
+        leaf = self._first_leaf(tree)
+        leaf.arrays()
+        # Bypass the tracked-list mutators: the mirror goes stale.
+        list.append(leaf.entries, leaf.entries[0].__class__(Point(0.0, 0.0), "x"))
+        with pytest.raises(InvariantViolation, match="stale array mirror"):
+            validate_rtree(tree)
+
+    def test_mutated_leaf_coordinate_caught(self):
+        tree = make_tree()
+        leaf = self._first_leaf(tree)
+        arrays = leaf.arrays()
+        arrays.xs[0] = arrays.xs[0] + 100.0
+        # Either check may fire first: the parent's MBR containment test
+        # recomputes the child box *through* the corrupted mirror.
+        with pytest.raises(InvariantViolation, match="array mirror|containment"):
+            validate_rtree(tree)
+
+    def test_swapped_payload_caught(self):
+        tree = make_tree()
+        leaf = self._first_leaf(tree)
+        arrays = leaf.arrays()
+        arrays.payloads[0] = object()
+        with pytest.raises(InvariantViolation, match="different payload"):
+            validate_rtree(tree)
+
+    def test_mutated_internal_bound_caught(self):
+        tree = make_tree()
+        root = tree.root
+        assert not root.is_leaf
+        arrays = root.arrays()
+        arrays.hi_x[0] = arrays.hi_x[0] + 1.0
+        with pytest.raises(InvariantViolation, match="disagree with the stored MBR"):
+            validate_rtree(tree)
+
+    def test_swapped_child_identity_caught(self):
+        tree = make_tree()
+        root = tree.root
+        arrays = root.arrays()
+        arrays.children[0], arrays.children[1] = (
+            arrays.children[1],
+            arrays.children[0],
+        )
+        with pytest.raises(InvariantViolation, match="different child"):
+            validate_rtree(tree)
+
+    def test_short_tie_key_memo_caught(self):
+        tree = make_tree()
+        leaf = self._first_leaf(tree)
+        arrays = leaf.arrays()
+        arrays.tie_keys = []
+        if len(leaf.entries) == 0:
+            pytest.skip("empty leaf")
+        with pytest.raises(InvariantViolation, match="tie keys"):
+            validate_rtree(tree)
+
+    def test_unmaterialized_mirrors_are_skipped(self):
+        tree = make_tree()
+        # Freshly mutated nodes have no mirror; validation must not build
+        # one just to compare it with itself.
+        tree.root.entries.sort(key=lambda e: e.bbox.min_x)
+        for entry in tree.root.entries:
+            entry.refresh_bbox()
+        assert tree.root._arrays is None
+        validate_rtree(tree)

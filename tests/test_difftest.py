@@ -56,6 +56,7 @@ class TestSmoke:
             "server-einn-plain",
             "single-peer-lemma",
             "multi-peer-lemma",
+            "vectorized-verify",
             "senn",
             "senn-certified-ranks",
             "einn-bounds",

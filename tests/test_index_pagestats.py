@@ -57,6 +57,69 @@ class TestPageAccessCounter:
         assert breakdown.buffer_hits == 1
         assert breakdown.buffer_misses == 2
 
+    def test_record_scan_bills_one_page(self):
+        # A vectorized whole-node scan touches one page, however many
+        # entries the array pass examined.
+        counter = PageAccessCounter()
+        counter.start_query()
+        counter.record_scan(1, is_leaf=False, entries=30)
+        counter.record_scan(2, is_leaf=True, entries=17)
+        breakdown = counter.finish_query()
+        assert breakdown.total == 2
+        assert breakdown.index_nodes == 1
+        assert breakdown.leaf_nodes == 1
+        assert breakdown.entries_scanned == 47
+        assert counter.total_accesses == 2
+        assert counter.total_entries_scanned == 47
+
+    def test_record_scan_matches_record_page_counts(self):
+        plain = PageAccessCounter()
+        scanned = PageAccessCounter()
+        for c in (plain, scanned):
+            c.start_query()
+        for page_id, is_leaf, entries in [(1, False, 30), (2, True, 9)]:
+            plain.record(page_id, is_leaf)
+            scanned.record_scan(page_id, is_leaf, entries)
+        a, b = plain.finish_query(), scanned.finish_query()
+        assert (a.total, a.index_nodes, a.leaf_nodes) == (
+            b.total,
+            b.index_nodes,
+            b.leaf_nodes,
+        )
+
+    def test_record_scan_rejects_negative(self):
+        counter = PageAccessCounter()
+        counter.start_query()
+        with pytest.raises(ValueError):
+            counter.record_scan(1, is_leaf=True, entries=-1)
+
+    def test_record_scan_buffer_pool_single_access(self):
+        pool = BufferPool(capacity=2)
+        counter = PageAccessCounter(buffer_pool=pool)
+        counter.start_query()
+        counter.record_scan(5, is_leaf=True, entries=30)
+        counter.record_scan(5, is_leaf=True, entries=30)
+        breakdown = counter.finish_query()
+        assert breakdown.buffer_misses == 1
+        assert breakdown.buffer_hits == 1
+
+    def test_reset_clears_entries_scanned(self):
+        counter = PageAccessCounter()
+        counter.start_query()
+        counter.record_scan(1, is_leaf=True, entries=12)
+        counter.finish_query()
+        counter.reset()
+        assert counter.total_entries_scanned == 0
+
+    def test_absorb_folds_entries_scanned(self):
+        counter = PageAccessCounter()
+        sub = counter.subcounter()
+        sub.start_query()
+        sub.record_scan(1, is_leaf=True, entries=8)
+        counter.absorb(sub.finish_query())
+        assert counter.total_entries_scanned == 8
+        assert counter.history[0].entries_scanned == 8
+
 
 class TestBufferPool:
     def test_negative_capacity_raises(self):

@@ -1,0 +1,260 @@
+"""Property suite: vectorized kernels are bit-identical to the scalar oracle.
+
+Every kernel in :mod:`repro.geometry.vecmath` and the batched Lemma 3.2
+verifier claim *bitwise* equality with the frozen scalar loops in
+:mod:`repro.testing.scalar_reference`.  Hypothesis drives the claim over
+adversarial geometry:
+
+- degenerate zero-area boxes (``lo == hi`` on one or both axes);
+- boxes whose edge passes exactly through the query coordinate;
+- queries sitting exactly on a box corner;
+- subnormal, huge and mixed-magnitude coordinates.
+
+Equality is asserted on the raw IEEE bit pattern (``struct.pack``), not
+``==`` — a ``-0.0`` / ``+0.0`` swap or a quiet 1-ulp drift must fail.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import CachedQueryResult
+from repro.core.heap import CandidateHeap
+from repro.core.verification import verify_single_peer
+from repro.geometry.point import Point
+from repro.geometry.vecmath import (
+    hypot_pairs,
+    maxdist_arrays,
+    mindist_arrays,
+    point_distance_list,
+    point_distances,
+)
+from repro.index.knn import NeighborResult
+from repro.testing.scalar_reference import (
+    scalar_maxdists,
+    scalar_mindists,
+    scalar_point_distances,
+    scalar_verify_single_peer,
+)
+
+# Full-range doubles overflow the intermediate subtractions to inf in
+# NumPy and CPython alike — the bit patterns still agree, only NumPy
+# warns about it.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:overflow encountered:RuntimeWarning"
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+#: Finite doubles across the full exponent range, subnormals included.
+coords = st.floats(
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=True,
+    width=64,
+)
+
+#: Coordinates in a tame range, for the end-to-end verifier test (cache
+#: construction rejects pathological orderings produced by overflow).
+tame_coords = st.floats(min_value=-1e9, max_value=1e9, allow_subnormal=True)
+
+
+@st.composite
+def boxes(draw) -> Tuple[float, float, float, float]:
+    """One MBR ``(lo_x, lo_y, hi_x, hi_y)``, biased towards degeneracy.
+
+    Roughly a third of the draws collapse an axis to zero width (the
+    degenerate boxes leaf entries produce), and corners are drawn from
+    the full double range.
+    """
+    ax = sorted([draw(coords), draw(coords)])
+    ay = sorted([draw(coords), draw(coords)])
+    if draw(st.integers(0, 2)) == 0:
+        ax[1] = ax[0]
+    if draw(st.integers(0, 2)) == 0:
+        ay[1] = ay[0]
+    return ax[0], ay[0], ax[1], ay[1]
+
+
+@st.composite
+def query_and_boxes(draw):
+    """A query point plus a non-empty batch of boxes.
+
+    With probability ~1/2 the query is snapped onto an edge coordinate
+    or a corner of one of the boxes — the touching-edge and
+    corner-query adversaries where clamps hit exact zeros.
+    """
+    batch: List[Tuple[float, float, float, float]] = draw(
+        st.lists(boxes(), min_size=1, max_size=40)
+    )
+    px = draw(coords)
+    py = draw(coords)
+    snap = draw(st.integers(0, 3))
+    target = batch[draw(st.integers(0, len(batch) - 1))]
+    if snap == 0:  # corner query
+        px, py = target[0], target[1]
+    elif snap == 1:  # vertical edge through the query's x
+        px = target[2]
+    elif snap == 2:  # horizontal edge through the query's y
+        py = target[3]
+    return px, py, batch
+
+
+def bits(values) -> bytes:
+    """Raw IEEE-754 bit pattern of a float sequence."""
+    return struct.pack(f"<{len(values)}d", *values)
+
+
+def columns(batch):
+    lo_x, lo_y, hi_x, hi_y = (np.array(col, dtype=np.float64) for col in zip(*batch))
+    return lo_x, lo_y, hi_x, hi_y
+
+
+# ----------------------------------------------------------------------
+# kernel equivalence
+# ----------------------------------------------------------------------
+@settings(max_examples=300, deadline=None)
+@given(query_and_boxes())
+def test_mindist_bit_identical(case) -> None:
+    px, py, batch = case
+    lo_x, lo_y, hi_x, hi_y = columns(batch)
+    vectorized = mindist_arrays(px, py, lo_x, lo_y, hi_x, hi_y).tolist()
+    reference = scalar_mindists(px, py, *(c.tolist() for c in columns(batch)))
+    assert bits(vectorized) == bits(reference)
+
+
+@settings(max_examples=300, deadline=None)
+@given(query_and_boxes())
+def test_maxdist_bit_identical(case) -> None:
+    px, py, batch = case
+    lo_x, lo_y, hi_x, hi_y = columns(batch)
+    vectorized = maxdist_arrays(px, py, lo_x, lo_y, hi_x, hi_y).tolist()
+    reference = scalar_maxdists(px, py, *(c.tolist() for c in columns(batch)))
+    assert bits(vectorized) == bits(reference)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    st.lists(st.tuples(coords, coords), min_size=1, max_size=40),
+    coords,
+    coords,
+)
+def test_point_distances_bit_identical(points, px, py) -> None:
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    reference = scalar_point_distances(px, py, xs, ys)
+    array_form = point_distances(
+        px, py, np.array(xs, dtype=np.float64), np.array(ys, dtype=np.float64)
+    ).tolist()
+    list_form = point_distance_list(px, py, xs, ys)
+    assert bits(array_form) == bits(reference)
+    assert bits(list_form) == bits(reference)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(st.tuples(coords, coords), min_size=1, max_size=40))
+def test_hypot_pairs_is_math_hypot(pairs) -> None:
+    dx = np.array([a for a, _ in pairs], dtype=np.float64)
+    dy = np.array([b for _, b in pairs], dtype=np.float64)
+    reference = [math.hypot(a, b) for a, b in pairs]
+    assert bits(hypot_pairs(dx, dy).tolist()) == bits(reference)
+
+
+def test_mindist_zero_on_contained_point() -> None:
+    # Row 0: query exactly on the corner of a degenerate (point) box at
+    # subnormal coordinates.  Row 1: query strictly inside a box.  Both
+    # must yield exactly +0.0.
+    lo_x = np.array([5e-324, -1.0], dtype=np.float64)
+    lo_y = np.array([1.0, -1.0], dtype=np.float64)
+    hi_x = np.array([5e-324, 2.0], dtype=np.float64)
+    hi_y = np.array([1.0, 2.0], dtype=np.float64)
+    out = mindist_arrays(5e-324, 1.0, lo_x, lo_y, hi_x, hi_y)
+    assert out.tolist() == [0.0, 0.0]
+    assert math.copysign(1.0, out[0]) == 1.0
+    assert math.copysign(1.0, out[1]) == 1.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.tuples(coords, coords), min_size=1, max_size=24),
+    coords,
+    coords,
+)
+def test_subnormal_and_huge_components_match(points, px, py) -> None:
+    # Same as the distance test but exercised through the mindist clamp
+    # with every box degenerate — leaf-entry geometry.
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    as_arrays = (
+        np.array(xs, dtype=np.float64),
+        np.array(ys, dtype=np.float64),
+        np.array(xs, dtype=np.float64),
+        np.array(ys, dtype=np.float64),
+    )
+    vectorized = mindist_arrays(px, py, *as_arrays).tolist()
+    reference = scalar_mindists(px, py, xs, ys, xs, ys)
+    assert bits(vectorized) == bits(reference)
+
+
+# ----------------------------------------------------------------------
+# batched Lemma 3.2 verifier vs the frozen scalar loop
+# ----------------------------------------------------------------------
+@st.composite
+def peer_caches(draw):
+    """A query, a peer cache and the k to verify against."""
+    peer = Point(draw(tame_coords), draw(tame_coords))
+    count = draw(st.integers(1, 12))
+    raw = draw(
+        st.lists(
+            st.tuples(tame_coords, tame_coords), min_size=count, max_size=count
+        )
+    )
+    neighbors = sorted(
+        (
+            NeighborResult(Point(x, y), f"poi-{index}", peer.distance_to(Point(x, y)))
+            for index, (x, y) in enumerate(raw)
+        ),
+        key=lambda n: n.distance,
+    )
+    cache = CachedQueryResult(query_location=peer, neighbors=tuple(neighbors))
+    query = Point(draw(tame_coords), draw(tame_coords))
+    capacity = draw(st.integers(1, count + 2))
+    return query, cache, capacity
+
+
+@settings(max_examples=200, deadline=None)
+@given(peer_caches())
+def test_batched_single_peer_matches_scalar_loop(case) -> None:
+    query, cache, capacity = case
+    live = CandidateHeap(capacity)
+    certified = verify_single_peer(query, cache, live)
+
+    offers = scalar_verify_single_peer(
+        query,
+        cache.query_location,
+        cache.certain_radius,
+        [(n.point, n.payload) for n in cache.neighbors],
+    )
+    oracle = CandidateHeap(capacity)
+    for point, payload, distance, certain in offers:
+        oracle.add(point, payload, distance, certain)
+
+    assert certified == sum(1 for offer in offers if offer[3])
+    live_rows = [
+        (e.point.x, e.point.y, e.payload, e.distance, e.certain)
+        for e in live.entries()
+    ]
+    oracle_rows = [
+        (e.point.x, e.point.y, e.payload, e.distance, e.certain)
+        for e in oracle.entries()
+    ]
+    assert live_rows == oracle_rows
+    assert live.state() is oracle.state()
