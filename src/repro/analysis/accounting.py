@@ -1,0 +1,1374 @@
+"""Page-accounting analysis: the billing half of ``repro-lint --perf``.
+
+The paper's headline numbers (Figure 17's EINN-vs-INN page advantage,
+the SENN tier shares) are *accounting* claims: they hold only if every
+R-tree node access is billed exactly once through
+:class:`~repro.index.pagestats.PageAccessCounter`.  PR 6 found three
+real billing bugs at runtime; this pass turns both bug classes into
+static findings:
+
+========  ============================================================
+RPR021    node-scan billing discipline inside the query-reachable
+          billing modules: every scanned node is metered through the
+          ``RTree.read_node`` chokepoint exactly once (unbilled and
+          double-billed scans both flagged, plus direct
+          ``record``/``record_scan`` calls that bypass the chokepoint)
+RPR022    ``subcounter()`` fold-once protocol: every subcounter
+          creation has exactly one absorb-into-history path on all
+          exits, including error paths (the PR 6 bug class)
+RPR026    wire-protocol encode/decode symmetry: every encoder field
+          has a matching decoder field, in the same order and type
+          (the v2 ``AccessBreakdown`` widening is the drift precedent)
+========  ============================================================
+
+**Billing model (RPR021).**  The checked scopes are the functions in
+:data:`repro.analysis.config.BILLING_MODULES` reachable from the query
+entry points (:data:`repro.analysis.config.BILLING_ENTRY_POINTS`) over
+the call graph.  Within a scope, a name is *billed* once it is bound
+from a ``read_node(node, counter)`` call that actually passes a
+counter; scanning a node (``X.entries`` / ``X.arrays()``) is legal only
+for billed names and parameters.  Parameter obligations flow
+interprocedurally: a fixpoint computes, per function, which parameter
+positions it *scans* and which it *bills* (passes to ``read_node``
+itself), and every call site must pass a billed node to a
+scans-without-billing position -- and must *not* pass an already billed
+node to a billing position (that is the double-billing half).
+
+**Fold-once model (RPR022).**  A ``X.subcounter()`` bound to a local
+must be absorbed in a ``finally`` block of the same function; one bound
+to ``self.<f>`` requires a fold method on the owning class (a method
+that calls ``.absorb(...)`` and touches ``self.<f>``), and every place
+that *constructs* such a class must in turn guarantee the fold method
+runs: storing the object on ``self`` demands a cleanup method, and a
+factory returning it demands ``close()`` under ``finally``/``with`` at
+each acquisition site.  The chain is deliberately bounded at one
+factory hop -- beyond that, the runtime accounting sanitizer
+(:mod:`repro.analysis.runtime`) owns the check.
+
+Known approximations, on the side of silence: keyword-passed nodes are
+not tracked, ambiguous bare-name callees carry no obligation, and
+branching (tagged-union) codecs are compared only for existence.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import config
+from repro.analysis.callgraph import CallGraph, build_call_graph, build_import_graph
+from repro.analysis.lint import Violation
+from repro.analysis.project import Project, ProjectModule, load_project
+from repro.analysis.purity import module_reachability
+
+__all__ = [
+    "ACCOUNTING_RULES",
+    "AccountingAnalysis",
+    "BillingSite",
+    "ScopeSummary",
+    "accounting_report",
+    "analyze_accounting",
+    "run_accounting",
+]
+
+#: Code -> (name, description), mirroring the other pass catalogues.
+ACCOUNTING_RULES: Dict[str, Tuple[str, str]] = {
+    "RPR021": (
+        "billing-discipline",
+        "node scan in a query-reachable billing module that is not "
+        "metered through read_node exactly once (unbilled or "
+        "double-billed), or a direct record/record_scan call bypassing "
+        "the chokepoint",
+    ),
+    "RPR022": (
+        "subcounter-fold-once",
+        "subcounter() creation without exactly one absorb-into-history "
+        "path on all exits (including error paths)",
+    ),
+    "RPR026": (
+        "codec-asymmetry",
+        "wire-protocol encoder and decoder disagree on a message's "
+        "field sequence (field missing, reordered or retyped on one "
+        "side)",
+    ),
+}
+
+#: The billing chokepoint: its own body legitimately scans the node it
+#: meters and calls ``record_scan`` directly.
+_CHOKEPOINT = "read_node"
+#: Counter methods that may only be called by the chokepoint (``record``
+#: / ``record_scan``); ``record_object`` is the data-record primitive
+#: and stays open to the query layer.
+_CHOKEPOINT_ONLY = frozenset({"record", "record_scan"})
+#: Wire primitive methods of ``_Writer``/``_Reader``.
+_WIRE_PRIMS = frozenset({"u8", "u16", "u32", "i64", "f64", "text"})
+#: ndarray/list-construction attrs excluded from callee obligation
+#: matching (ubiquitous stdlib names; same rationale as the concurrency
+#: pass's ``_GENERIC_ATTRS``).
+_GENERIC_ATTRS = frozenset(
+    {"get", "set", "put", "pop", "append", "add", "update", "items",
+     "keys", "values", "clear", "discard", "remove", "extend", "insert",
+     "setdefault", "popitem", "sort", "reverse", "copy", "join", "split",
+     "strip", "close", "read", "write", "send", "recv", "acquire",
+     "release", "wait", "notify", "start", "stop", "run", "cancel"}
+)
+
+
+# ----------------------------------------------------------------------
+# facts
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BillingSite:
+    """One metering call discovered in a billing module."""
+
+    module: str
+    qualname: str
+    lineno: int
+    #: ``read_node`` or ``record_object``.
+    kind: str
+    #: Rendered counter expression (``"self.counter"``), ``""`` if absent.
+    counter: str
+
+
+@dataclass(frozen=True)
+class _CallRec:
+    """One call made inside a scope, for obligation propagation."""
+
+    callee: str
+    lineno: int
+    #: Positional args: the bare name for ``ast.Name`` args, else None.
+    arg_names: Tuple[Optional[str], ...]
+    #: True per position when the arg is itself a metered read_node call.
+    arg_billed_inline: Tuple[bool, ...]
+    #: True when called through an attribute (``self.m(...)``): the
+    #: callee's leading ``self`` parameter is bound by the receiver.
+    via_attr: bool
+
+
+@dataclass
+class ScopeSummary:
+    """Billing-relevant facts of one function scope (nested defs are
+    their own scopes)."""
+
+    module: str
+    qualname: str
+    lineno: int
+    params: Tuple[str, ...]
+    #: True for bound methods (``self`` occupies parameter 0).
+    is_method: bool
+    billed: Set[str] = field(default_factory=set)
+    #: (name, lineno) for every ``X.entries`` / ``X.arrays()`` scan.
+    scans: List[Tuple[str, int]] = field(default_factory=list)
+    calls: List[_CallRec] = field(default_factory=list)
+    read_sites: List[BillingSite] = field(default_factory=list)
+    object_sites: List[BillingSite] = field(default_factory=list)
+    #: Param indices passed as the node argument of a read_node call.
+    bills_params: Set[int] = field(default_factory=set)
+    #: (lineno, name) read_node calls whose node arg was already billed.
+    double_billed: List[Tuple[int, str]] = field(default_factory=list)
+    #: (lineno, method) direct record/record_scan chokepoint bypasses.
+    bypasses: List[Tuple[int, str]] = field(default_factory=list)
+    #: (lineno,) read_node calls that pass no counter at all.
+    unmetered_reads: List[int] = field(default_factory=list)
+
+
+@dataclass
+class AccountingAnalysis:
+    """Everything one accounting run produced."""
+
+    project: Project
+    graph: CallGraph
+    scopes: Dict[str, ScopeSummary] = field(default_factory=dict)
+    #: Checked-scope qualnames (reachable from the billing entry points).
+    checked: Set[str] = field(default_factory=set)
+    #: qualname -> parameter indices it scans without billing them.
+    scan_obligations: Dict[str, Set[int]] = field(default_factory=dict)
+    #: qualname -> parameter indices it bills itself.
+    billed_params: Dict[str, Set[int]] = field(default_factory=dict)
+    billing_sites: List[BillingSite] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# ----------------------------------------------------------------------
+# scope scanning
+# ----------------------------------------------------------------------
+def _is_read_node(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == _CHOKEPOINT
+    return isinstance(func, ast.Name) and func.id == _CHOKEPOINT
+
+
+def _counter_arg(call: ast.Call) -> Optional[ast.expr]:
+    """The counter argument of a read_node call, if one is passed."""
+    if len(call.args) >= 2:
+        return call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "counter":
+            return kw.value
+    return None
+
+
+def _render(expr: ast.expr) -> str:
+    try:
+        return ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on 3.10+
+        return "<expr>"
+
+
+class _ScopeScanner:
+    """Collect one scope's billing facts, skipping nested defs."""
+
+    def __init__(self, scope: ScopeSummary) -> None:
+        self.scope = scope
+        #: Param name -> index, for bills_params attribution.
+        self.param_index = {name: i for i, name in enumerate(scope.params)}
+
+    def scan(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for stmt in node.body:
+            self._stmt(stmt)
+
+    # -- statements ----------------------------------------------------
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                self._assign(target.id, stmt.value)
+                if not (
+                    isinstance(stmt.value, ast.Call)
+                    and _is_read_node(stmt.value)
+                ):
+                    # _assign already recorded a read_node bind; anything
+                    # else (scans, plain calls) is recorded here.
+                    self._expr_node(stmt.value)
+                return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._expr_node(stmt.test)
+            for sub in stmt.body:
+                self._stmt(sub)
+            for sub in stmt.orelse:
+                self._stmt(sub)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr_node(stmt.iter)
+            for sub in stmt.body:
+                self._stmt(sub)
+            for sub in stmt.orelse:
+                self._stmt(sub)
+            return
+        if isinstance(stmt, ast.Try):
+            for sub in stmt.body:
+                self._stmt(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._stmt(sub)
+            for sub in stmt.orelse:
+                self._stmt(sub)
+            for sub in stmt.finalbody:
+                self._stmt(sub)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr_node(item.context_expr)
+            for sub in stmt.body:
+                self._stmt(sub)
+            return
+        self._walk_children(stmt)
+
+    def _assign(self, target: str, value: ast.expr) -> None:
+        """``target = value``: billing bind or alias propagation."""
+        if isinstance(value, ast.Call) and _is_read_node(value):
+            self._read_node_call(value, bound_to=target)
+            return
+        if isinstance(value, ast.Name) and value.id in self.scope.billed:
+            self.scope.billed.add(target)
+            return
+        # Rebinding a billed name to anything else kills its billing.
+        self.scope.billed.discard(target)
+
+    # -- expressions ---------------------------------------------------
+    def _walk_children(self, node: ast.AST) -> None:
+        for sub in ast.iter_child_nodes(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            self._expr_node(sub)
+
+    def _expr_node(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            if _is_read_node(node):
+                self._read_node_call(node, bound_to=None)
+                return
+            self._plain_call(node)
+            self._walk_children(node)
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "entries"
+            and isinstance(node.value, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+        ):
+            self.scope.scans.append((node.value.id, node.lineno))
+        self._walk_children(node)
+
+    def _read_node_call(self, call: ast.Call, bound_to: Optional[str]) -> None:
+        counter = _counter_arg(call)
+        site = BillingSite(
+            module=self.scope.module,
+            qualname=self.scope.qualname,
+            lineno=call.lineno,
+            kind="read_node",
+            counter=_render(counter) if counter is not None else "",
+        )
+        self.scope.read_sites.append(site)
+        if counter is None:
+            self.scope.unmetered_reads.append(call.lineno)
+        node_arg = call.args[0] if call.args else None
+        if isinstance(node_arg, ast.Name):
+            name = node_arg.id
+            if name in self.scope.billed and name != bound_to:
+                # Re-reading an already billed node (and not the
+                # self-rebind idiom ``X = read_node(X, c)``).
+                self.scope.double_billed.append((call.lineno, name))
+            if name in self.param_index:
+                self.scope.bills_params.add(self.param_index[name])
+        elif isinstance(node_arg, ast.Call) and _is_read_node(node_arg):
+            self.scope.double_billed.append((call.lineno, _render(node_arg)))
+        if node_arg is not None and not isinstance(node_arg, ast.Name):
+            self._walk_children(node_arg)
+        if counter is not None and bound_to is not None:
+            self.scope.billed.add(bound_to)
+
+    def _plain_call(self, call: ast.Call) -> None:
+        func = call.func
+        callee = ""
+        via_attr = False
+        if isinstance(func, ast.Name):
+            callee = func.id
+        elif isinstance(func, ast.Attribute):
+            callee = func.attr
+            via_attr = True
+            if callee in _CHOKEPOINT_ONLY:
+                self.scope.bypasses.append((call.lineno, callee))
+            elif callee == "record_object":
+                self.scope.object_sites.append(
+                    BillingSite(
+                        module=self.scope.module,
+                        qualname=self.scope.qualname,
+                        lineno=call.lineno,
+                        kind="record_object",
+                        counter=_render(func.value),
+                    )
+                )
+        if callee and callee not in _GENERIC_ATTRS:
+            arg_names = tuple(
+                arg.id if isinstance(arg, ast.Name) else None
+                for arg in call.args
+            )
+            billed_inline = tuple(
+                isinstance(arg, ast.Call)
+                and _is_read_node(arg)
+                and _counter_arg(arg) is not None
+                for arg in call.args
+            )
+            self.scope.calls.append(
+                _CallRec(callee, call.lineno, arg_names, billed_inline, via_attr)
+            )
+
+
+def _iter_scopes(
+    module: ProjectModule,
+) -> List[Tuple[ScopeSummary, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every function scope of a module, nested defs included."""
+    scopes: List[Tuple[ScopeSummary, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+
+    def visit(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        owner: str,
+        cls: Optional[str],
+    ) -> None:
+        qualname = f"{owner}.{node.name}"
+        args = node.args
+        params = tuple(
+            a.arg
+            for a in (*args.posonlyargs, *args.args)
+        )
+        decorators = {
+            d.id for d in node.decorator_list if isinstance(d, ast.Name)
+        }
+        is_method = cls is not None and "staticmethod" not in decorators
+        scope = ScopeSummary(
+            module=module.name,
+            qualname=qualname,
+            lineno=node.lineno,
+            params=params,
+            is_method=is_method,
+        )
+        scopes.append((scope, node))
+        for sub in node.body:
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(sub, qualname, None)
+
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            visit(node, module.name, None)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    visit(item, f"{module.name}.{node.name}", node.name)
+    return scopes
+
+
+# ----------------------------------------------------------------------
+# reachability (checked-scope selection)
+# ----------------------------------------------------------------------
+def _reachable_functions(
+    project: Project,
+    graph: CallGraph,
+    entry_points: FrozenSet[str],
+) -> Set[str]:
+    """Call-graph closure of the entry points.
+
+    Resolution mirrors the concurrency pass's lock-order fixpoint:
+    resolved candidates plus name-matched attribute calls restricted to
+    import-reachable modules, with the generic-attr stoplist.  The
+    broader ``CallGraph.edges_from`` (which also matches bare *references*)
+    would drag the insertion machinery into the query-reachable set.
+    """
+    import_graph = build_import_graph(project)
+    reachable_mods = module_reachability(import_graph)
+    seen: Set[str] = set()
+    frontier: List[str] = [q for q in entry_points if q in graph.functions]
+    seen.update(frontier)
+    while frontier:
+        qualname = frontier.pop()
+        info = graph.functions.get(qualname)
+        if info is None:
+            continue
+        allowed = reachable_mods.get(info.module, set())
+        for site in info.call_sites:
+            names = list(site.candidates)
+            if (
+                not site.resolved
+                and site.attr is not None
+                and site.attr not in _GENERIC_ATTRS
+            ):
+                names.extend(
+                    c
+                    for c in graph.by_name.get(site.attr, ())
+                    if graph.functions[c].module == info.module
+                    or graph.functions[c].module in allowed
+                )
+            for callee in names:
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+    return seen
+
+
+def _top_qualname(qualname: str, known: Set[str]) -> str:
+    """Longest prefix of ``qualname`` that the call graph knows.
+
+    Nested scopes (``module.func.visit``) are checked iff their
+    enclosing graph-visible function is.
+    """
+    candidate = qualname
+    while candidate not in known and "." in candidate:
+        candidate = candidate.rsplit(".", 1)[0]
+    return candidate
+
+
+# ----------------------------------------------------------------------
+# obligation fixpoint (RPR021 interprocedural half)
+# ----------------------------------------------------------------------
+def _by_bare_name(scopes: Dict[str, ScopeSummary]) -> Dict[str, List[str]]:
+    table: Dict[str, List[str]] = {}
+    for qualname in scopes:
+        table.setdefault(qualname.rsplit(".", 1)[-1], []).append(qualname)
+    return table
+
+
+def _resolve_callee(
+    rec: _CallRec,
+    caller: ScopeSummary,
+    by_name: Dict[str, List[str]],
+) -> Optional[str]:
+    """Unique bare-name resolution, same-module first; ambiguous -> None."""
+    candidates = by_name.get(rec.callee, [])
+    if not candidates:
+        return None
+    same_module = [q for q in candidates if q.startswith(caller.module + ".")]
+    pool = same_module if same_module else candidates
+    if len(pool) != 1:
+        return None
+    return pool[0]
+
+
+def _param_offset(callee: ScopeSummary, rec: _CallRec) -> int:
+    """Positional-arg -> parameter-index shift (bound ``self``)."""
+    return 1 if (callee.is_method and rec.via_attr) else 0
+
+
+def _obligation_fixpoint(
+    scopes: Dict[str, ScopeSummary],
+    by_name: Dict[str, List[str]],
+) -> Tuple[Dict[str, Set[int]], Dict[str, Set[int]]]:
+    """Per scope: the param indices it scans, and the ones it bills."""
+    scan_ob: Dict[str, Set[int]] = {}
+    bill_ob: Dict[str, Set[int]] = {}
+    for qualname, scope in scopes.items():
+        param_index = {name: i for i, name in enumerate(scope.params)}
+        direct_scans = {
+            param_index[name]
+            for name, _ in scope.scans
+            if name in param_index
+        }
+        scan_ob[qualname] = direct_scans
+        bill_ob[qualname] = set(scope.bills_params)
+
+    changed = True
+    while changed:
+        changed = False
+        for qualname, scope in scopes.items():
+            param_index = {name: i for i, name in enumerate(scope.params)}
+            for rec in scope.calls:
+                target = _resolve_callee(rec, scope, by_name)
+                if target is None or target == qualname:
+                    continue
+                offset = _param_offset(scopes[target], rec)
+                for pos, name in enumerate(rec.arg_names):
+                    if name is None or name not in param_index:
+                        continue
+                    callee_param = pos + offset
+                    mine = param_index[name]
+                    if callee_param in bill_ob[target]:
+                        if mine not in bill_ob[qualname]:
+                            bill_ob[qualname].add(mine)
+                            changed = True
+                    elif callee_param in scan_ob[target]:
+                        if mine not in scan_ob[qualname]:
+                            scan_ob[qualname].add(mine)
+                            changed = True
+    return scan_ob, bill_ob
+
+
+# ----------------------------------------------------------------------
+# RPR021 verdicts
+# ----------------------------------------------------------------------
+def _billing_verdicts(
+    analysis: AccountingAnalysis,
+    paths: Dict[str, str],
+    violations: List[Violation],
+) -> None:
+    scopes = analysis.scopes
+    by_name = _by_bare_name(scopes)
+    for qualname in sorted(analysis.checked):
+        scope = scopes[qualname]
+        path = paths[scope.module]
+        param_index = {name: i for i, name in enumerate(scope.params)}
+        for lineno in scope.unmetered_reads:
+            violations.append(
+                Violation(
+                    path,
+                    lineno,
+                    0,
+                    "RPR021",
+                    f"`{qualname}` calls read_node without a counter: the "
+                    "page access is never billed",
+                )
+            )
+        for name, lineno in scope.scans:
+            if name in scope.billed or name in param_index:
+                continue
+            violations.append(
+                Violation(
+                    path,
+                    lineno,
+                    0,
+                    "RPR021",
+                    f"`{qualname}` scans `{name}.entries` but `{name}` was "
+                    "never metered through read_node: the page access is "
+                    "unbilled",
+                )
+            )
+        for lineno, name in scope.double_billed:
+            violations.append(
+                Violation(
+                    path,
+                    lineno,
+                    0,
+                    "RPR021",
+                    f"`{qualname}` re-meters `{name}` through read_node: "
+                    "the page access is billed twice",
+                )
+            )
+        for lineno, method in scope.bypasses:
+            violations.append(
+                Violation(
+                    path,
+                    lineno,
+                    0,
+                    "RPR021",
+                    f"`{qualname}` calls `{method}(...)` directly, "
+                    "bypassing the read_node chokepoint (the global "
+                    "rtree.node_reads counter misses the access)",
+                )
+            )
+        for rec in scope.calls:
+            target = _resolve_callee(rec, scope, by_name)
+            if target is None or target == qualname:
+                continue
+            offset = _param_offset(scopes[target], rec)
+            for pos, name in enumerate(rec.arg_names):
+                callee_param = pos + offset
+                needs_billed = (
+                    callee_param in analysis.scan_obligations.get(target, ())
+                    and callee_param
+                    not in analysis.billed_params.get(target, ())
+                )
+                if not needs_billed:
+                    if (
+                        name is not None
+                        and name in scope.billed
+                        and callee_param
+                        in analysis.billed_params.get(target, ())
+                    ):
+                        violations.append(
+                            Violation(
+                                path,
+                                rec.lineno,
+                                0,
+                                "RPR021",
+                                f"`{qualname}` passes already billed "
+                                f"`{name}` to `{rec.callee}`, which meters "
+                                "it again: the page access is billed twice",
+                            )
+                        )
+                    continue
+                if rec.arg_billed_inline[pos]:
+                    continue
+                if name is not None and (
+                    name in scope.billed or name in param_index
+                ):
+                    continue
+                shown = name if name is not None else "<expression>"
+                violations.append(
+                    Violation(
+                        path,
+                        rec.lineno,
+                        0,
+                        "RPR021",
+                        f"`{qualname}` passes unmetered `{shown}` to "
+                        f"`{rec.callee}`, which scans it without billing: "
+                        "the page access is unbilled",
+                    )
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR022: subcounter fold-once
+# ----------------------------------------------------------------------
+def _calls_with_attr(tree: ast.AST, attr: str) -> List[ast.Call]:
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == attr
+    ]
+
+
+def _references_name(tree: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == name
+        for node in ast.walk(tree)
+    )
+
+
+def _references_self_attr(tree: ast.AST, attr: str) -> bool:
+    return any(
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        for node in ast.walk(tree)
+    )
+
+
+def _finally_bodies(fn: ast.AST) -> List[List[ast.stmt]]:
+    return [
+        node.finalbody
+        for node in ast.walk(fn)
+        if isinstance(node, ast.Try) and node.finalbody
+    ]
+
+
+def _absorbed_in_finally(fn: ast.AST, name: str) -> bool:
+    """Is ``name`` absorbed inside some ``finally`` block of ``fn``?"""
+    for body in _finally_bodies(fn):
+        for stmt in body:
+            for call in _calls_with_attr(stmt, "absorb"):
+                if any(_references_name(arg, name) for arg in call.args):
+                    return True
+    return False
+
+
+@dataclass
+class _ClassScan:
+    """Per-class facts the fold-once checker needs."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, ast.FunctionDef | ast.AsyncFunctionDef]
+
+
+def _scan_classes(module: ProjectModule) -> Dict[str, _ClassScan]:
+    classes: Dict[str, _ClassScan] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        classes[node.name] = _ClassScan(module.name, node.name, node, methods)
+    return classes
+
+
+#: Fold-once obligation chain depth: 0 = the class owning the
+#: subcounter itself (``_Stream``), 1 = the class that stores or
+#: collects it (``ServiceSession``).  Acquirers of a depth-1 owner are
+#: checked for guaranteed cleanup; classes *storing* a depth-1 owner
+#: (``LoopbackTransport``) still need a cleanup method, but their own
+#: creators are out of static scope -- the runtime accounting sanitizer
+#: owns the rest of the chain.
+_FOLD_CHAIN_DEPTH = 1
+
+
+def _fold_once_verdicts(
+    project: Project,
+    paths: Dict[str, str],
+    violations: List[Violation],
+) -> None:
+    modules = [module for _, module in sorted(project.modules.items())]
+    all_classes: Dict[str, _ClassScan] = {}
+    for module in modules:
+        for name, scan in _scan_classes(module).items():
+            all_classes[name] = scan
+
+    #: (class name, method that must run, chain depth) obligations.
+    obligations: List[Tuple[str, str, int]] = []
+    for module in modules:
+        for fn_node, owner_cls in _iter_functions(module):
+            if fn_node.name == "subcounter":
+                continue  # the factory primitive itself
+            for stmt in ast.walk(fn_node):
+                if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                    continue
+                value = stmt.value
+                if not (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "subcounter"
+                ):
+                    continue
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if not _absorbed_in_finally(fn_node, target.id):
+                        violations.append(
+                            Violation(
+                                paths[module.name],
+                                stmt.lineno,
+                                0,
+                                "RPR022",
+                                f"subcounter `{target.id}` is not absorbed "
+                                "in a `finally` block of "
+                                f"`{module.name}.{fn_node.name}`: an error "
+                                "path leaks its accesses out of history",
+                            )
+                        )
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and owner_cls is not None
+                ):
+                    fold = _find_fold_method(all_classes[owner_cls], target.attr)
+                    if fold is None:
+                        violations.append(
+                            Violation(
+                                paths[module.name],
+                                stmt.lineno,
+                                0,
+                                "RPR022",
+                                f"`{owner_cls}.{target.attr}` holds a "
+                                "subcounter but no method of the class "
+                                "absorbs it: the stream's accesses can "
+                                "never fold into history",
+                            )
+                        )
+                    else:
+                        obligations.append((owner_cls, fold, 0))
+                else:
+                    violations.append(
+                        Violation(
+                            paths[module.name],
+                            stmt.lineno,
+                            0,
+                            "RPR022",
+                            "subcounter() result bound to an untrackable "
+                            "target: the fold-once protocol cannot be "
+                            "verified statically",
+                        )
+                    )
+
+    # Transitive obligation (depth-bounded worklist): whoever constructs
+    # a fold-owning class must guarantee its fold method runs; a storing
+    # class needs a cleanup method, whose own callers are checked one
+    # further hop out.
+    seen: Set[Tuple[str, str]] = set()
+    queue = list(obligations)
+    while queue:
+        cls_name, required, depth = queue.pop()
+        if (cls_name, required) in seen:
+            continue
+        seen.add((cls_name, required))
+        _check_constructions(
+            modules, paths, all_classes, cls_name, required, depth, queue,
+            violations,
+        )
+
+
+def _find_fold_method(scan: _ClassScan, attr: str) -> Optional[str]:
+    for name, method in scan.methods.items():
+        for call in _calls_with_attr(method, "absorb"):
+            del call
+            if _references_self_attr(method, attr):
+                return name
+    return None
+
+
+def _iter_functions(
+    module: ProjectModule,
+) -> List[Tuple[ast.FunctionDef | ast.AsyncFunctionDef, Optional[str]]]:
+    """Top-level functions and class methods with their owning class."""
+    out: List[Tuple[ast.FunctionDef | ast.AsyncFunctionDef, Optional[str]]] = []
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append((node, None))
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out.append((item, node.name))
+    return out
+
+
+def _check_constructions(
+    modules: Sequence[ProjectModule],
+    paths: Dict[str, str],
+    all_classes: Dict[str, _ClassScan],
+    cls_name: str,
+    required: str,
+    depth: int,
+    queue: List[Tuple[str, str, int]],
+    violations: List[Violation],
+) -> None:
+    """Every construction/acquisition of ``cls_name`` must guarantee its
+    ``required`` method runs; storing classes push a deeper obligation."""
+    #: Names through which the obligation is acquired one hop out: the
+    #: class constructor itself plus factory methods returning it.
+    factory_attrs: Set[str] = set()
+    for module in modules:
+        for fn_node, _owner in _iter_functions(module):
+            for stmt in ast.walk(fn_node):
+                if (
+                    isinstance(stmt, ast.Return)
+                    and isinstance(stmt.value, ast.Call)
+                    and isinstance(stmt.value.func, ast.Name)
+                    and stmt.value.func.id == cls_name
+                ):
+                    factory_attrs.add(fn_node.name)
+
+    for module in modules:
+        for fn_node, owner_cls in _iter_functions(module):
+            for stmt in ast.walk(fn_node):
+                if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                    continue
+                value = stmt.value
+                acquired = isinstance(value, ast.Call) and (
+                    (
+                        isinstance(value.func, ast.Name)
+                        and value.func.id == cls_name
+                    )
+                    or (
+                        isinstance(value.func, ast.Attribute)
+                        and value.func.attr in factory_attrs
+                    )
+                )
+                if not acquired:
+                    continue
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if fn_node.name in factory_attrs:
+                        continue  # the factory hands the obligation on
+                    if not _required_on_local(fn_node, target.id, required):
+                        violations.append(
+                            Violation(
+                                paths[module.name],
+                                stmt.lineno,
+                                0,
+                                "RPR022",
+                                f"`{module.name}.{fn_node.name}` acquires a "
+                                f"`{cls_name}` (which owns subcounters) but "
+                                f"never guarantees `{target.id}.{required}()` "
+                                "on all exits (finally/with): a dropped "
+                                "connection leaks its accesses out of "
+                                "history",
+                            )
+                        )
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and owner_cls is not None
+                ):
+                    holder = _method_calling_on_self_attr(
+                        all_classes.get(owner_cls), target.attr, required
+                    )
+                    if holder is None:
+                        violations.append(
+                            Violation(
+                                paths[module.name],
+                                stmt.lineno,
+                                0,
+                                "RPR022",
+                                f"`{owner_cls}.{target.attr}` stores a "
+                                f"`{cls_name}` but no method of "
+                                f"`{owner_cls}` calls its `{required}()`: "
+                                "open streams leak out of history",
+                            )
+                        )
+                    elif depth < _FOLD_CHAIN_DEPTH:
+                        queue.append((owner_cls, holder, depth + 1))
+                # Subscript targets (``self._streams[id] = _Stream(...)``)
+                # are containers owned by the storing class.
+                elif isinstance(target, ast.Subscript) and owner_cls is not None:
+                    holder = _method_calling(
+                        all_classes.get(owner_cls), required
+                    )
+                    if holder is None:
+                        violations.append(
+                            Violation(
+                                paths[module.name],
+                                stmt.lineno,
+                                0,
+                                "RPR022",
+                                f"`{owner_cls}` collects `{cls_name}` "
+                                "instances but no method of the class "
+                                f"calls `{required}()` on them",
+                            )
+                        )
+                    elif depth < _FOLD_CHAIN_DEPTH:
+                        queue.append((owner_cls, holder, depth + 1))
+
+
+def _required_on_local(fn: ast.AST, name: str, required: str) -> bool:
+    """Is ``name.required()`` guaranteed: a ``finally`` or ``with``?"""
+    for body in _finally_bodies(fn):
+        for stmt in body:
+            for call in _calls_with_attr(stmt, required):
+                if _references_name(call.func, name):
+                    return True
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if _references_name(item.context_expr, name):
+                    return True
+    return False
+
+
+def _method_calling(scan: Optional[_ClassScan], attr: str) -> Optional[str]:
+    """A method of the class calling ``.attr(...)``; ``close`` preferred
+    (it is the conventional all-streams cleanup entry point)."""
+    if scan is None:
+        return None
+    candidates = sorted(
+        name
+        for name, method in scan.methods.items()
+        if _calls_with_attr(method, attr)
+    )
+    if not candidates:
+        return None
+    return "close" if "close" in candidates else candidates[0]
+
+
+def _method_calling_on_self_attr(
+    scan: Optional[_ClassScan], attr: str, required: str
+) -> Optional[str]:
+    """A method of the class calling ``self.<attr>.<required>()``."""
+    if scan is None:
+        return None
+    candidates = []
+    for name, method in scan.methods.items():
+        for call in _calls_with_attr(method, required):
+            func = call.func
+            assert isinstance(func, ast.Attribute)
+            if _references_self_attr(func, attr):
+                candidates.append(name)
+                break
+    if not candidates:
+        return None
+    candidates.sort()
+    return "close" if "close" in candidates else candidates[0]
+
+
+# ----------------------------------------------------------------------
+# RPR026: codec symmetry
+# ----------------------------------------------------------------------
+#: A wire-shape token: ("prim", name, allow_inf) | ("pair", suffix) |
+#: ("repeat", count-or-None, subshape).
+_Shape = Tuple[object, ...]
+
+
+def _shape_of(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Optional[_Shape]:
+    """The ordered wire shape of a codec function; None when branching."""
+    tokens: List[object] = []
+    if not _stmt_tokens(fn.body, tokens):
+        return None
+    return tuple(tokens)
+
+
+def _stmt_tokens(body: Sequence[ast.stmt], out: List[object]) -> bool:
+    """Append the wire tokens of ``body`` in order; False on branching."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(stmt, ast.If):
+            branch: List[object] = []
+            ok = _stmt_tokens(stmt.body, branch) and _stmt_tokens(
+                stmt.orelse, branch
+            )
+            if branch or not ok:
+                return False  # wire ops under a condition: tagged union
+            _expr_tokens(stmt.test, out)
+            continue
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            sub: List[object] = []
+            if not _stmt_tokens(stmt.body, sub):
+                return False
+            if sub:
+                count = (
+                    len(stmt.iter.elts)
+                    if isinstance(stmt.iter, (ast.Tuple, ast.List))
+                    else None
+                )
+                out.append(("repeat", count, tuple(sub)))
+            continue
+        if isinstance(stmt, ast.While):
+            sub = []
+            if not _stmt_tokens(stmt.body, sub):
+                return False
+            if sub:
+                return False  # unbounded wire loop: not comparable
+            continue
+        if isinstance(stmt, ast.Try):
+            if not _stmt_tokens(stmt.body, out):
+                return False
+            for handler in stmt.handlers:
+                probe: List[object] = []
+                if not _stmt_tokens(handler.body, probe) or probe:
+                    return False  # wire ops on an error path
+            if not _stmt_tokens(stmt.orelse, out):
+                return False
+            if not _stmt_tokens(stmt.finalbody, out):
+                return False
+            continue
+        _expr_tokens(stmt, out)
+    return True
+
+
+_PRIM_RECEIVERS_DEPTH = 1  # prims hang off the writer/reader parameter
+
+
+def _expr_tokens(node: ast.AST, out: List[object]) -> None:
+    """Wire tokens of one expression tree, in evaluation order."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _WIRE_PRIMS
+            and isinstance(func.value, ast.Name)
+        ):
+            allow_inf = any(
+                kw.arg == "allow_inf"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            out.append(("prim", func.attr, allow_inf))
+            return
+        if isinstance(func, ast.Name) and (
+            func.id.startswith("_write_") or func.id.startswith("_read_")
+        ):
+            suffix = func.id.split("_", 2)[2]
+            out.append(("pair", suffix))
+            return
+        if isinstance(node, ast.Call):
+            for sub in ast.iter_child_nodes(node):
+                _expr_tokens(sub, out)
+            return
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        sub_tokens: List[object] = []
+        _expr_tokens(node.elt, sub_tokens)
+        if sub_tokens:
+            count: Optional[int] = None
+            if len(node.generators) == 1:
+                it = node.generators[0].iter
+                if (
+                    isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Name)
+                    and it.func.id == "range"
+                    and len(it.args) == 1
+                    and isinstance(it.args[0], ast.Constant)
+                    and isinstance(it.args[0].value, int)
+                ):
+                    count = it.args[0].value
+            out.append(("repeat", count, tuple(sub_tokens)))
+        return
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return
+    for sub in ast.iter_child_nodes(node):
+        _expr_tokens(sub, out)
+
+
+def _render_shape(shape: Optional[_Shape]) -> str:
+    if shape is None:
+        return "<tagged>"
+
+    def one(token: object) -> str:
+        assert isinstance(token, tuple)
+        if token[0] == "prim":
+            return f"{token[1]}(inf)" if token[2] else str(token[1])
+        if token[0] == "pair":
+            return str(token[1])
+        count = token[1] if token[1] is not None else "n"
+        inner = ", ".join(one(t) for t in token[2])  # type: ignore[union-attr]
+        return f"{count}*[{inner}]"
+
+    return "[" + ", ".join(one(t) for t in shape) + "]"
+
+
+def _codec_verdicts(
+    project: Project,
+    protocol_modules: Sequence[str],
+    paths: Dict[str, str],
+    violations: List[Violation],
+) -> None:
+    for name in protocol_modules:
+        module = project.get(name)
+        if module is None:
+            continue
+        functions: Dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {
+            fn.name: fn for fn, _cls in _iter_functions(module)
+        }
+        pairs: List[Tuple[str, str, str, int]] = []
+        for node in module.tree.body:
+            if not (
+                isinstance(node, (ast.Assign, ast.AnnAssign))
+                and isinstance(getattr(node, "value", None), ast.Dict)
+            ):
+                continue
+            target = (
+                node.targets[0]
+                if isinstance(node, ast.Assign)
+                else node.target
+            )
+            if not (isinstance(target, ast.Name) and target.id == "_CODECS"):
+                continue
+            value = node.value
+            assert isinstance(value, ast.Dict)
+            for key, entry in zip(value.keys, value.values):
+                if not (
+                    isinstance(key, ast.Name)
+                    and isinstance(entry, ast.Tuple)
+                    and len(entry.elts) == 3
+                ):
+                    continue
+                enc, dec = entry.elts[1], entry.elts[2]
+                if isinstance(enc, ast.Name) and isinstance(dec, ast.Name):
+                    pairs.append((key.id, enc.id, dec.id, entry.lineno))
+        # Composite helper pairs referenced from any codec function.
+        helper_suffixes: Set[str] = set()
+        for fn in functions.values():
+            for sub in ast.walk(fn):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and (
+                        sub.func.id.startswith("_write_")
+                        or sub.func.id.startswith("_read_")
+                    )
+                ):
+                    helper_suffixes.add(sub.func.id.split("_", 2)[2])
+        for suffix in sorted(helper_suffixes):
+            enc_name, dec_name = f"_write_{suffix}", f"_read_{suffix}"
+            if enc_name in functions and dec_name in functions:
+                pairs.append(
+                    (suffix, enc_name, dec_name, functions[dec_name].lineno)
+                )
+
+        for label, enc_name, dec_name, lineno in pairs:
+            enc_fn = functions.get(enc_name)
+            dec_fn = functions.get(dec_name)
+            if enc_fn is None or dec_fn is None:
+                violations.append(
+                    Violation(
+                        paths[name],
+                        lineno,
+                        0,
+                        "RPR026",
+                        f"codec pair for `{label}` is incomplete: "
+                        f"`{enc_name}`/`{dec_name}` not both defined",
+                    )
+                )
+                continue
+            enc_shape = _shape_of(enc_fn)
+            dec_shape = _shape_of(dec_fn)
+            if enc_shape is None or dec_shape is None:
+                continue  # tagged union: both sides branch on a tag
+            if enc_shape != dec_shape:
+                violations.append(
+                    Violation(
+                        paths[name],
+                        dec_fn.lineno,
+                        0,
+                        "RPR026",
+                        f"encoder/decoder drift for `{label}`: "
+                        f"`{enc_name}` writes {_render_shape(enc_shape)} "
+                        f"but `{dec_name}` reads {_render_shape(dec_shape)}",
+                    )
+                )
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def analyze_accounting(
+    project: Project,
+    cached: Optional[CallGraph] = None,
+    *,
+    entry_points: Optional[FrozenSet[str]] = None,
+    billing_modules: Optional[Sequence[str]] = None,
+    protocol_modules: Optional[Sequence[str]] = None,
+) -> AccountingAnalysis:
+    """Run the accounting pass over an already-loaded project.
+
+    The keyword overrides exist for the test fixtures: synthetic
+    projects declare their own entry points and billing modules instead
+    of the policy tables in :mod:`repro.analysis.config`.
+    """
+    from repro.analysis.deep import apply_suppressions
+
+    entries = (
+        entry_points if entry_points is not None else config.BILLING_ENTRY_POINTS
+    )
+    billing = tuple(
+        billing_modules
+        if billing_modules is not None
+        else config.BILLING_MODULES
+    )
+    protocols = tuple(
+        protocol_modules
+        if protocol_modules is not None
+        else config.PROTOCOL_MODULES
+    )
+
+    graph = build_call_graph(project, cached)
+    analysis = AccountingAnalysis(project=project, graph=graph)
+    paths = {name: module.path for name, module in project.modules.items()}
+    violations: List[Violation] = []
+
+    billing_mods = [
+        module
+        for name, module in sorted(project.modules.items())
+        if name in billing
+    ]
+
+    # -- scope facts ---------------------------------------------------
+    for module in billing_mods:
+        for scope, node in _iter_scopes(module):
+            if scope.qualname.rsplit(".", 1)[-1] == _CHOKEPOINT:
+                continue  # the billing primitive scans what it meters
+            _ScopeScanner(scope).scan(node)
+            analysis.scopes[scope.qualname] = scope
+
+    # -- checked-scope selection (call-graph reachability) -------------
+    reachable = _reachable_functions(project, graph, frozenset(entries))
+    known = set(graph.functions)
+    for qualname, scope in analysis.scopes.items():
+        top = _top_qualname(qualname, known)
+        if top in reachable or top in entries:
+            analysis.checked.add(qualname)
+
+    # -- interprocedural obligations + verdicts ------------------------
+    by_name = _by_bare_name(analysis.scopes)
+    analysis.scan_obligations, analysis.billed_params = _obligation_fixpoint(
+        analysis.scopes, by_name
+    )
+    _billing_verdicts(analysis, paths, violations)
+    for qualname in sorted(analysis.scopes):
+        scope = analysis.scopes[qualname]
+        analysis.billing_sites.extend(scope.read_sites)
+        analysis.billing_sites.extend(scope.object_sites)
+    analysis.billing_sites.sort(key=lambda s: (s.module, s.lineno))
+
+    # -- fold-once + codec symmetry ------------------------------------
+    _fold_once_verdicts(project, paths, violations)
+    _codec_verdicts(project, protocols, paths, violations)
+
+    violations = apply_suppressions(project, violations)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    analysis.violations = violations
+    return analysis
+
+
+def run_accounting(
+    roots: Sequence[Path],
+    reference_roots: Sequence[Path] = (),
+    cached: Optional[CallGraph] = None,
+) -> AccountingAnalysis:
+    """Load the project from disk and run the accounting pass."""
+    project = load_project(roots, reference_roots)
+    return analyze_accounting(project, cached=cached)
+
+
+def accounting_report(analysis: AccountingAnalysis) -> List[str]:
+    """The billing table (site -> counter), for ``--report``."""
+    lines: List[str] = ["accounting: billing table (site -> counter)"]
+    if analysis.billing_sites:
+        labels = [
+            f"{site.module}:{site.lineno} {site.kind} "
+            f"[{site.qualname.rsplit('.', 1)[-1]}]"
+            for site in analysis.billing_sites
+        ]
+        width = max(len(label) for label in labels)
+        for label, site in zip(labels, analysis.billing_sites):
+            counter = site.counter if site.counter else "(unbilled)"
+            lines.append(f"  {label.ljust(width)}  -> {counter}")
+    else:
+        lines.append("  (no billing sites)")
+    lines.append("accounting: checked scopes (query-reachable)")
+    if analysis.checked:
+        lines.extend(f"  {qualname}" for qualname in sorted(analysis.checked))
+    else:
+        lines.append("  (none)")
+    return lines

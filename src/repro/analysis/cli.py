@@ -10,7 +10,9 @@ Also runnable without an installed entry point::
 ``--deep`` switches to the whole-program analysis suite (call graph,
 purity inference, float-comparison dataflow, layering contracts; rules
 RPR008-RPR013).  ``--concurrency`` runs the concurrency pass (shared
-fields, asyncio hygiene, lock order; rules RPR015-RPR020); the two
+fields, asyncio hygiene, lock order; rules RPR015-RPR020).  ``--perf``
+runs the performance-and-accounting pass (billing discipline, subcounter
+fold-once, codec symmetry, mirror/hot-loop rules; RPR021-RPR026).  The
 flags compose, sharing one project load and one baseline ratchet.
 Whole-program passes always analyze the full ``src/repro`` tree —
 cross-module reasoning needs the whole program — but ``--changed-only``
@@ -107,11 +109,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     deep.add_argument(
+        "--perf",
+        action="store_true",
+        help=(
+            "run the performance-and-accounting pass (RPR021-RPR026) over "
+            "src/repro; composes with --deep and --concurrency"
+        ),
+    )
+    deep.add_argument(
         "--report",
         action="store_true",
         help=(
             "with --concurrency, also print the inferred guarded-by table, "
-            "lock-order graph and thread entry points"
+            "lock-order graph and thread entry points; with --perf, the "
+            "billing table, mutation table and hot set"
         ),
     )
     return parser
@@ -174,6 +185,19 @@ def _deep_main(args: argparse.Namespace) -> int:
         if args.report:
             for line in concurrency.concurrency_report(conc):
                 print(line)
+    if args.perf:
+        from repro.analysis import accounting, hotpath
+
+        acct = accounting.analyze_accounting(project, cached=cached)
+        violations.extend(acct.violations)
+        graph = graph or acct.graph
+        hot = hotpath.analyze_hotpath(project, cached=graph)
+        violations.extend(hot.violations)
+        if args.report:
+            for line in accounting.accounting_report(acct):
+                print(line)
+            for line in hotpath.hotpath_report(hot):
+                print(line)
 
     if args.callgraph_cache is not None and graph is not None:
         deep.save_graph_cache(args.callgraph_cache, graph)
@@ -208,7 +232,11 @@ def _deep_main(args: argparse.Namespace) -> int:
     if not args.quiet:
         flags = [
             flag
-            for flag, on in (("--deep", args.deep), ("--concurrency", args.concurrency))
+            for flag, on in (
+                ("--deep", args.deep),
+                ("--concurrency", args.concurrency),
+                ("--perf", args.perf),
+            )
             if on
         ]
         noun = "finding" if len(new) == 1 else "findings"
@@ -240,9 +268,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             for code in sorted(CONCURRENCY_RULES):
                 name, description = CONCURRENCY_RULES[code]
                 print(f"{code}  {name}: {description}")
+        if args.perf:
+            from repro.analysis.accounting import ACCOUNTING_RULES
+            from repro.analysis.hotpath import HOTPATH_RULES
+
+            perf_rules = {**ACCOUNTING_RULES, **HOTPATH_RULES}
+            for code in sorted(perf_rules):
+                name, description = perf_rules[code]
+                print(f"{code}  {name}: {description}")
         return 0
 
-    if args.deep or args.concurrency:
+    if args.deep or args.concurrency or args.perf:
         return _deep_main(args)
 
     if not args.paths:

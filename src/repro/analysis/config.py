@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Mapping, Tuple
 
 __all__ = [
+    "BILLING_ENTRY_POINTS",
+    "BILLING_MODULES",
     "CONCURRENT_CLASSES",
     "DEFAULT_BASELINE_NAME",
     "DETERMINISM_ZONES",
@@ -20,10 +22,13 @@ __all__ = [
     "ENTRY_POINTS",
     "FRAMEWORK_METHOD_PREFIXES",
     "GUARDED_BY_OWNERS",
+    "HOT_ENTRY_POINTS",
     "KNOWN_PAPER_LEMMAS",
     "LAYER_RANKS",
     "LIVENESS_REFERENCE_ROOTS",
     "LOCK_ALIASES",
+    "MIRROR_MUTATION_MODULES",
+    "PROTOCOL_MODULES",
     "PURITY_ZONES",
     "STATIC_ANALYSIS_MODULES",
     "STRICT_FLOAT_MODULES",
@@ -185,6 +190,56 @@ CONCURRENT_CLASSES: FrozenSet[str] = frozenset(
 )
 
 # ----------------------------------------------------------------------
+# Performance & accounting (RPR021-RPR026)
+# ----------------------------------------------------------------------
+
+#: Query entry points of the billing model (RPR021): the functions whose
+#: call-graph closure constitutes the *checked scopes* -- everything a
+#: client-visible query can reach must bill its node scans.  The
+#: insertion/bulk-load machinery is deliberately outside this set (its
+#: scans are build-time, not billed by the paper's cost model).
+BILLING_ENTRY_POINTS: FrozenSet[str] = frozenset(
+    {
+        "repro.core.server.SpatialDatabaseServer.knn_query_detailed",
+        "repro.core.server.SpatialDatabaseServer.range_query_detailed",
+        "repro.core.server.SpatialDatabaseServer.window_query_detailed",
+        "repro.core.server.SpatialDatabaseServer.incremental_query",
+        "repro.service.batching.BatchExecutor.execute",
+        "repro.service.engine.ServiceSession.handle",
+    }
+)
+
+#: Modules the billing model scans for access sites.  Everything that
+#: touches ``Node.entries`` on a query path lives here; the simulator
+#: and test harnesses consume only the already-billed detailed results.
+BILLING_MODULES: Tuple[str, ...] = (
+    "repro.index.knn",
+    "repro.index.rtree",
+    "repro.core.server",
+    "repro.service.batching",
+    "repro.service.engine",
+)
+
+#: Hot-set roots (RPR023-RPR025): the billing entry points plus the
+#: verification kernels, whose loops dominate SENN answer latency.
+HOT_ENTRY_POINTS: FrozenSet[str] = BILLING_ENTRY_POINTS | frozenset(
+    {
+        "repro.core.verification.verify_single_peer",
+        "repro.core.verification.verify_multi_peer",
+    }
+)
+
+#: Modules whose ``Node.entries`` mutations must be declared in
+#: ``repro.analysis.hotpath.MUTATION_TABLE`` (RPR023).  The mirror
+#: *mechanism* (``repro.index.node``) is exempt: its tracked-list
+#: mutators perform the invalidation the table documents.
+MIRROR_MUTATION_MODULES: Tuple[str, ...] = ("repro.index.rtree",)
+
+#: Modules holding wire codec pairs checked for encode/decode symmetry
+#: (RPR026) via their ``_CODECS`` registry.
+PROTOCOL_MODULES: Tuple[str, ...] = ("repro.service.protocol",)
+
+# ----------------------------------------------------------------------
 # Layering (RPR013)
 # ----------------------------------------------------------------------
 
@@ -225,12 +280,14 @@ LAYER_RANKS: Dict[str, int] = {
 #: submodule runs it; its own imports are all deferred (PEP 562).
 STATIC_ANALYSIS_MODULES: Tuple[str, ...] = (
     "repro.analysis",
+    "repro.analysis.accounting",
     "repro.analysis.callgraph",
     "repro.analysis.cli",
     "repro.analysis.concurrency",
     "repro.analysis.config",
     "repro.analysis.deep",
     "repro.analysis.floatcheck",
+    "repro.analysis.hotpath",
     "repro.analysis.layers",
     "repro.analysis.lint",
     "repro.analysis.locks",

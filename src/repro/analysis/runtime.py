@@ -46,15 +46,38 @@ The lock names are the *canonical* names the static pass derives from
 the source (``"TcpTransport._lock"``), so the two graphs agree by
 construction; :data:`repro.analysis.config.LOCK_ALIASES` folding is the
 comparison helper's job, not this module's (it stays import-free).
+
+Accounting sanitizer
+--------------------
+The same switch gates the runtime complement of ``repro-lint --perf``'s
+billing model.  :class:`~repro.index.pagestats.PageAccessCounter` feeds
+the singleton while enabled:
+
+* :meth:`Sanitizer.note_billing` records which function billed each
+  node/object access (resolved by frame walk, skipping the counter's own
+  frames), so tests can cross-check *runtime billing ⊆ static billing
+  model* -- every observed biller must be a site the accounting pass
+  discovered;
+* :meth:`Sanitizer.note_subcounter_created` /
+  :meth:`Sanitizer.note_finish_query` / :meth:`Sanitizer.note_absorb`
+  track the subcounter fold-once protocol at runtime: folding the same
+  finished stream into history twice is reported immediately into
+  :attr:`Sanitizer.accounting_violations`, and
+  :meth:`Sanitizer.accounting_leftovers` lists streams that were opened
+  but never folded (the RPR022 bug class, observed live);
+* :meth:`Sanitizer.verify_conservation` checks the conservation law at
+  quiescence: the per-query breakdown history of a counter must sum
+  exactly to its running totals.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Sequence, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.core.cache import CachedQueryResult
@@ -100,6 +123,11 @@ class Sanitizer:
         "lock_edges",
         "lock_order_violations",
         "metric_violations",
+        "accounting_violations",
+        "billing_callers",
+        "_subcounters",
+        "_breakdown_owner",
+        "_folded",
     )
 
     def __init__(self, enabled: bool = False) -> None:
@@ -118,6 +146,18 @@ class Sanitizer:
         self.lock_order_violations: List[str] = []
         #: Metric mutations observed without their owning guard held.
         self.metric_violations: List[str] = []
+        #: Double-folds and other billing protocol breaches.
+        self.accounting_violations: List[str] = []
+        #: (file basename, function name) pairs that billed an access.
+        self.billing_callers: Set[Tuple[str, str]] = set()
+        #: Every subcounter handed out while enabled (strong refs; the
+        #: sanitizer tracks object *identity* with ``is`` scans rather
+        #: than ``id()`` keys so its callers stay determinism-clean).
+        self._subcounters: List[Any] = []
+        #: (breakdown, subcounter) pairs: which sub a breakdown closed.
+        self._breakdown_owner: List[Tuple[Any, Any]] = []
+        #: Subcounters whose breakdown was absorbed into a history.
+        self._folded: List[Any] = []
 
     # ------------------------------------------------------------------
     # switching
@@ -208,6 +248,108 @@ class Sanitizer:
             self.lock_edges = {}
             self.lock_order_violations = []
             self.metric_violations = []
+
+    # ------------------------------------------------------------------
+    # accounting sanitizer (fed by PageAccessCounter while enabled)
+    # ------------------------------------------------------------------
+    def note_billing(self, kind: str) -> None:
+        """An access was billed; attribute it to the billing function.
+
+        The caller is resolved by frame walk, skipping the counter's own
+        frames (``record_scan`` bills through ``record`` internally), so
+        the recorded pair names the function that *initiated* the bill
+        -- the unit the static billing model reasons about.
+        """
+        frame = sys._getframe(1)
+        while (
+            frame is not None
+            and os.path.basename(frame.f_code.co_filename) == "pagestats.py"
+        ):
+            frame = frame.f_back
+        with self._lock:
+            self._count(f"billing.{kind}")
+            if frame is not None:
+                self.billing_callers.add(
+                    (
+                        os.path.basename(frame.f_code.co_filename),
+                        frame.f_code.co_name,
+                    )
+                )
+
+    def note_subcounter_created(self, sub: Any) -> None:
+        """A ``subcounter()`` was handed out; track its fold-once state."""
+        with self._lock:
+            self._count("billing.subcounter")
+            self._subcounters.append(sub)
+
+    def note_finish_query(self, counter: Any, breakdown: Any) -> None:
+        """A counter closed a query; remember which sub a breakdown ends."""
+        with self._lock:
+            if any(tracked is counter for tracked in self._subcounters):
+                self._breakdown_owner.append((breakdown, counter))
+
+    def note_absorb(self, breakdown: Any) -> None:
+        """A breakdown was folded into a parent counter's history."""
+        with self._lock:
+            sub = next(
+                (
+                    owner
+                    for item, owner in self._breakdown_owner
+                    if item is breakdown
+                ),
+                None,
+            )
+            if sub is None:
+                return
+            if any(folded is sub for folded in self._folded):
+                self.accounting_violations.append(
+                    "subcounter folded into history twice: its accesses "
+                    "are double-counted in the parent totals"
+                )
+            else:
+                self._folded.append(sub)
+
+    def accounting_leftovers(self) -> List[str]:
+        """Subcounters opened but never folded into any history."""
+        with self._lock:
+            return [
+                "subcounter created but never absorbed into history: "
+                "its accesses are lost to the parent counter"
+                for sub in self._subcounters
+                if not any(folded is sub for folded in self._folded)
+            ]
+
+    @staticmethod
+    def verify_conservation(counter: Any) -> List[str]:
+        """Check the conservation law on a quiescent counter.
+
+        The per-query breakdown history must sum exactly to the running
+        totals; only valid when no query is open and every subcounter
+        has been folded back.
+        """
+        problems: List[str] = []
+        total = sum(item.total for item in counter.history)
+        if total != counter.total_accesses:
+            problems.append(
+                f"history sums to {total} accesses but the counter "
+                f"recorded {counter.total_accesses}"
+            )
+        scanned = sum(item.entries_scanned for item in counter.history)
+        if scanned != counter.total_entries_scanned:
+            problems.append(
+                f"history sums to {scanned} scanned entries but the "
+                f"counter recorded {counter.total_entries_scanned}"
+            )
+        return problems
+
+    def reset_accounting(self) -> None:
+        """Forget billing callers and subcounter fold-once tracking."""
+        with self._lock:
+            self.accounting_violations = []
+            self.billing_callers = set()
+            self._subcounters = []
+            self._breakdown_owner = []
+            self._folded = []
 
     # ------------------------------------------------------------------
     # hooks (called by the instrumented structures when enabled)

@@ -209,7 +209,9 @@ def polygon_covered_by_polygons(
         for vertex in poly.vertices:
             if not _strictly_inside_polygon(target, vertex, tolerance):
                 continue
-            others = [other for other in relevant if other is not poly]
+            others = [  # repro: hot-alloc(per-vertex exclusion list; relevant covers are a handful of peer regions and this branch runs only for vertices strictly inside the target)
+                other for other in relevant if other is not poly
+            ]
             if not _strictly_inside_union(others, vertex, tolerance):
                 return False
     return True

@@ -99,8 +99,12 @@ class NodeArrays:
     per entry — together the ``lo[n, 2]``/``hi[n, 2]`` matrices of the
     vectorized layout) and the parallel ``children`` list.
 
-    Instances are immutable snapshots: any mutation of the owning node's
-    entry list drops the whole object and the next access rebuilds it.
+    Instances track the owning node's entry list: a plain ``append`` of
+    a matching entry extends the columns in place
+    (:meth:`append_entry`, the incremental-mirror path), while every
+    other mutation drops the whole object so the next access rebuilds
+    it.  The declared strategy per R-tree mutation site lives in
+    ``repro.analysis.hotpath.MUTATION_TABLE`` (RPR023).
     """
 
     __slots__ = (
@@ -174,6 +178,34 @@ class NodeArrays:
     def __len__(self) -> int:
         return len(self.xs) if self.is_leaf else len(self.children)
 
+    def append_entry(self, entry: Entry) -> bool:
+        """Extend the columns in place for one appended entry.
+
+        Returns False on an entry/mirror kind mismatch, in which case
+        the caller must fall back to dropping the mirror.  The appended
+        values are the same float64 coordinates ``__init__`` would have
+        read, in the same order, so an extended mirror is bit-identical
+        to a rebuilt one; the kNN layer's ``tie_keys`` memo is reset
+        because it is parallel to the coordinate columns.
+        """
+        if self.is_leaf:
+            if not isinstance(entry, LeafEntry):
+                return False
+            self.xs.append(entry.point.x)
+            self.ys.append(entry.point.y)
+            self.payloads.append(entry.payload)
+            self.tie_keys = None
+            return True
+        if not isinstance(entry, ChildEntry):
+            return False
+        box = entry.bbox
+        self.lo_x = np.append(self.lo_x, box.min_x)
+        self.lo_y = np.append(self.lo_y, box.min_y)
+        self.hi_x = np.append(self.hi_x, box.max_x)
+        self.hi_y = np.append(self.hi_y, box.max_y)
+        self.children.append(entry.child)
+        return True
+
 
 class _TrackedList(List[Entry]):
     """Entry list that drops the owner's array mirror on every mutation."""
@@ -199,14 +231,23 @@ class _TrackedList(List[Entry]):
     def append(self, item: Entry) -> None:
         super().append(item)
         self._adopt(item)
-        self._touch()
+        # The incremental-mirror path (ROADMAP item 2): a live mirror is
+        # extended in place instead of dropped; on a kind mismatch fall
+        # back to invalidation.
+        arrays = self._owner._arrays
+        if arrays is None or not arrays.append_entry(item):
+            self._touch()
 
     def extend(self, items: Iterable[Entry]) -> None:
         start = len(self)
         super().extend(items)
+        arrays = self._owner._arrays
         for item in self[start:]:
             self._adopt(item)
-        self._touch()
+            if arrays is not None and not arrays.append_entry(item):
+                arrays = None
+        if arrays is None:
+            self._touch()
 
     def insert(self, index: SupportsIndex, item: Entry) -> None:
         super().insert(index, item)

@@ -21,6 +21,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, List, Optional
 
+from repro.analysis.runtime import SANITIZER
+
 __all__ = ["PageAccessCounter", "BufferPool", "AccessBreakdown"]
 
 
@@ -82,6 +84,8 @@ class PageAccessCounter:
             self._current_index += 1
         self.total_accesses += 1
         self._buffer_access(page_id)
+        if SANITIZER.enabled:
+            SANITIZER.note_billing("node")
 
     def record_scan(self, page_id: int, is_leaf: bool, entries: int) -> None:
         """Record one *whole-node* scan: one page access, ``entries`` rows.
@@ -105,6 +109,8 @@ class PageAccessCounter:
         self._current_data += 1
         self.total_accesses += 1
         self._buffer_access(("data", object_id))
+        if SANITIZER.enabled:
+            SANITIZER.note_billing("object")
 
     def _buffer_access(self, page_id: Hashable) -> None:
         if self._buffer_pool is not None:
@@ -139,6 +145,8 @@ class PageAccessCounter:
         )
         self.history.append(breakdown)
         self._in_query = False
+        if SANITIZER.enabled:
+            SANITIZER.note_finish_query(self, breakdown)
         return breakdown
 
     @property
@@ -154,7 +162,10 @@ class PageAccessCounter:
         cannot be attributed to that query.  Fold the finished stream
         back with :meth:`absorb`.
         """
-        return PageAccessCounter(buffer_pool=self._buffer_pool)
+        sub = PageAccessCounter(buffer_pool=self._buffer_pool)
+        if SANITIZER.enabled:
+            SANITIZER.note_subcounter_created(sub)
+        return sub
 
     def absorb(self, breakdown: AccessBreakdown) -> None:
         """Fold one finished sub-query into this counter's history.
@@ -166,6 +177,8 @@ class PageAccessCounter:
         self.history.append(breakdown)
         self.total_accesses += breakdown.total
         self.total_entries_scanned += breakdown.entries_scanned
+        if SANITIZER.enabled:
+            SANITIZER.note_absorb(breakdown)
 
     def mean_per_query(self) -> float:
         """Mean page accesses per finished query (0.0 with no history)."""

@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.geometry.point import Point
+from repro.index.pagestats import AccessBreakdown
 from repro.index.rtree import RTree, RTreeConfig
 from repro.core.heap import CandidateHeap
 from repro.core.server import ServerAlgorithm, SpatialDatabaseServer
@@ -157,6 +158,19 @@ def _bench_tree_build(
     }
 
 
+def _mean_entries_scanned(history: Sequence[AccessBreakdown]) -> float:
+    """Mean ``entries_scanned`` per query over a slice of counter history.
+
+    The CPU-side companion to the pages-per-query series: how many node
+    entries the vectorized kernels examined per query.  Never part of
+    ``total`` (a whole-node scan is one page access), so it is tracked
+    as its own baseline series.
+    """
+    if not history:
+        return 0.0
+    return sum(item.entries_scanned for item in history) / len(history)
+
+
 def _bench_inn_vs_einn(
     profile: BenchProfile, seed: int, timings: Dict[str, float]
 ) -> Dict[str, Any]:
@@ -183,7 +197,11 @@ def _bench_inn_vs_einn(
         inn_server = SpatialDatabaseServer(tree, ServerAlgorithm.INN)
         einn_series: List[float] = []
         inn_series: List[float] = []
+        einn_entries: List[float] = []
+        inn_entries: List[float] = []
         for k in profile.knn_ks:
+            einn_history_base = len(einn_server.counter.history)
+            inn_history_base = len(inn_server.counter.history)
             einn_pages = OBS.registry.histogram(
                 "server.pages_per_query",
                 boundaries=DEFAULT_COUNT_BUCKETS,
@@ -210,10 +228,22 @@ def _bench_inn_vs_einn(
             inn_delta = (inn_pages.sum - base[2], inn_pages.count - base[3])
             einn_series.append(einn_delta[0] / max(einn_delta[1], 1))
             inn_series.append(inn_delta[0] / max(inn_delta[1], 1))
+            einn_entries.append(
+                _mean_entries_scanned(
+                    einn_server.counter.history[einn_history_base:]
+                )
+            )
+            inn_entries.append(
+                _mean_entries_scanned(
+                    inn_server.counter.history[inn_history_base:]
+                )
+            )
         out[region] = {
             "ks": list(profile.knn_ks),
             "einn_pages": einn_series,
             "inn_pages": inn_series,
+            "einn_entries_scanned": einn_entries,
+            "inn_entries_scanned": inn_entries,
         }
     timings["inn_vs_einn.total_s"] = time.perf_counter() - start
     return out
@@ -323,11 +353,13 @@ def _bench_service(
     start = time.perf_counter()
     amortized: List[float] = []
     traversal_pages: List[float] = []
+    scanned_entries: List[float] = []
     for level in _SERVICE_CONCURRENCY:
         server = SpatialDatabaseServer(tree, ServerAlgorithm.EINN)
         executor = BatchExecutor(server, cell_size=cell)
         total_pages = 0
         node_pages = 0
+        entries = 0
         queries = 0
         for cluster in clusters:
             requests = [
@@ -337,9 +369,11 @@ def _bench_service(
             for answer in executor.execute(requests):
                 total_pages += answer.pages.total
                 node_pages += answer.pages.index_nodes + answer.pages.leaf_nodes
+                entries += answer.pages.entries_scanned
                 queries += 1
         amortized.append(total_pages / queries)
         traversal_pages.append(node_pages / queries)
+        scanned_entries.append(entries / queries)
     timings["service.total_s"] = time.perf_counter() - start
 
     return {
@@ -349,6 +383,7 @@ def _bench_service(
         "concurrency": list(_SERVICE_CONCURRENCY),
         "amortized_pages": amortized,
         "amortized_node_pages": traversal_pages,
+        "amortized_entries_scanned": scanned_entries,
     }
 
 
@@ -521,7 +556,15 @@ def validate_baseline(data: Any) -> List[str]:
         einn = series.get("einn_pages", [])
         inn = series.get("inn_pages", [])
         ks = series.get("ks", [])
-        if not (len(einn) == len(inn) == len(ks)) or not ks:
+        einn_entries = series.get("einn_entries_scanned", [])
+        inn_entries = series.get("inn_entries_scanned", [])
+        if not (
+            len(einn)
+            == len(inn)
+            == len(einn_entries)
+            == len(inn_entries)
+            == len(ks)
+        ) or not ks:
             problems.append(f"inn_vs_einn[{region!r}]: malformed series")
             continue
         for k, einn_pages, inn_pages in zip(ks, einn, inn):
@@ -534,7 +577,12 @@ def validate_baseline(data: Any) -> List[str]:
     service = deterministic.get("service") or {}
     concurrency = service.get("concurrency", [])
     amortized = service.get("amortized_pages", [])
-    if len(concurrency) != len(amortized) or len(concurrency) < 2:
+    scanned = service.get("amortized_entries_scanned", [])
+    if (
+        len(concurrency) != len(amortized)
+        or len(concurrency) != len(scanned)
+        or len(concurrency) < 2
+    ):
         problems.append("service: malformed concurrency/amortized_pages series")
     else:
         for index in range(1, len(amortized)):

@@ -11,6 +11,11 @@ the runtime lock-order graph and metric mutations are checked against
 their guards for the whole session, and any inversion or unguarded
 mutation still pending at session end (tests that *inject* violations
 reset before returning) fails the teardown.
+
+It also arms the accounting sanitizer: page-access billing is
+attributed to its callers, subcounter fold-once tracking runs for the
+whole session, and a double-fold or a subcounter left unabsorbed at
+session end fails the teardown the same way.
 """
 
 import pytest
@@ -38,12 +43,17 @@ def _sanitizer_session(request: pytest.FixtureRequest):
 
     SANITIZER.enable()
     SANITIZER.reset_concurrency()
+    SANITIZER.reset_accounting()
     try:
         yield
     finally:
         SANITIZER.disable()
         leftover = (
-            SANITIZER.lock_order_violations + SANITIZER.metric_violations
+            SANITIZER.lock_order_violations
+            + SANITIZER.metric_violations
+            + SANITIZER.accounting_violations
+            + SANITIZER.accounting_leftovers()
         )
         SANITIZER.reset_concurrency()
-        assert leftover == [], f"race sanitizer reports at session end: {leftover}"
+        SANITIZER.reset_accounting()
+        assert leftover == [], f"sanitizer reports at session end: {leftover}"
