@@ -130,6 +130,7 @@ STRICT_FLOAT_MODULES: Tuple[str, ...] = (
 DOCSTRING_REQUIRED_PREFIXES: Tuple[str, ...] = (
     "repro.core",
     "repro.index",
+    "repro.network",
     "repro.obs",
     "repro.service",
 )

@@ -27,6 +27,7 @@ from repro.geometry.tolerance import near_zero
 from repro.index.knn import NeighborResult
 from repro.network.dijkstra import network_distance
 from repro.network.graph import SpatialNetwork
+from repro.network.index import NetworkIndex
 from repro.network.ier import NetworkNeighbor, incremental_euclidean_restriction
 from repro.core.cache import CachedQueryResult
 from repro.core.senn import ResolutionTier, SennConfig, SennResult, senn_query
@@ -62,6 +63,7 @@ def snnn_query(
     peer_caches: Sequence[CachedQueryResult],
     config: SennConfig,
     server: Optional[SpatialBackend] = None,
+    index: Optional[NetworkIndex] = None,
 ) -> SnnnResult:
     """Run Algorithm 2.
 
@@ -70,6 +72,12 @@ def snnn_query(
     it.  ``server`` is consulted for Euclidean NNs beyond what the peers
     can certify (and is required whenever the peer caches cannot certify
     even the first ``k``).
+
+    ``index`` optionally supplies the network distances through a
+    :class:`repro.network.index.NetworkIndex` (e.g. the precomputed
+    hierarchy); its contract requires answers bit-identical to the
+    default per-candidate Dijkstra, so the results are unchanged --
+    only the settled-vertex cost drops.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
@@ -115,6 +123,8 @@ def snnn_query(
 
     def network_distance_of(candidate: NeighborResult) -> float:
         snapped = network.snap(candidate.point)
+        if index is not None:
+            return index.network_distance(origin, snapped)
         return network_distance(network, origin, snapped)
 
     neighbors = incremental_euclidean_restriction(

@@ -15,7 +15,13 @@ search.  This package provides all of that from scratch:
   Incremental Network Expansion (INE) for network kNN queries;
 - :mod:`repro.network.generator` -- a seeded synthetic TIGER-like road
   network generator (the paper used TIGER/LINE vectors; see DESIGN.md for
-  the substitution rationale).
+  the substitution rationale);
+- :mod:`repro.network.index` -- the :class:`NetworkIndex` protocol with
+  the Dijkstra reference implementation and the precomputed G-tree-style
+  partition hierarchy (see ``docs/network.md``);
+- :mod:`repro.network.loaders` -- real road-graph loaders (TIGER edge
+  lists, OSM XML), region coordinate frames, and the deterministic
+  downsampler behind the committed CI extract.
 """
 
 from repro.network.dijkstra import (
@@ -30,18 +36,46 @@ from repro.network.ier import (
     incremental_euclidean_restriction,
     incremental_network_expansion,
 )
+from repro.network.index import (
+    DijkstraIndex,
+    HierarchicalIndex,
+    IndexStats,
+    NetworkIndex,
+)
+from repro.network.loaders import (
+    LOS_ANGELES,
+    RIVERSIDE,
+    RegionFrame,
+    downsample,
+    load_bundled_extract,
+    load_osm_xml,
+    load_tiger,
+    write_tiger,
+)
 
 __all__ = [
+    "LOS_ANGELES",
+    "RIVERSIDE",
+    "DijkstraIndex",
     "Edge",
+    "HierarchicalIndex",
+    "IndexStats",
+    "NetworkIndex",
     "NetworkLocation",
     "NetworkNeighbor",
+    "RegionFrame",
     "RoadClass",
     "RoadNetworkSpec",
     "SpatialNetwork",
+    "downsample",
     "generate_road_network",
     "incremental_euclidean_restriction",
     "incremental_network_expansion",
+    "load_bundled_extract",
+    "load_osm_xml",
+    "load_tiger",
     "network_distance",
     "shortest_path",
     "shortest_path_lengths",
+    "write_tiger",
 ]

@@ -1,0 +1,10 @@
+"""Committed road-graph fixtures.
+
+``la_extract_5k.cnode.gz`` / ``la_extract_5k.cedge.gz`` is the ~5k-node
+LA-frame extract CI builds a hierarchy over (see
+``repro.network.loaders.load_bundled_extract``); ``sample.osm`` is a
+hand-written OSM XML document the loader tests parse.  The extract is a
+pure function of the generator seed and the downsampler -- the
+regeneration command in ``EXPERIMENTS.md`` reproduces both files byte
+for byte.
+"""

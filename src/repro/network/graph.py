@@ -37,6 +37,7 @@ class RoadClass(enum.Enum):
 
     @property
     def speed_limit_mph(self) -> float:
+        """Maximum driving speed of this road class, in mph (Section 4.1.2)."""
         return self.value
 
 
@@ -57,9 +58,11 @@ class Edge:
 
     @property
     def speed_limit_mph(self) -> float:
+        """Speed limit inherited from this segment's road class."""
         return self.road_class.speed_limit_mph
 
     def other_end(self, node: int) -> int:
+        """Return the opposite endpoint of ``node`` on this edge."""
         if node == self.u:
             return self.v
         if node == self.v:
@@ -91,6 +94,7 @@ class NetworkLocation:
 
     @property
     def offset_from_v(self) -> float:
+        """Distance along the edge measured from the ``v`` end instead."""
         return self.edge.length - self.offset
 
 
@@ -157,17 +161,21 @@ class SpatialNetwork:
     # inspection
     # ------------------------------------------------------------------
     def node_position(self, node: int) -> Point:
+        """Plane position of ``node`` (raises ``KeyError`` if unknown)."""
         return self._positions[node]
 
     def node_ids(self) -> Iterator[int]:
+        """Iterate node ids in insertion (ascending) order."""
         return iter(self._positions)
 
     @property
     def node_count(self) -> int:
+        """Number of nodes in the graph."""
         return len(self._positions)
 
     @property
     def edge_count(self) -> int:
+        """Number of undirected edges (each counted once)."""
         return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
 
     def neighbors(self, node: int) -> Iterator[Tuple[int, Edge]]:
@@ -175,9 +183,11 @@ class SpatialNetwork:
         return iter(self._adjacency[node].items())
 
     def degree(self, node: int) -> int:
+        """Number of edges incident to ``node``."""
         return len(self._adjacency[node])
 
     def edge_between(self, u: int, v: int) -> Optional[Edge]:
+        """The edge connecting ``u`` and ``v``, or ``None`` if absent."""
         return self._adjacency.get(u, {}).get(v)
 
     def edges(self) -> Iterator[Edge]:
@@ -188,6 +198,7 @@ class SpatialNetwork:
                     yield edge
 
     def total_length(self) -> float:
+        """Sum of all edge lengths (the total road mileage)."""
         return sum(edge.length for edge in self.edges())
 
     def is_connected(self) -> bool:

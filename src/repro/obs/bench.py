@@ -21,6 +21,12 @@ added rather than ad-hoc counters in the benchmark script:
   *requires* the amortized cost to be strictly decreasing.
 * ``sim_window`` — one FAST-quality LA 2×2 simulation window; SQRR
   shares, per-tier counts and the global counter snapshot.
+* ``network`` — road-network kNN at scale: the hierarchical
+  ``NetworkIndex`` vs the Dijkstra reference on a real extract (``smoke``
+  / ``fast``: the committed ~5k-node extract; ``full``: a generated
+  100k+-node graph), reporting per-query settled vertices and the
+  speedup; the suite *requires* answers bit-identical across the two
+  implementations and a >= 10x settled-vertex reduction.
 
 The output separates ``deterministic`` results (seeded, bit-stable
 across runs on one machine; compared by ``--check`` with a tolerance
@@ -32,6 +38,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
+import random
 import sys
 import time
 from dataclasses import dataclass
@@ -42,6 +50,9 @@ import numpy as np
 from repro.geometry.point import Point
 from repro.index.pagestats import AccessBreakdown
 from repro.index.rtree import RTree, RTreeConfig
+from repro.network.generator import RoadNetworkSpec, generate_road_network
+from repro.network.index import DijkstraIndex, HierarchicalIndex
+from repro.network.loaders import load_bundled_extract
 from repro.core.heap import CandidateHeap
 from repro.core.server import ServerAlgorithm, SpatialDatabaseServer
 from repro.core.verification import verify_multi_peer, verify_single_peer
@@ -86,6 +97,13 @@ class BenchProfile:
     sim_region: str
     sim_duration_s: float
     sim_movement: MovementMode
+    #: ``extract`` = the committed ~5k-node graph; ``la-100k`` = a
+    #: generated 100k+-node LA-scale graph (``full`` only -- Dijkstra is
+    #: visibly hopeless there, which is the point).
+    network_graph: str = "extract"
+    network_queries: int = 8
+    network_pois: int = 600
+    network_k: int = 10
 
 
 PROFILES: Dict[str, BenchProfile] = {
@@ -99,6 +117,10 @@ PROFILES: Dict[str, BenchProfile] = {
         sim_region="LA",
         sim_duration_s=40.0,
         sim_movement=MovementMode.FREE,
+        network_graph="extract",
+        network_queries=4,
+        network_pois=300,
+        network_k=8,
     ),
     "fast": BenchProfile(
         name="fast",
@@ -110,6 +132,10 @@ PROFILES: Dict[str, BenchProfile] = {
         sim_region="LA",
         sim_duration_s=240.0,
         sim_movement=MovementMode.ROAD_NETWORK,
+        network_graph="extract",
+        network_queries=10,
+        network_pois=600,
+        network_k=10,
     ),
     "full": BenchProfile(
         name="full",
@@ -121,6 +147,10 @@ PROFILES: Dict[str, BenchProfile] = {
         sim_region="LA",
         sim_duration_s=900.0,
         sim_movement=MovementMode.ROAD_NETWORK,
+        network_graph="la-100k",
+        network_queries=10,
+        network_pois=2000,
+        network_k=10,
     ),
 }
 
@@ -433,6 +463,79 @@ def _bench_sim_window(
     }
 
 
+def _bench_network(
+    profile: BenchProfile, seed: int, timings: Dict[str, float]
+) -> Dict[str, Any]:
+    """Road-network kNN: hierarchical ``NetworkIndex`` vs plain Dijkstra.
+
+    The same origins, POIs and ``k`` run through both implementations;
+    the answers must agree bit for bit (summarized by the checksums the
+    validator compares exactly), and the settled-vertex counts quantify
+    the hierarchy's advantage.  The graph is pinned per profile, the
+    query workload derives from the bench seed.
+    """
+    start = time.perf_counter()
+    if profile.network_graph == "extract":
+        network = load_bundled_extract()
+    elif profile.network_graph == "la-100k":
+        spec = RoadNetworkSpec(
+            width=30.0, height=30.0, secondary_spacing=0.093, seed=1601
+        )
+        network = generate_road_network(spec)
+    else:  # pragma: no cover - profile table is pinned above
+        raise ValueError(f"unknown network graph {profile.network_graph!r}")
+    timings["network.load_graph_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    hierarchy = HierarchicalIndex(network, leaf_size=64)
+    timings["network.build_hierarchy_s"] = time.perf_counter() - start
+    reference = DijkstraIndex(network)
+
+    rng = random.Random(f"bench-network:{seed}")
+    edges = list(network.edges())
+
+    def on_edge() -> Any:
+        edge = rng.choice(edges)
+        return network.location_at(edge, rng.uniform(0.0, edge.length))
+
+    pois = [(on_edge(), index) for index in range(profile.network_pois)]
+    origins = [on_edge() for _ in range(profile.network_queries)]
+    reference.register_pois(pois)
+    hierarchy.register_pois(pois)
+
+    def run(index: Any, label: str) -> Tuple[float, float]:
+        index.stats.reset()
+        checksum = 0.0
+        start = time.perf_counter()
+        for origin in origins:
+            for neighbor in index.knn(origin, profile.network_k):
+                if not math.isinf(neighbor.network_distance):
+                    checksum += neighbor.network_distance
+        timings[f"network.{label}_knn_s"] = time.perf_counter() - start
+        return checksum, index.stats.settled_vertices / len(origins)
+
+    checksum_dijkstra, settled_dijkstra = run(reference, "dijkstra")
+    checksum_hierarchy, settled_hierarchy = run(hierarchy, "hierarchy")
+    return {
+        "graph": profile.network_graph,
+        "graph_nodes": network.node_count,
+        "graph_edges": network.edge_count,
+        "pois": profile.network_pois,
+        "queries": profile.network_queries,
+        "k": profile.network_k,
+        "hierarchy": {
+            key: float(value) for key, value in hierarchy.describe().items()
+        },
+        "settled_per_query_dijkstra": settled_dijkstra,
+        "settled_per_query_hierarchy": settled_hierarchy,
+        "settled_speedup": settled_dijkstra / max(1.0, settled_hierarchy),
+        "pois_refined_per_query": hierarchy.stats.pois_refined
+        / profile.network_queries,
+        "answer_checksum_dijkstra": checksum_dijkstra,
+        "answer_checksum_hierarchy": checksum_hierarchy,
+    }
+
+
 def _measure_guard_overhead_ns(loops: int = 200_000) -> float:
     """Per-event cost of a *disabled* instrumentation guard, in ns.
 
@@ -492,6 +595,12 @@ def run_suite(
             OBS.registry = MetricsRegistry()
             sim_window = _bench_sim_window(profile, seed, timings, tracer)
             counters = _counter_snapshot(OBS.registry)
+            # The network section runs *after* the counter snapshot on
+            # its own registry, so every pre-existing deterministic
+            # section (counters included) stays byte-identical to the
+            # baselines committed before the section existed.
+            OBS.registry = MetricsRegistry()
+            network = _bench_network(profile, seed, timings)
     finally:
         OBS.registry = previous_registry
     timings["obs.guard_overhead_ns"] = _measure_guard_overhead_ns()
@@ -506,6 +615,7 @@ def run_suite(
             "service": service,
             "sim_window": sim_window,
             "counters": counters,
+            "network": network,
         },
         "timings_s": timings,
     }
@@ -544,6 +654,7 @@ def validate_baseline(data: Any) -> List[str]:
         "service",
         "sim_window",
         "counters",
+        "network",
     ):
         if not isinstance(deterministic.get(section), dict):
             problems.append(f"missing deterministic section {section!r}")
@@ -592,6 +703,24 @@ def validate_baseline(data: Any) -> List[str]:
                     f"at concurrency {concurrency[index]} "
                     f"({amortized[index]:.2f} >= {amortized[index - 1]:.2f})"
                 )
+    network = deterministic.get("network") or {}
+    if network:
+        checksum_ref = network.get("answer_checksum_dijkstra")
+        checksum_hier = network.get("answer_checksum_hierarchy")
+        # Bit-identity across implementations is the NetworkIndex
+        # contract, so the checksums must agree exactly, not within rtol.
+        if checksum_ref != checksum_hier:  # repro: noqa(RPR001)
+            problems.append(
+                f"network: hierarchy answer checksum {checksum_hier!r} != "
+                f"Dijkstra reference {checksum_ref!r} — the NetworkIndex "
+                "exactness contract is broken"
+            )
+        speedup = network.get("settled_speedup", 0.0)
+        if not isinstance(speedup, (int, float)) or speedup < 10.0:
+            problems.append(
+                f"network: settled-vertex speedup {speedup!r} below the "
+                "required 10x hierarchy advantage"
+            )
     return problems
 
 
@@ -749,6 +878,15 @@ def _print_summary(result: Dict[str, Any]) -> None:
         f"single {100 * sim['single_peer_share']:.1f}%, "
         f"multi {100 * sim['multi_peer_share']:.1f}%, "
         f"{sim['mean_server_pages']:.1f} pages/server-query"
+    )
+    network = deterministic["network"]
+    print(
+        f"network[{network['graph']}]: {network['graph_nodes']} nodes, "
+        f"{network['queries']} kNN queries (k={network['k']}), "
+        f"settled/query {network['settled_per_query_dijkstra']:.0f} -> "
+        f"{network['settled_per_query_hierarchy']:.0f} "
+        f"({network['settled_speedup']:.1f}x), build "
+        f"{timings['network.build_hierarchy_s']:.2f}s"
     )
     print(
         f"obs: disabled-guard cost {timings['obs.guard_overhead_ns']:.0f} ns/event"

@@ -45,7 +45,9 @@ from repro.index.knn import (
 )
 from repro.index.pagestats import PageAccessCounter
 from repro.index.rtree import RTree
+from repro.network.dijkstra import network_distance
 from repro.network.graph import NetworkLocation, SpatialNetwork
+from repro.network.index import DijkstraIndex, HierarchicalIndex
 from repro.core.cache import CachedQueryResult
 from repro.core.heap import CandidateHeap
 from repro.core.naive_sharing import naive_share_query
@@ -613,6 +615,8 @@ def run_scenario(
     if scenario.check_network:
         ran("snnn")
         failures.extend(_check_snnn(scenario, m))
+        ran("network-index")
+        failures.extend(_check_network_index(scenario, m))
 
     return failures
 
@@ -752,10 +756,9 @@ def _check_vectorized_verify(
 # ----------------------------------------------------------------------
 # SNNN cross-check
 # ----------------------------------------------------------------------
-def _grid_network() -> SpatialNetwork:
-    """A deterministic 4x4 grid network over the unit square."""
+def _grid_network(side: int = 4) -> SpatialNetwork:
+    """A deterministic ``side x side`` grid network over the unit square."""
     network = SpatialNetwork()
-    side = 4
     nodes = {}
     for i in range(side):
         for j in range(side):
@@ -837,6 +840,81 @@ def _check_snnn(scenario: Scenario, m: _Materialized) -> List[CheckFailure]:
                 )
             ]
     return []
+
+
+def _check_network_index(scenario: Scenario, m: _Materialized) -> List[CheckFailure]:
+    """Hierarchy vs Dijkstra reference vs oracle, bit-for-tie-key-identical.
+
+    The :class:`~repro.network.index.NetworkIndex` contract is *exact*
+    agreement (POI ids, tie order under ``poi_tie_key``, and the
+    distance floats themselves), so unlike the tolerance-based SNNN
+    check these comparisons are bitwise.  The grid is sized up with the
+    scenario's POI count so POI-heavy scenarios exercise real partition
+    depth; the size depends only on the scenario, keeping replay stable.
+    """
+    failures: List[CheckFailure] = []
+    side = 4 + min(4, len(scenario.pois) // 8)
+    network = _grid_network(side)
+    pois = [(network.snap(point), payload) for point, payload in m.pois]
+    reference = DijkstraIndex(network)
+    hierarchy = HierarchicalIndex(network, leaf_size=8)
+    reference.register_pois(pois)
+    hierarchy.register_pois(pois)
+    origin = network.snap(m.query)
+    k = min(scenario.k, len(pois))
+
+    want = [
+        (n.payload, n.network_distance) for n in reference.knn(origin, k)
+    ]
+    got = [
+        (n.payload, n.network_distance) for n in hierarchy.knn(origin, k)
+    ]
+    # Bit-identity is the protocol contract: the hierarchy refines every
+    # reported distance through the same Dijkstra recurrence.
+    if got != want:  # repro: noqa(RPR001)
+        failures.append(
+            CheckFailure(
+                "network-index",
+                f"hierarchical kNN {got!r} != Dijkstra reference {want!r}",
+            )
+        )
+
+    adjacency: Dict[int, List[Tuple[int, float]]] = {}
+    for node in network.node_ids():
+        adjacency[node] = [
+            (other, edge.length) for other, edge in network.neighbors(node)
+        ]
+    truth = oracles.oracle_network_knn(
+        adjacency,
+        _flatten_location(origin),
+        [(_flatten_location(location), payload) for location, payload in pois],
+        k,
+    )
+    # The oracle folds the same candidate floats through the same mins,
+    # so its distances and tie order are also exact matches.
+    if [(payload, distance) for payload, distance in truth] != want:  # repro: noqa(RPR001)
+        failures.append(
+            CheckFailure(
+                "network-index",
+                f"Dijkstra reference {want!r} != network oracle {truth!r}",
+            )
+        )
+
+    for location, payload in pois[:3]:
+        direct = network_distance(network, origin, location)
+        indexed = hierarchy.network_distance(origin, location)
+        # Point-to-point distances share the exactness contract.
+        if direct != indexed and not (  # repro: noqa(RPR001)
+            math.isinf(direct) and math.isinf(indexed)
+        ):
+            failures.append(
+                CheckFailure(
+                    "network-index",
+                    f"network_distance to POI {payload!r}: hierarchy "
+                    f"{indexed!r}, Dijkstra {direct!r}",
+                )
+            )
+    return failures
 
 
 # ----------------------------------------------------------------------

@@ -201,6 +201,7 @@ class ScenarioGen:
         "clustered",
         "grid",
         "degenerate",
+        "network",
     )
 
     def generate(self, index: int) -> Scenario:
@@ -345,6 +346,37 @@ class ScenarioGen:
             pois=tuple(pois),
             peers=tuple(peers),
             exact=True,
+            **knobs,
+        )
+
+    def _build_network(self, rng: random.Random) -> Scenario:
+        """POI-heavy, always network-checked: SNNN and the index checks.
+
+        Larger POI sets push the difftest grid network to its bigger
+        sizes (see ``_check_network_index``) so the hierarchical index
+        is exercised at real partition depth, with ``k`` occasionally
+        exceeding the POI count and duplicate locations forcing ties at
+        the k-th network distance.
+        """
+        count = rng.randint(12, 40)
+        coords: List[Tuple[float, float]] = []
+        for _ in range(count):
+            if coords and rng.random() < 0.15:
+                coords.append(rng.choice(coords))  # tie at the k-th distance
+            else:
+                coords.append((rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)))
+        pois = tuple(
+            (x, y, pid) for (x, y), pid in zip(coords, self._ids_for(count))
+        )
+        peers = self._peers(rng, rng.randint(1, 4), lambda r: r.uniform(0.0, 1.0))
+        knobs = self._knobs(rng, exact=False)
+        knobs["check_network"] = True
+        return Scenario(
+            k=rng.randint(1, 8) + (3 if rng.random() < 0.1 else 0),
+            query=(rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)),
+            pois=pois,
+            peers=peers,
+            range_radius=rng.uniform(0.05, 0.4) if rng.random() < 0.3 else None,
             **knobs,
         )
 

@@ -19,6 +19,7 @@ import random
 
 
 def euclidean_probe(a, b, history=[]):
+    """Docstring so RPR014 (which covers repro.network) stays quiet."""
     gap = a.distance_to(b)
     if gap == 0.0:
         history.append(gap)
@@ -45,8 +46,8 @@ class TestSeededFixture:
     def test_violations_carry_position_and_render(self):
         violations = lint_source(FIXTURE, path=FIXTURE_PATH)
         by_code = {v.code: v for v in violations}
-        assert by_code["RPR001"].line == 8  # gap == 0.0
-        assert by_code["RPR005"].line == 13  # bare except
+        assert by_code["RPR001"].line == 9  # gap == 0.0
+        assert by_code["RPR005"].line == 14  # bare except
         rendered = by_code["RPR004"].render()
         assert rendered.startswith(FIXTURE_PATH)
         assert "RPR004" in rendered

@@ -113,7 +113,7 @@ class TestScenarioGen:
 
     def test_every_family_appears(self):
         gen = ScenarioGen(seed=9)
-        assert len(gen.families) == 5
+        assert len(gen.families) == 6
         scenarios = [gen.generate(i) for i in range(len(gen.families))]
         assert len(scenarios) == len(gen.families)
 
